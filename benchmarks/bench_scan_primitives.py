@@ -1,0 +1,75 @@
+"""CLAIM-S — scanOr/scanAnd are logarithmic (paper section 2.2).
+
+"The MasPar also has a powerful global router which implements the
+scanAnd() and scanOr() primitives, which allow logarithmic-time ANDing
+and ORing of data values stored in the PEs."
+
+Two measurements:
+
+* modelled cost — the machine's charged scan cycles grow exactly with
+  ceil(log2(span)), asserted across four decades of span;
+* host cost — the simulator's own wall-clock per scan, which must grow
+  *sub-linearly enough* to be usable (it is numpy-vectorized; this is
+  the practical "SIMD via numpy" sanity check).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_seconds
+from repro.maspar import MP1, CostModel
+
+SPANS = [2**10, 2**12, 2**14, 2**16, 2**18, 2**20]
+
+
+@pytest.mark.benchmark(group="claim-s")
+def test_scan_cost_model_is_logarithmic(benchmark, report):
+    cost = CostModel()
+
+    def measure():
+        rows = []
+        for span in SPANS:
+            machine = MP1(n_virtual=span, cost=cost)
+            bits = np.zeros(span, dtype=bool)
+            seg = np.zeros(span, dtype=np.int64)
+            before = machine.cycles
+            machine.scan_or(bits, seg)
+            pure = (machine.cycles - before) // machine.vfactor - cost.instruction_overhead
+            rows.append((span, pure))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    table = [
+        [
+            span,
+            int(math.ceil(math.log2(span))),
+            cycles,
+            cycles // cost.scan_cycles_per_stage,
+        ]
+        for span, cycles in rows
+    ]
+    report(
+        "CLAIM-S: modelled scan cost vs span",
+        ["span (PEs)", "ceil(log2)", "scan cycles", "stages charged"],
+        table,
+        notes="claim: stages charged == ceil(log2 span) exactly.",
+    )
+
+    for span, cycles in rows:
+        assert cycles == math.ceil(math.log2(span)) * cost.scan_cycles_per_stage
+
+
+@pytest.mark.benchmark(group="claim-s")
+@pytest.mark.parametrize("span", [2**14, 2**18])
+def test_scan_host_throughput(benchmark, span):
+    """Microbenchmark: one segmented scanOr over `span` PEs (1024 segments)."""
+    machine = MP1(n_virtual=span)
+    rng = np.random.default_rng(0)
+    bits = rng.random(span) < 0.3
+    seg = np.sort(rng.integers(0, 1024, size=span))
+    benchmark(machine.scan_or, bits, seg)

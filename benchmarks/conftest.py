@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Every benchmark prints a paper-versus-measured table through the
+``report`` fixture (bypassing pytest capture) so the harness output is
+the reproduction record; EXPERIMENTS.md snapshots these tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a table to the real terminal regardless of capture."""
+
+    def emit(title: str, headers, rows, notes: str = ""):
+        with capsys.disabled():
+            print()
+            print(format_table(headers, rows, title=title))
+            if notes:
+                print(notes)
+            print()
+
+    return emit

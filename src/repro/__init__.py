@@ -1,0 +1,85 @@
+"""PARSEC — Parallel ARchitecture SEntence Constrainer.
+
+A production-quality reproduction of Helzerman & Harper, *Log Time
+Parsing on the MasPar MP-1* (ICPP 1992): Constraint Dependency Grammar
+(CDG) parsing, its parallelization, and simulators for the machines the
+paper runs on (a CRCW P-RAM and the MasPar MP-1 SIMD array).
+
+Quickstart::
+
+    from repro import VectorEngine, extract_parses
+    from repro.grammar.builtin import program_grammar
+
+    grammar = program_grammar()
+    result = VectorEngine().parse(grammar, "The program runs")
+    for parse in extract_parses(result.network):
+        print(parse.describe(grammar.symbols))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from repro.constraints import Constraint, SymbolTable
+from repro.engines import (
+    EngineStats,
+    ParserEngine,
+    ParseResult,
+    PRAMEngine,
+    SerialEngine,
+    VectorEngine,
+    all_engines,
+)
+from repro.errors import (
+    ConstraintError,
+    ExtractionError,
+    GrammarError,
+    LexiconError,
+    MachineError,
+    NetworkError,
+    ReproError,
+    SexprSyntaxError,
+)
+from repro.grammar import CDGGrammar, GrammarBuilder, Sentence, load_grammar, load_grammar_file
+from repro.mesh.engine import MeshEngine
+from repro.network import ConstraintNetwork, RoleValue
+from repro.parsec.parser import MasParEngine
+from repro.search import PrecedenceGraph, accepts, count_parses, extract_parses
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # grammar
+    "CDGGrammar",
+    "GrammarBuilder",
+    "Sentence",
+    "load_grammar",
+    "load_grammar_file",
+    "Constraint",
+    "SymbolTable",
+    # network & parsing
+    "ConstraintNetwork",
+    "RoleValue",
+    "ParserEngine",
+    "ParseResult",
+    "EngineStats",
+    "SerialEngine",
+    "VectorEngine",
+    "PRAMEngine",
+    "MasParEngine",
+    "MeshEngine",
+    "all_engines",
+    "PrecedenceGraph",
+    "extract_parses",
+    "count_parses",
+    "accepts",
+    # errors
+    "ReproError",
+    "SexprSyntaxError",
+    "ConstraintError",
+    "GrammarError",
+    "LexiconError",
+    "NetworkError",
+    "MachineError",
+    "ExtractionError",
+]

@@ -1,0 +1,16 @@
+"""Measurement analysis: complexity fits and report formatting."""
+
+from repro.analysis.fitting import PowerLawFit, fit_log_growth, fit_power_law
+from repro.analysis.profiler import ConstraintRecord, ParseProfile, profile_parse
+from repro.analysis.reporting import format_seconds, format_table
+
+__all__ = [
+    "PowerLawFit",
+    "fit_power_law",
+    "fit_log_growth",
+    "format_table",
+    "format_seconds",
+    "ConstraintRecord",
+    "ParseProfile",
+    "profile_parse",
+]

@@ -1,0 +1,63 @@
+"""Empirical complexity estimation: log-log exponent fits.
+
+Figure 8's running-time column is asymptotic; the benchmarks back it
+with measured growth exponents.  ``fit_power_law`` performs the standard
+least-squares fit of ``log y = e * log x + c``, returning the exponent
+``e`` and the coefficient of determination so a bench can assert both
+the slope and that a power law describes the data at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """y ≈ scale * x^exponent."""
+
+    exponent: float
+    scale: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.scale * x**self.exponent
+
+
+def fit_power_law(xs, ys) -> PowerLawFit:
+    """Fit ``y = c * x^e`` by linear regression in log-log space.
+
+    Raises:
+        ValueError: with fewer than two points or non-positive data.
+    """
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if len(xs) < 2 or len(xs) != len(ys):
+        raise ValueError("need at least two (x, y) pairs of equal length")
+    if (xs <= 0).any() or (ys <= 0).any():
+        raise ValueError("power-law fits need strictly positive data")
+    lx = np.log(xs)
+    ly = np.log(ys)
+    exponent, intercept = np.polyfit(lx, ly, 1)
+    predicted = exponent * lx + intercept
+    residual = ((ly - predicted) ** 2).sum()
+    total = ((ly - ly.mean()) ** 2).sum()
+    r_squared = 1.0 if total == 0 else 1.0 - residual / total
+    return PowerLawFit(exponent=float(exponent), scale=float(np.exp(intercept)), r_squared=float(r_squared))
+
+
+def fit_log_growth(xs, ys) -> tuple[float, float, float]:
+    """Fit ``y = a * log2(x) + b``; returns (a, b, r_squared)."""
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if len(xs) < 2 or len(xs) != len(ys):
+        raise ValueError("need at least two (x, y) pairs of equal length")
+    lx = np.log2(xs)
+    a, b = np.polyfit(lx, ys, 1)
+    predicted = a * lx + b
+    residual = ((ys - predicted) ** 2).sum()
+    total = ((ys - ys.mean()) ** 2).sum()
+    r_squared = 1.0 if total == 0 else 1.0 - residual / total
+    return float(a), float(b), float(r_squared)

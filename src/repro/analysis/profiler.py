@@ -1,0 +1,106 @@
+"""Per-constraint elimination profiling.
+
+Grammar writers need to know *which* constraint did the work (or did
+none): this profiler runs a parse with a trace hook and tabulates, for
+every constraint, how many role values its propagation (plus the
+consistency sweep it triggers) removed.  The paper's observation that
+"the parse for a sentence can often be determined after only a portion
+of the constraints have been propagated" is directly visible in these
+tables — trailing constraints typically eliminate nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engines.base import ParserEngine, ParseResult
+from repro.engines.vector import VectorEngine
+from repro.grammar.grammar import CDGGrammar, Sentence
+from repro.network.network import ConstraintNetwork
+
+
+@dataclass
+class ConstraintRecord:
+    """Eliminations attributed to one constraint."""
+
+    name: str
+    arity: int
+    killed_direct: int = 0  # by the constraint's own propagation
+    killed_consistency: int = 0  # by the consistency sweep that followed
+
+    @property
+    def killed_total(self) -> int:
+        return self.killed_direct + self.killed_consistency
+
+
+@dataclass
+class ParseProfile:
+    """The full per-constraint elimination breakdown of one parse."""
+
+    sentence: tuple[str, ...]
+    records: list[ConstraintRecord] = field(default_factory=list)
+    killed_by_filtering: int = 0
+    initial_role_values: int = 0
+    surviving_role_values: int = 0
+    result: ParseResult | None = None
+
+    def as_rows(self) -> list[list[object]]:
+        """Rows for :func:`repro.analysis.reporting.format_table`."""
+        rows: list[list[object]] = [
+            [r.name, "unary" if r.arity == 1 else "binary", r.killed_direct, r.killed_consistency, r.killed_total]
+            for r in self.records
+        ]
+        rows.append(["(final filtering)", "-", "-", self.killed_by_filtering, self.killed_by_filtering])
+        return rows
+
+    def idle_constraints(self) -> list[str]:
+        """Constraints that eliminated nothing on this sentence."""
+        return [r.name for r in self.records if r.killed_total == 0]
+
+    def settled_after(self) -> int:
+        """Index of the last constraint that eliminated anything (+1).
+
+        The paper: "the parse for a sentence can often be determined
+        after only a portion of the constraints have been propagated".
+        """
+        last = 0
+        for index, record in enumerate(self.records, start=1):
+            if record.killed_total:
+                last = index
+        return last
+
+
+def profile_parse(
+    grammar: CDGGrammar,
+    sentence: Sentence | str | list[str],
+    engine: ParserEngine | None = None,
+) -> ParseProfile:
+    """Parse *sentence* and attribute every elimination to a constraint."""
+    engine = engine or VectorEngine()
+    profile = ParseProfile(sentence=())
+    records = {c.name: ConstraintRecord(c.name, c.arity) for c in grammar.constraints}
+    order = [c.name for c in grammar.constraints]
+    state = {"alive": None, "last": None}
+
+    def trace(event: str, net: ConstraintNetwork) -> None:
+        alive = int(net.alive.sum())
+        if event == "built":
+            profile.initial_role_values = alive
+            profile.sentence = net.sentence.words
+        else:
+            killed = (state["alive"] or alive) - alive
+            if event.startswith("unary:"):
+                records[event.split(":", 1)[1]].killed_direct += killed
+            elif event.startswith("binary:"):
+                records[event.split(":", 1)[1]].killed_direct += killed
+            elif event.startswith("consistency:"):
+                records[event.split(":", 1)[1]].killed_consistency += killed
+            elif event == "filtering-done":
+                profile.killed_by_filtering += killed
+        state["alive"] = alive
+
+    result = engine.parse(grammar, sentence, trace=trace)
+    profile.records = [records[name] for name in order]
+    profile.surviving_role_values = int(result.network.alive.sum())
+    profile.result = result
+    return profile

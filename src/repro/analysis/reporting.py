@@ -1,0 +1,34 @@
+"""Plain-text table rendering for the benchmark harness output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
+    """Render an aligned monospace table (benchmarks print these)."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+
+    def line(row: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
+
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * max(len(title), 8))
+    out.append(line(cells[0]))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in cells[1:])
+    return "\n".join(out)
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-scale time rendering: 12.3 us / 4.56 ms / 1.23 s."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    if seconds < 120:
+        return f"{seconds:.2f} s"
+    return f"{seconds / 60:.1f} min"

@@ -1,0 +1,102 @@
+"""Built-in CFGs: the English baseline and classic formal languages.
+
+``english_cfg`` covers the same fragment as the CDG English grammar
+(:mod:`repro.grammar.builtin.english`), so the Figure-8 benchmarks
+compare the two formalisms on the same sentences; the test suite
+cross-checks that the two grammars agree on the workload corpus.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.cfg.grammar import CFG
+from repro.grammar.builtin.english import LEXICON
+
+
+@lru_cache(maxsize=1)
+def english_cfg() -> CFG:
+    """A CFG for the English fragment of the CDG grammar.
+
+    S -> NP VP; NP -> (Det) Adj* N (PP*); VP -> V (NP) PP* (Adv);
+    PP -> P NP.  Lexical rules come from the shared LEXICON.
+    """
+    productions: list[tuple[str, tuple[str, ...]]] = [
+        ("S", ("NP", "VP")),
+        ("NP", ("CORE",)),
+        ("NP", ("CORE", "PPS")),
+        ("CORE", ("N",)),
+        ("CORE", ("Det", "NBAR")),
+        ("CORE", ("NBAR",)),
+        ("NBAR", ("N",)),
+        ("NBAR", ("Adj", "NBAR")),
+        ("VP", ("V",)),
+        ("VP", ("V", "NP")),
+        ("VP", ("VP", "PP")),
+        ("VP", ("VP", "Adv")),
+        ("PPS", ("PP",)),
+        ("PPS", ("PPS", "PP")),
+        ("PP", ("P", "NP")),
+    ]
+    pos_to_nt = {
+        "det": "Det",
+        "adj": "Adj",
+        "noun": "N",
+        "verb": "V",
+        "prep": "P",
+        "adv": "Adv",
+    }
+    for word, cats in LEXICON.items():
+        for cat in cats:
+            productions.append((pos_to_nt[cat], (word,)))
+    return CFG("S", productions)
+
+
+@lru_cache(maxsize=1)
+def anbn_cfg() -> CFG:
+    """The canonical context-free language a^n b^n (n >= 1)."""
+    return CFG("S", [("S", ("a", "b")), ("S", ("a", "S", "b"))])
+
+
+@lru_cache(maxsize=1)
+def balanced_brackets_cfg() -> CFG:
+    """Balanced bracket strings (Dyck language, possibly empty)."""
+    return CFG(
+        "S",
+        [
+            ("S", ()),
+            ("S", ("S", "S")),
+            ("S", ("(", "S", ")")),
+        ],
+    )
+
+
+@lru_cache(maxsize=1)
+def typed_brackets_cfg() -> CFG:
+    """Two-flavour balanced brackets D2, non-empty (matches the CDG
+    :func:`repro.grammar.builtin.dyck.dyck_grammar`)."""
+    return CFG(
+        "S",
+        [
+            ("S", ("U",)),
+            ("S", ("S", "U")),
+            ("U", ("(", ")")),
+            ("U", ("[", "]")),
+            ("U", ("(", "S", ")")),
+            ("U", ("[", "S", "]")),
+        ],
+    )
+
+
+@lru_cache(maxsize=1)
+def palindrome_cfg() -> CFG:
+    """Even-length palindromes over {a, b} — CFL that ww is often confused
+    with (w w^R is context-free; w w is not)."""
+    return CFG(
+        "S",
+        [
+            ("S", ()),
+            ("S", ("a", "S", "a")),
+            ("S", ("b", "S", "b")),
+        ],
+    )

@@ -1,0 +1,104 @@
+"""Chomsky-normal-form conversion (START, TERM, BIN, DEL, UNIT).
+
+CYK — sequential and cellular — requires CNF; Earley does not, which is
+one of the cross-checks in the test suite: a grammar and its CNF must
+accept exactly the same strings (modulo the empty string, which CYK
+handles via the start-epsilon special case).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.cfg.grammar import CFG, Production
+
+
+def to_cnf(grammar: CFG) -> CFG:
+    """Return an equivalent grammar in Chomsky normal form."""
+    counter = itertools.count()
+
+    def fresh(tag: str) -> str:
+        return f"_{tag}{next(counter)}"
+
+    start = grammar.start
+    productions: list[tuple[str, tuple[str, ...]]] = [
+        (p.lhs, p.rhs) for p in grammar.productions
+    ]
+
+    # START: a new start symbol never on any RHS.
+    new_start = fresh("S")
+    productions.insert(0, (new_start, (start,)))
+    start = new_start
+
+    # TERM: terminals only in unit productions.
+    nonterminals = {lhs for lhs, _ in productions}
+    term_map: dict[str, str] = {}
+    rewritten: list[tuple[str, tuple[str, ...]]] = []
+    for lhs, rhs in productions:
+        if len(rhs) >= 2:
+            new_rhs = []
+            for symbol in rhs:
+                if symbol not in nonterminals:
+                    if symbol not in term_map:
+                        term_map[symbol] = fresh("T")
+                    new_rhs.append(term_map[symbol])
+                else:
+                    new_rhs.append(symbol)
+            rewritten.append((lhs, tuple(new_rhs)))
+        else:
+            rewritten.append((lhs, rhs))
+    for terminal, nt in term_map.items():
+        rewritten.append((nt, (terminal,)))
+    productions = rewritten
+
+    # BIN: break long right-hand sides into binary chains.
+    binned: list[tuple[str, tuple[str, ...]]] = []
+    for lhs, rhs in productions:
+        while len(rhs) > 2:
+            helper = fresh("B")
+            binned.append((lhs, (rhs[0], helper)))
+            lhs, rhs = helper, rhs[1:]
+        binned.append((lhs, rhs))
+    productions = binned
+
+    # DEL: remove epsilon productions (except from the start symbol).
+    interim = CFG(start, productions)
+    nullable = interim.nullable()
+    deleted: set[tuple[str, tuple[str, ...]]] = set()
+    for lhs, rhs in productions:
+        # Every subset of nullable symbols may be omitted.
+        options = [
+            [symbol] if symbol not in nullable else [symbol, None] for symbol in rhs
+        ]
+        for choice in itertools.product(*options):
+            new_rhs = tuple(symbol for symbol in choice if symbol is not None)
+            if new_rhs or lhs == start:
+                deleted.add((lhs, new_rhs))
+    productions = [(lhs, rhs) for lhs, rhs in deleted if rhs or lhs == start]
+
+    # UNIT: eliminate A -> B chains.
+    nonterminals = {lhs for lhs, _ in productions}
+    unit_pairs: set[tuple[str, str]] = {(nt, nt) for nt in nonterminals}
+    changed = True
+    while changed:
+        changed = False
+        for lhs, rhs in productions:
+            if len(rhs) == 1 and rhs[0] in nonterminals:
+                for a, b in list(unit_pairs):
+                    if b == lhs and (a, rhs[0]) not in unit_pairs:
+                        unit_pairs.add((a, rhs[0]))
+                        changed = True
+    final: set[tuple[str, tuple[str, ...]]] = set()
+    for a, b in unit_pairs:
+        for lhs, rhs in productions:
+            if lhs != b:
+                continue
+            if len(rhs) == 1 and rhs[0] in nonterminals:
+                continue  # unit productions are replaced by their closures
+            if not rhs and a != start:
+                continue
+            final.add((a, rhs))
+
+    result = CFG(start, sorted(final))
+    assert result.is_cnf(), "CNF conversion produced a non-CNF grammar"
+    return result

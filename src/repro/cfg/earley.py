@@ -1,0 +1,80 @@
+"""Earley recognition — the general-CFG sequential baseline.
+
+Standard Earley with predictor/scanner/completer and the usual fix for
+nullable nonterminals (the completer re-runs items already in the set;
+prediction of a nullable nonterminal immediately advances the dot).
+Works on any CFG, CNF or not, which makes it the oracle the CNF
+conversion and CYK are property-tested against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cfg.grammar import CFG, Production
+
+
+@dataclass(frozen=True)
+class Item:
+    production: Production
+    dot: int
+    origin: int
+
+    @property
+    def complete(self) -> bool:
+        return self.dot >= len(self.production.rhs)
+
+    @property
+    def next_symbol(self) -> str | None:
+        if self.complete:
+            return None
+        return self.production.rhs[self.dot]
+
+    def advanced(self) -> "Item":
+        return Item(self.production, self.dot + 1, self.origin)
+
+
+def earley_accepts(grammar: CFG, words: list[str] | tuple[str, ...]) -> bool:
+    """True iff *grammar* derives *words*."""
+    words = list(words)
+    n = len(words)
+    by_lhs = grammar.by_lhs()
+    nullable = grammar.nullable()
+
+    chart: list[list[Item]] = [[] for _ in range(n + 1)]
+    chart_sets: list[set[Item]] = [set() for _ in range(n + 1)]
+
+    def add(position: int, item: Item) -> None:
+        if item not in chart_sets[position]:
+            chart_sets[position].add(item)
+            chart[position].append(item)
+
+    for production in by_lhs.get(grammar.start, []):
+        add(0, Item(production, 0, 0))
+
+    for position in range(n + 1):
+        index = 0
+        while index < len(chart[position]):
+            item = chart[position][index]
+            index += 1
+            symbol = item.next_symbol
+            if symbol is None:
+                # Completer.
+                for waiting in list(chart[item.origin]):
+                    if waiting.next_symbol == item.production.lhs:
+                        add(position, waiting.advanced())
+            elif symbol in grammar.nonterminals:
+                # Predictor (+ Aycock-Horspool nullable shortcut).
+                for production in by_lhs.get(symbol, []):
+                    add(position, Item(production, 0, position))
+                if symbol in nullable:
+                    add(position, item.advanced())
+            else:
+                # Scanner.
+                if position < n and words[position] == symbol:
+                    add(position + 1, item.advanced())
+
+    return any(
+        item.complete and item.production.lhs == grammar.start and item.origin == 0
+        for item in chart[n]
+    )

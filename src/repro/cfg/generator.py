@@ -1,0 +1,50 @@
+"""Random derivation sampling from a CFG (workload generation)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import GrammarError
+from repro.cfg.grammar import CFG
+
+
+def random_derivation(
+    grammar: CFG, rng: random.Random, max_symbols: int = 40, max_attempts: int = 200
+) -> list[str]:
+    """Sample one terminal string by expanding the leftmost nonterminal.
+
+    Expansion prefers shorter productions once the sentential form grows
+    past *max_symbols*, which bounds the expected derivation size for
+    recursive grammars.
+
+    Raises:
+        GrammarError: if no derivation fits within the budget after
+            *max_attempts* restarts.
+    """
+    by_lhs = grammar.by_lhs()
+    for _ in range(max_attempts):
+        form: list[str] = [grammar.start]
+        budget = max_symbols * 8
+        while budget > 0:
+            budget -= 1
+            index = next(
+                (i for i, s in enumerate(form) if s in grammar.nonterminals), None
+            )
+            if index is None:
+                return form
+            options = by_lhs[form[index]]
+            if len(form) > max_symbols:
+                shortest = min(len(p.rhs) for p in options)
+                options = [p for p in options if len(p.rhs) == shortest]
+            production = rng.choice(options)
+            form[index : index + 1] = list(production.rhs)
+        # Budget exhausted: restart.
+    raise GrammarError(
+        f"could not sample a derivation within {max_symbols} symbols "
+        f"after {max_attempts} attempts"
+    )
+
+
+def random_corpus(grammar: CFG, seed: int = 0, size: int = 20, **kwargs) -> list[list[str]]:
+    rng = random.Random(seed)
+    return [random_derivation(grammar, rng, **kwargs) for _ in range(size)]

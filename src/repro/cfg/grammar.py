@@ -1,0 +1,91 @@
+"""Context-free grammars — the baseline formalism of paper Figure 8.
+
+A small but complete CFG toolkit: grammar construction/validation,
+nullable computation, and the derived properties the parsers need.
+Symbols are plain strings; by convention terminals are the strings that
+never appear on a left-hand side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.errors import GrammarError
+
+
+@dataclass(frozen=True)
+class Production:
+    """One rule ``lhs -> rhs`` (rhs may be empty = epsilon)."""
+
+    lhs: str
+    rhs: tuple[str, ...]
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.lhs} -> {' '.join(self.rhs) or 'ε'}"
+
+
+class CFG:
+    """An immutable context-free grammar.
+
+    Args:
+        start: the start symbol.
+        productions: iterable of (lhs, rhs-sequence) pairs.
+    """
+
+    def __init__(self, start: str, productions: Iterable[tuple[str, Sequence[str]]]):
+        self.start = start
+        self.productions: tuple[Production, ...] = tuple(
+            Production(lhs, tuple(rhs)) for lhs, rhs in productions
+        )
+        if not self.productions:
+            raise GrammarError("a CFG needs at least one production")
+        self.nonterminals: frozenset[str] = frozenset(p.lhs for p in self.productions)
+        if start not in self.nonterminals:
+            raise GrammarError(f"start symbol {start!r} has no productions")
+        symbols = {s for p in self.productions for s in p.rhs}
+        self.terminals: frozenset[str] = frozenset(symbols - self.nonterminals)
+
+    @property
+    def size(self) -> int:
+        """|G| = total length of all right-hand sides (the k of Figure 8)."""
+        return sum(max(1, len(p.rhs)) for p in self.productions)
+
+    def by_lhs(self) -> dict[str, list[Production]]:
+        table: dict[str, list[Production]] = {}
+        for p in self.productions:
+            table.setdefault(p.lhs, []).append(p)
+        return table
+
+    def nullable(self) -> frozenset[str]:
+        """Nonterminals that derive the empty string."""
+        nullable: set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for p in self.productions:
+                if p.lhs not in nullable and all(s in nullable for s in p.rhs):
+                    nullable.add(p.lhs)
+                    changed = True
+        return frozenset(nullable)
+
+    def is_cnf(self) -> bool:
+        """Chomsky normal form: A -> B C or A -> a (start may derive ε)."""
+        for p in self.productions:
+            if len(p.rhs) == 1 and p.rhs[0] in self.terminals:
+                continue
+            if (
+                len(p.rhs) == 2
+                and all(s in self.nonterminals for s in p.rhs)
+            ):
+                continue
+            if len(p.rhs) == 0 and p.lhs == self.start:
+                continue
+            return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CFG(start={self.start!r}, |N|={len(self.nonterminals)}, "
+            f"|Σ|={len(self.terminals)}, |P|={len(self.productions)}, size={self.size})"
+        )

@@ -1,0 +1,297 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+``parse``
+    Parse a sentence with a built-in (or file-loaded) grammar on any
+    engine; print the settled network, parses, and engine statistics.
+``grammars``
+    List the built-in grammars.
+``timing``
+    Print the simulated-MasPar parse-time step function (RES-T2).
+``figures``
+    Re-derive the paper's worked example (Figures 1-7) on the terminal.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro import (
+    MasParEngine,
+    PRAMEngine,
+    SerialEngine,
+    VectorEngine,
+    extract_parses,
+)
+from repro.analysis import format_seconds, format_table
+from repro.errors import ReproError
+from repro.grammar import CDGGrammar, load_grammar_file
+from repro.grammar.builtin import (
+    abcd_grammar,
+    anbn_grammar,
+    copy_language_grammar,
+    dyck_grammar,
+    english_extended_grammar,
+    english_grammar,
+    free_order_grammar,
+    program_grammar,
+)
+
+BUILTIN_GRAMMARS: dict[str, Callable[[], CDGGrammar]] = {
+    "program": program_grammar,
+    "english": english_grammar,
+    "english-extended": english_extended_grammar,
+    "anbn": anbn_grammar,
+    "copy": copy_language_grammar,
+    "dyck": dyck_grammar,
+    "abcd": abcd_grammar,
+    "free-order": free_order_grammar,
+}
+
+ENGINES = {
+    "serial": SerialEngine,
+    "serial-exhaustive": lambda: SerialEngine(exhaustive=True),
+    "vector": VectorEngine,
+    "pram": PRAMEngine,
+    "maspar": MasParEngine,
+}
+
+
+def _resolve_grammar(name: str) -> CDGGrammar:
+    if name in BUILTIN_GRAMMARS:
+        return BUILTIN_GRAMMARS[name]()
+    if name.endswith(".cdg"):
+        return load_grammar_file(name)
+    raise ReproError(
+        f"unknown grammar {name!r}; use one of {sorted(BUILTIN_GRAMMARS)} or a .cdg file"
+    )
+
+
+def _cmd_parse(args: argparse.Namespace, out) -> int:
+    grammar = _resolve_grammar(args.grammar)
+    engine = ENGINES[args.engine]()
+    words = list(args.words)
+    if len(words) == 1 and " " in words[0]:
+        words = words[0].split()
+    result = engine.parse(grammar, words, filter_limit=args.filter_limit)
+
+    if args.network:
+        print(result.network.describe(), file=out)
+        print(file=out)
+    print(f"locally consistent: {result.locally_consistent}", file=out)
+    print(f"ambiguous: {result.ambiguous}", file=out)
+
+    parses = extract_parses(result.network, limit=args.max_parses)
+    print(f"parses ({len(parses)}{'+' if len(parses) == args.max_parses else ''}):", file=out)
+    for index, parse in enumerate(parses, 1):
+        print(f"--- parse {index} ---", file=out)
+        if args.conll:
+            from repro.search import to_conll
+
+            print(to_conll(parse, grammar.symbols), file=out)
+        else:
+            print(parse.describe(grammar.symbols), file=out)
+
+    if args.profile:
+        from repro.analysis import profile_parse
+
+        profile = profile_parse(grammar, words, engine=ENGINES[args.engine]())
+        print(file=out)
+        print(
+            format_table(
+                ["constraint", "kind", "direct", "via consistency", "total"],
+                profile.as_rows(),
+                title=f"Eliminations per constraint "
+                f"({profile.initial_role_values} role values -> {profile.surviving_role_values})",
+            ),
+            file=out,
+        )
+        idle = profile.idle_constraints()
+        if idle:
+            print(f"idle constraints on this sentence: {', '.join(idle)}", file=out)
+
+    if args.stats:
+        stats = result.stats
+        rows = [
+            ["engine", stats.engine],
+            ["wall time", format_seconds(stats.wall_seconds)],
+            ["unary checks", stats.unary_checks],
+            ["pair checks", stats.pair_checks],
+            ["role values killed", stats.role_values_killed],
+            ["consistency passes", stats.consistency_passes],
+            ["filtering iterations", stats.filtering_iterations],
+        ]
+        if stats.processors:
+            rows.append(["processors", stats.processors])
+        if stats.parallel_steps:
+            rows.append(["parallel steps", stats.parallel_steps])
+        if stats.simulated_seconds is not None:
+            rows.append(["simulated MP-1 time", format_seconds(stats.simulated_seconds)])
+        print(file=out)
+        print(format_table(["stat", "value"], rows), file=out)
+    return 0 if (parses or not args.strict) else 1
+
+
+def _cmd_grammars(args: argparse.Namespace, out) -> int:
+    rows = []
+    for name, factory in sorted(BUILTIN_GRAMMARS.items()):
+        grammar = factory()
+        rows.append(
+            [
+                name,
+                grammar.n_labels,
+                grammar.n_roles,
+                len(grammar.unary_constraints),
+                len(grammar.binary_constraints),
+                len(grammar.lexicon),
+            ]
+        )
+    print(
+        format_table(
+            ["grammar", "labels", "roles", "unary", "binary", "lexicon"],
+            rows,
+            title="Built-in CDG grammars",
+        ),
+        file=out,
+    )
+    return 0
+
+
+def _cmd_timing(args: argparse.Namespace, out) -> int:
+    from repro.parsec import step_function_seconds, virtualization_units
+    from repro.workloads import toy_sentence
+
+    engine = MasParEngine()
+    grammar = program_grammar()
+    rows = []
+    for n in range(2, args.max_n + 1):
+        result = engine.parse(grammar, toy_sentence(n))
+        rows.append(
+            [
+                n,
+                result.stats.processors,
+                virtualization_units(n),
+                format_seconds(result.stats.simulated_seconds),
+                format_seconds(step_function_seconds(n)),
+            ]
+        )
+    print(
+        format_table(
+            ["n", "virtual PEs", "units", "simulated", "paper model"],
+            rows,
+            title="Simulated MasPar parse time (paper section 3)",
+        ),
+        file=out,
+    )
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace, out) -> int:
+    states: list[tuple[str, str]] = []
+    engine = SerialEngine()
+    grammar = program_grammar()
+    result = engine.parse(
+        grammar,
+        "The program runs",
+        trace=lambda event, net: states.append((event, net.describe())),
+    )
+    labels = {
+        "built": "Figure 1: the initial constraint network",
+        "unary:verbs-are-ungoverned-roots": "Figure 2: after the first unary constraint",
+        "unary-done": "Figure 3: after unary propagation",
+        "consistency:subj-governed-by-root-to-right": "Figure 5: after the first binary constraint + consistency",
+        "filtering-done": "Figure 6: the final network",
+    }
+    for event, text in states:
+        if event in labels:
+            print(f"== {labels[event]} ==", file=out)
+            print(text, file=out)
+            print(file=out)
+    print("== Figure 7: the precedence graph ==", file=out)
+    for parse in extract_parses(result.network):
+        print(parse.describe(grammar.symbols), file=out)
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace, out) -> int:
+    from repro.debugging import TraceRecorder
+
+    grammar = _resolve_grammar(args.grammar)
+    words = list(args.words)
+    if len(words) == 1 and " " in words[0]:
+        words = words[0].split()
+    recorder = TraceRecorder()
+    result = ENGINES[args.engine]().parse(grammar, words, trace=recorder)
+    print(recorder.explain(skip_quiet=not args.all_phases), file=out)
+    print(file=out)
+    print(f"locally consistent: {result.locally_consistent}", file=out)
+    print(f"ambiguous: {result.ambiguous}", file=out)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PARSEC: parallel CDG parsing (Helzerman & Harper, ICPP 1992)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_parse = sub.add_parser("parse", help="parse a sentence")
+    p_parse.add_argument("words", nargs="+", help="the sentence (words or one quoted string)")
+    p_parse.add_argument("--grammar", "-g", default="english")
+    p_parse.add_argument("--engine", "-e", default="vector", choices=sorted(ENGINES))
+    p_parse.add_argument("--max-parses", type=int, default=5)
+    p_parse.add_argument("--filter-limit", type=int, default=None)
+    p_parse.add_argument("--network", action="store_true", help="print the settled CN")
+    p_parse.add_argument("--stats", action="store_true", help="print engine statistics")
+    p_parse.add_argument(
+        "--profile", action="store_true", help="print per-constraint elimination counts"
+    )
+    p_parse.add_argument(
+        "--conll", action="store_true", help="print parses in CoNLL-style columns"
+    )
+    p_parse.add_argument(
+        "--strict", action="store_true", help="exit 1 when the sentence has no parse"
+    )
+    p_parse.set_defaults(func=_cmd_parse)
+
+    p_grammars = sub.add_parser("grammars", help="list built-in grammars")
+    p_grammars.set_defaults(func=_cmd_grammars)
+
+    p_timing = sub.add_parser("timing", help="simulated MasPar timing sweep")
+    p_timing.add_argument("--max-n", type=int, default=12)
+    p_timing.set_defaults(func=_cmd_timing)
+
+    p_figures = sub.add_parser("figures", help="replay the paper's worked example")
+    p_figures.set_defaults(func=_cmd_figures)
+
+    p_explain = sub.add_parser(
+        "explain", help="trace a parse and show what each constraint eliminated"
+    )
+    p_explain.add_argument("words", nargs="+")
+    p_explain.add_argument("--grammar", "-g", default="english")
+    p_explain.add_argument("--engine", "-e", default="vector", choices=sorted(ENGINES))
+    p_explain.add_argument(
+        "--all-phases", action="store_true", help="include phases that eliminated nothing"
+    )
+    p_explain.set_defaults(func=_cmd_explain)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None, out=None) -> int:
+    out = out or sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args, out)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

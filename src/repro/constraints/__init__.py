@@ -1,0 +1,32 @@
+"""The CDG constraint language (paper section 1.3).
+
+Access functions: ``(lab x) (mod x) (role x) (pos x) (word p) (cat w)``.
+Predicates: ``(and ...) (or ...) (not p) (eq a b) (gt a b) (lt a b)``.
+Constraints: ``(if antecedent consequent)`` over one variable (``x``,
+unary) or two (``x`` and ``y``, binary).
+
+The package type-checks constraints once (:mod:`repro.constraints.typing`)
+and compiles them twice: to scalar Python closures for the sequential and
+per-PE simulators, and to numpy broadcast evaluators for the data-parallel
+engines.  The two backends are required to agree bit-for-bit; a
+hypothesis test in ``tests/test_constraint_backends.py`` enforces it.
+"""
+
+from repro.constraints.constraint import Constraint
+from repro.constraints.scalar import EvalEnv, compile_scalar
+from repro.constraints.symbols import NIL_MOD, Interner, SymbolTable
+from repro.constraints.typing import TypedConstraint, type_constraint
+from repro.constraints.vector import VectorEnv, compile_vector
+
+__all__ = [
+    "Constraint",
+    "EvalEnv",
+    "VectorEnv",
+    "SymbolTable",
+    "Interner",
+    "NIL_MOD",
+    "TypedConstraint",
+    "type_constraint",
+    "compile_scalar",
+    "compile_vector",
+]

@@ -1,0 +1,90 @@
+"""The :class:`Constraint` object: parsed, typed, and lazily compiled."""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+from repro.sexpr import parse_one
+from repro.sexpr.nodes import SNode
+from repro.constraints.scalar import EvalEnv, ScalarFn, compile_scalar
+from repro.constraints.symbols import SymbolTable
+from repro.constraints.typing import TypedConstraint, type_constraint
+from repro.constraints.vector import VectorEnv, VectorFn, compile_vector
+
+
+class Constraint:
+    """One unary or binary CDG constraint.
+
+    A constraint is written as ``(if antecedent consequent)``.  A role
+    value (unary) or a pair of role values (binary) *violates* it when the
+    antecedent holds but the consequent does not; the compiled forms
+    evaluate the *permitted* test, i.e. ``(not antecedent) or consequent``.
+
+    Binary constraints are orientation-sensitive: the parser tests each
+    pair both as ``(x=a, y=b)`` and as ``(x=b, y=a)``, matching the paper's
+    "applied to O(n^4) pairs of role values".
+    """
+
+    def __init__(self, typed: TypedConstraint):
+        self._typed = typed
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_sexpr(cls, node: SNode, symbols: SymbolTable, name: str = "") -> "Constraint":
+        return cls(type_constraint(node, symbols, name=name))
+
+    @classmethod
+    def parse(cls, source: str, symbols: SymbolTable, name: str = "") -> "Constraint":
+        """Parse one constraint from s-expression *source*."""
+        return cls.from_sexpr(parse_one(source), symbols, name=name)
+
+    # -- metadata ----------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self._typed.name
+
+    @property
+    def source(self) -> str:
+        return self._typed.source
+
+    @property
+    def arity(self) -> int:
+        return self._typed.arity
+
+    @property
+    def is_unary(self) -> bool:
+        return self._typed.arity == 1
+
+    @property
+    def is_binary(self) -> bool:
+        return self._typed.arity == 2
+
+    @property
+    def typed(self) -> TypedConstraint:
+        return self._typed
+
+    # -- compiled forms ----------------------------------------------------
+
+    @cached_property
+    def scalar(self) -> ScalarFn:
+        """Scalar closure: ``EvalEnv -> bool`` (True = survives)."""
+        return compile_scalar(self._typed)
+
+    @cached_property
+    def vector(self) -> VectorFn:
+        """Vectorized evaluator: ``VectorEnv -> bool ndarray``."""
+        return compile_vector(self._typed)
+
+    def permits(self, env: EvalEnv) -> bool:
+        """Scalar convenience wrapper."""
+        return self.scalar(env)
+
+    def permits_vector(self, env: VectorEnv):
+        """Vector convenience wrapper."""
+        return self.vector(env)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "unary" if self.is_unary else "binary"
+        return f"Constraint({self.name or self.source!r}, {kind})"

@@ -1,0 +1,140 @@
+"""Scalar backend: compile a typed constraint to a Python closure.
+
+This is the evaluator used by the faithful sequential parser and by the
+per-PE code of the simulated machines.  Every access function and
+predicate in the language is O(1), matching the paper's requirement that
+"constraints may contain any access function or predicate, provided that
+it can be evaluated in constant time".
+
+The compiled function receives an :class:`EvalEnv` carrying the role
+value(s) under test plus the sentence's category table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol, Sequence
+
+from repro.constraints.texpr import (
+    EqMode,
+    TAnd,
+    TCatSet,
+    TCmp,
+    TConst,
+    TEq,
+    TExpr,
+    TField,
+    TNot,
+    TOr,
+)
+from repro.constraints.typing import TypedConstraint
+
+
+class RoleValueLike(Protocol):
+    """The five fields a role value exposes to constraints (all ints)."""
+
+    pos: int
+    role: int
+    cat: int
+    lab: int
+    mod: int
+
+
+@dataclass
+class EvalEnv:
+    """Bindings for one constraint evaluation.
+
+    Attributes:
+        x: role value bound to variable ``x``.
+        y: role value bound to ``y`` (``None`` for unary constraints).
+        canbe: per-position category sets; ``canbe[0]`` must be the empty
+            set (nil modifiee has no categories), ``canbe[p]`` the set of
+            category codes word *p* may have.
+    """
+
+    x: RoleValueLike
+    y: RoleValueLike | None
+    canbe: Sequence[frozenset[int]]
+
+
+ScalarFn = Callable[[EvalEnv], bool]
+_ValueFn = Callable[[EvalEnv], int]
+
+
+def compile_scalar(constraint: TypedConstraint) -> ScalarFn:
+    """Compile *constraint* to a closure: env -> "the role value(s) survive"."""
+    return _compile_bool(constraint.expr)
+
+
+def _compile_bool(expr: TExpr) -> ScalarFn:
+    if isinstance(expr, TAnd):
+        parts = [_compile_bool(part) for part in expr.parts]
+        return lambda env: all(part(env) for part in parts)
+    if isinstance(expr, TOr):
+        parts = [_compile_bool(part) for part in expr.parts]
+        return lambda env: any(part(env) for part in parts)
+    if isinstance(expr, TNot):
+        inner = _compile_bool(expr.part)
+        return lambda env: not inner(env)
+    if isinstance(expr, TEq):
+        return _compile_eq(expr)
+    if isinstance(expr, TCmp):
+        return _compile_cmp(expr)
+    raise TypeError(f"not a boolean expression: {expr!r}")
+
+
+def _compile_value(expr: TExpr) -> _ValueFn:
+    if isinstance(expr, TConst):
+        value = expr.value
+        return lambda env: value
+    if isinstance(expr, TField):
+        field = expr.field
+        if expr.var == "x":
+            return lambda env: getattr(env.x, field)
+        return lambda env: getattr(env.y, field)
+    raise TypeError(f"not a value expression: {expr!r}")
+
+
+def _compile_eq(expr: TEq) -> ScalarFn:
+    if expr.mode == EqMode.CONST_FALSE:
+        return lambda env: False
+    if expr.mode in (EqMode.CODE, EqMode.NUMERIC):
+        left = _compile_value(expr.left)
+        right = _compile_value(expr.right)
+        return lambda env: left(env) == right(env)
+    if expr.mode == EqMode.CATSET_CODE:
+        assert isinstance(expr.left, TCatSet)
+        position = _compile_value(expr.left.position)
+        code = _compile_value(expr.right)
+        return lambda env: code(env) in env.canbe[position(env)]
+    if expr.mode == EqMode.CATSET_CATSET:
+        assert isinstance(expr.left, TCatSet) and isinstance(expr.right, TCatSet)
+        lpos = _compile_value(expr.left.position)
+        rpos = _compile_value(expr.right.position)
+        return lambda env: bool(env.canbe[lpos(env)] & env.canbe[rpos(env)])
+    raise AssertionError(f"unhandled eq mode {expr.mode}")  # pragma: no cover
+
+
+def _compile_cmp(expr: TCmp) -> ScalarFn:
+    left = _compile_value(expr.left)
+    right = _compile_value(expr.right)
+    guard_left = expr.guard_left
+    guard_right = expr.guard_right
+    if expr.op == "gt":
+        def run_gt(env: EvalEnv) -> bool:
+            lv = left(env)
+            rv = right(env)
+            if (guard_left and lv == 0) or (guard_right and rv == 0):
+                return False
+            return lv > rv
+
+        return run_gt
+
+    def run_lt(env: EvalEnv) -> bool:
+        lv = left(env)
+        rv = right(env)
+        if (guard_left and lv == 0) or (guard_right and rv == 0):
+            return False
+        return lv < rv
+
+    return run_lt

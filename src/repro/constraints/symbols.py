@@ -1,0 +1,75 @@
+"""Symbol namespaces shared by grammars and the constraint compilers.
+
+A CDG grammar owns three independent namespaces — labels (``SUBJ``),
+categories (``noun``) and roles (``governor``).  Each is an
+:class:`Interner` mapping symbol text to a dense integer code; dense codes
+let the vector backend store role-value fields as small integer arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConstraintError
+
+#: Modifiee code reserved for ``nil`` ("modifies no word").
+NIL_MOD = 0
+
+
+class Interner:
+    """Bidirectional symbol <-> dense-code table."""
+
+    def __init__(self, namespace: str, symbols: tuple[str, ...] = ()):
+        self.namespace = namespace
+        self._codes: dict[str, int] = {}
+        self._names: list[str] = []
+        for symbol in symbols:
+            self.intern(symbol)
+
+    def intern(self, symbol: str) -> int:
+        """Return the code for *symbol*, creating one if needed."""
+        code = self._codes.get(symbol)
+        if code is None:
+            code = len(self._names)
+            self._codes[symbol] = code
+            self._names.append(symbol)
+        return code
+
+    def code(self, symbol: str) -> int:
+        """Return the code for *symbol*; raises if unknown."""
+        try:
+            return self._codes[symbol]
+        except KeyError:
+            raise ConstraintError(
+                f"unknown {self.namespace} symbol {symbol!r}; known: {sorted(self._codes)}"
+            ) from None
+
+    def name(self, code: int) -> str:
+        return self._names[code]
+
+    def __contains__(self, symbol: str) -> bool:
+        return symbol in self._codes
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._names)
+
+
+@dataclass
+class SymbolTable:
+    """The three namespaces a constraint expression may reference."""
+
+    labels: Interner = field(default_factory=lambda: Interner("label"))
+    categories: Interner = field(default_factory=lambda: Interner("category"))
+    roles: Interner = field(default_factory=lambda: Interner("role"))
+
+    def resolve(self, namespace: str, symbol: str) -> int:
+        """Resolve *symbol* in the named namespace ("label"/"category"/"role")."""
+        interner = {
+            "label": self.labels,
+            "category": self.categories,
+            "role": self.roles,
+        }[namespace]
+        return interner.code(symbol)

@@ -1,0 +1,194 @@
+"""Typed intermediate representation for constraint expressions.
+
+The s-expression AST (:mod:`repro.sexpr`) is untyped text; the two
+compilation backends (scalar Python closures and vectorized numpy
+evaluators) both consume the *typed* tree defined here, so symbol
+resolution, arity checking and comparison-mode selection happen exactly
+once, in :mod:`repro.constraints.typing`.
+
+Value kinds
+-----------
+
+``POSN``
+    a word position, 1..n — always a real word, never nil.
+``MODV``
+    a modifiee value: 0 encodes ``nil``, otherwise a position 1..n.
+``LABEL`` / ``CAT`` / ``ROLE``
+    interned symbol codes from the grammar's namespaces.
+``INT``
+    an integer literal from the constraint text.
+``NIL``
+    the reserved constant ``nil``.
+``CATSET``
+    the *set* of categories a word at a computed position may have —
+    produced by ``(cat (word (mod x)))`` where the modifiee word may be
+    lexically ambiguous.  ``eq`` against a ``CATSET`` uses membership
+    ("can-be") semantics; this is documented in DESIGN.md as the one
+    extension needed to support lexically ambiguous input.
+``BOOL``
+    a truth value.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+
+class Kind(enum.Enum):
+    POSN = "posn"
+    MODV = "modv"
+    LABEL = "label"
+    CAT = "cat"
+    ROLE = "role"
+    INT = "int"
+    NIL = "nil"
+    CATSET = "catset"
+    BOOL = "bool"
+
+
+#: Kinds whose runtime representation is a plain integer that supports
+#: ordinal comparison.  ``MODV`` participates but a value of 0 (nil) makes
+#: any ``gt``/``lt`` comparison false, per the paper's "x, y in Integers"
+#: side condition.
+NUMERIC_KINDS = frozenset({Kind.POSN, Kind.MODV, Kind.INT})
+
+#: Kinds represented as interned symbol codes.
+CODE_KINDS = frozenset({Kind.LABEL, Kind.CAT, Kind.ROLE})
+
+
+TExpr = Union[
+    "TConst",
+    "TField",
+    "TCatSet",
+    "TEq",
+    "TCmp",
+    "TAnd",
+    "TOr",
+    "TNot",
+]
+
+
+@dataclass(frozen=True)
+class TConst:
+    """A compile-time constant (resolved symbol code, integer, or nil)."""
+
+    kind: Kind
+    value: int
+
+
+@dataclass(frozen=True)
+class TField:
+    """A field of a role-value variable: ``(lab x)``, ``(mod y)``, ...
+
+    Attributes:
+        kind: the field's value kind.
+        var: ``"x"`` or ``"y"``.
+        field: one of ``"pos" | "lab" | "mod" | "role" | "cat"``.
+    """
+
+    kind: Kind
+    var: str
+    field: str
+
+
+@dataclass(frozen=True)
+class TCatSet:
+    """Category set of the word at a computed position.
+
+    ``position`` is a ``POSN``/``MODV``/``INT`` expression.  When it
+    evaluates to 0 (a nil modifiee) the set is empty, so every membership
+    test is false.
+    """
+
+    position: TExpr
+
+    @property
+    def kind(self) -> Kind:
+        return Kind.CATSET
+
+
+class EqMode(enum.Enum):
+    """How a ``TEq`` comparison is carried out at runtime."""
+
+    CODE = "code"  # interned-code equality (label/cat/role)
+    NUMERIC = "numeric"  # integer equality (pos/mod/int, nil == 0)
+    CATSET_CODE = "catset_code"  # cat-code member of category set
+    CATSET_CATSET = "catset_catset"  # two category sets intersect
+    CONST_FALSE = "const_false"  # statically false (e.g. (eq (pos x) nil))
+
+
+@dataclass(frozen=True)
+class TEq:
+    mode: EqMode
+    left: TExpr
+    right: TExpr
+
+    @property
+    def kind(self) -> Kind:
+        return Kind.BOOL
+
+
+@dataclass(frozen=True)
+class TCmp:
+    """Ordinal comparison ``gt`` / ``lt``.
+
+    ``guard_left`` / ``guard_right`` mark operands of kind ``MODV`` whose
+    runtime value must be non-nil (> 0) for the comparison to be true.
+    """
+
+    op: str  # "gt" | "lt"
+    left: TExpr
+    right: TExpr
+    guard_left: bool
+    guard_right: bool
+
+    @property
+    def kind(self) -> Kind:
+        return Kind.BOOL
+
+
+@dataclass(frozen=True)
+class TAnd:
+    parts: tuple[TExpr, ...]
+
+    @property
+    def kind(self) -> Kind:
+        return Kind.BOOL
+
+
+@dataclass(frozen=True)
+class TOr:
+    parts: tuple[TExpr, ...]
+
+    @property
+    def kind(self) -> Kind:
+        return Kind.BOOL
+
+
+@dataclass(frozen=True)
+class TNot:
+    part: TExpr
+
+    @property
+    def kind(self) -> Kind:
+        return Kind.BOOL
+
+
+def variables_used(expr: TExpr) -> frozenset[str]:
+    """Return the set of role-value variables referenced by *expr*."""
+    if isinstance(expr, TField):
+        return frozenset({expr.var})
+    if isinstance(expr, TCatSet):
+        return variables_used(expr.position)
+    if isinstance(expr, (TEq, TCmp)):
+        return variables_used(expr.left) | variables_used(expr.right)
+    if isinstance(expr, (TAnd, TOr)):
+        out: frozenset[str] = frozenset()
+        for part in expr.parts:
+            out |= variables_used(part)
+        return out
+    if isinstance(expr, TNot):
+        return variables_used(expr.part)
+    return frozenset()

@@ -1,0 +1,286 @@
+"""Type checking and symbol resolution: s-expression AST -> typed IR.
+
+This is the single place where the constraint language's semantics are
+decided; both backends (scalar and vector) are mechanical walks of the
+typed tree produced here.
+
+The language, verbatim from the paper (section 1.3):
+
+Access functions::
+
+    (lab x)   label for role value x
+    (mod x)   modifiee for role value x
+    (role x)  role for role value x
+    (pos x)   word position for role value x
+    (word p)  word at sentence position p
+    (cat w)   part of speech for word w
+
+Predicates::
+
+    (and p q) (or p q) (not p) (eq x y) (gt x y) (lt x y)
+
+with ``gt``/``lt`` true only when both operands are integers (so a ``nil``
+modifiee makes them false).  ``and``/``or`` accept two *or more* arguments
+as a convenience; the paper only ever uses two.
+
+A constraint is ``(if antecedent consequent)``; a role value (or pair)
+*violates* the constraint iff the antecedent holds and the consequent does
+not, so the compiled test is ``(not antecedent) or consequent``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConstraintError
+from repro.sexpr.nodes import Atom, SList, SNode, sexpr_to_str
+from repro.constraints.symbols import SymbolTable
+from repro.constraints.texpr import (
+    CODE_KINDS,
+    EqMode,
+    Kind,
+    NUMERIC_KINDS,
+    TAnd,
+    TCatSet,
+    TCmp,
+    TConst,
+    TEq,
+    TExpr,
+    TField,
+    TNot,
+    TOr,
+    variables_used,
+)
+
+#: Role-value variables the language recognises (one for unary constraints,
+#: two for binary ones; the paper argues more would be too slow).
+VARIABLES = ("x", "y")
+
+_FIELD_KINDS = {
+    "lab": Kind.LABEL,
+    "mod": Kind.MODV,
+    "role": Kind.ROLE,
+    "pos": Kind.POSN,
+}
+
+_KIND_NAMESPACE = {
+    Kind.LABEL: "label",
+    Kind.CAT: "category",
+    Kind.ROLE: "role",
+    Kind.CATSET: "category",
+}
+
+
+@dataclass(frozen=True)
+class _Unresolved:
+    """A bare symbol whose namespace depends on what it is compared against."""
+
+    symbol: str
+    line: int
+    column: int
+
+
+@dataclass(frozen=True)
+class _WordRef:
+    """Result of ``(word e)`` — a word designated by a position expression.
+
+    Only ``(cat ...)`` may consume it.
+    """
+
+    position: TExpr
+
+
+class TypedConstraint:
+    """A fully resolved constraint, ready for compilation.
+
+    Attributes:
+        name: diagnostic name (auto-generated when the grammar omits one).
+        source: canonical s-expression text.
+        expr: the typed permitted-test (true = the role value(s) survive).
+        arity: 1 for unary constraints, 2 for binary.
+    """
+
+    def __init__(self, name: str, source: str, expr: TExpr, arity: int):
+        self.name = name
+        self.source = source
+        self.expr = expr
+        self.arity = arity
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TypedConstraint({self.name!r}, arity={self.arity})"
+
+
+def type_constraint(node: SNode, symbols: SymbolTable, name: str = "") -> TypedConstraint:
+    """Resolve and type-check one ``(if antecedent consequent)`` form."""
+    if not isinstance(node, SList) or node.head_symbol != "if" or len(node) != 3:
+        raise ConstraintError(
+            f"a constraint must be (if antecedent consequent); got {sexpr_to_str(node)}"
+        )
+    checker = _Typer(symbols)
+    antecedent = checker.boolean(node[1])
+    consequent = checker.boolean(node[2])
+    permitted = TOr((TNot(antecedent), consequent))
+    used = variables_used(permitted)
+    bad = used - set(VARIABLES)
+    if bad:
+        raise ConstraintError(f"constraint uses unknown variables {sorted(bad)}; only x and y are allowed")
+    if "y" in used and "x" not in used:
+        raise ConstraintError("a binary constraint must use variable x as well as y")
+    arity = 2 if "y" in used else 1
+    if not used:
+        raise ConstraintError("constraint references no role-value variable")
+    return TypedConstraint(name=name, source=sexpr_to_str(node), expr=permitted, arity=arity)
+
+
+class _Typer:
+    def __init__(self, symbols: SymbolTable):
+        self.symbols = symbols
+
+    # -- boolean layer -------------------------------------------------
+
+    def boolean(self, node: SNode) -> TExpr:
+        if not isinstance(node, SList) or node.head_symbol is None:
+            raise ConstraintError(f"expected a predicate, got {sexpr_to_str(node)}")
+        head = node.head_symbol
+        args = node.args
+        if head in ("and", "or"):
+            if len(args) < 2:
+                raise ConstraintError(f"({head} ...) needs at least two arguments")
+            parts = tuple(self.boolean(arg) for arg in args)
+            return TAnd(parts) if head == "and" else TOr(parts)
+        if head == "not":
+            if len(args) != 1:
+                raise ConstraintError("(not ...) takes exactly one argument")
+            return TNot(self.boolean(args[0]))
+        if head == "eq":
+            if len(args) != 2:
+                raise ConstraintError("(eq ...) takes exactly two arguments")
+            return self._eq(self.value(args[0]), self.value(args[1]))
+        if head in ("gt", "lt"):
+            if len(args) != 2:
+                raise ConstraintError(f"({head} ...) takes exactly two arguments")
+            return self._cmp(head, self.value(args[0]), self.value(args[1]))
+        raise ConstraintError(f"unknown predicate {head!r} in {sexpr_to_str(node)}")
+
+    # -- value layer ---------------------------------------------------
+
+    def value(self, node: SNode):
+        if isinstance(node, Atom):
+            if node.is_int:
+                return TConst(Kind.INT, int(node.value))
+            symbol = node.symbol()
+            if symbol.lower() == "nil":
+                return TConst(Kind.NIL, 0)
+            # Bare symbols are grammar constants; their namespace is fixed
+            # when they meet the other operand of eq.
+            return _Unresolved(symbol, node.line, node.column)
+        if not isinstance(node, SList) or node.head_symbol is None:
+            raise ConstraintError(f"expected a value expression, got {sexpr_to_str(node)}")
+        head = node.head_symbol
+        args = node.args
+        if head in _FIELD_KINDS:
+            if len(args) != 1:
+                raise ConstraintError(f"({head} ...) takes exactly one argument")
+            var = self._variable(args[0], head)
+            return TField(_FIELD_KINDS[head], var, "pos" if head == "pos" else head)
+        if head == "word":
+            if len(args) != 1:
+                raise ConstraintError("(word ...) takes exactly one argument")
+            inner = self.value(args[0])
+            if isinstance(inner, (_Unresolved, _WordRef)):
+                raise ConstraintError("(word ...) needs a position expression")
+            if inner.kind not in NUMERIC_KINDS:
+                raise ConstraintError(f"(word ...) needs a position, got {inner.kind.value}")
+            return _WordRef(inner)
+        if head == "cat":
+            if len(args) != 1:
+                raise ConstraintError("(cat ...) takes exactly one argument")
+            inner = self.value(args[0])
+            if not isinstance(inner, _WordRef):
+                raise ConstraintError("(cat ...) must be applied to (word ...)")
+            position = inner.position
+            # (cat (word (pos x))) is the category *assumed by* role value x
+            # — with lexically ambiguous words this is a per-role-value
+            # field, not a lookup.
+            if isinstance(position, TField) and position.field == "pos":
+                return TField(Kind.CAT, position.var, "cat")
+            return TCatSet(position)
+        raise ConstraintError(f"unknown access function {head!r} in {sexpr_to_str(node)}")
+
+    def _variable(self, node: SNode, context: str) -> str:
+        if isinstance(node, Atom) and node.is_symbol and node.symbol() in VARIABLES:
+            return node.symbol()
+        raise ConstraintError(f"({context} ...) expects a role-value variable x or y, got {sexpr_to_str(node)}")
+
+    # -- comparisons ---------------------------------------------------
+
+    def _resolve_pair(self, left, right):
+        """Resolve unresolved bare symbols against the opposite operand."""
+        if isinstance(left, _Unresolved) and isinstance(right, _Unresolved):
+            raise ConstraintError(
+                f"cannot compare two bare symbols {left.symbol!r} and {right.symbol!r}"
+            )
+        if isinstance(left, _Unresolved):
+            right, left = self._resolve_pair(right, left)
+            return left, right
+        if isinstance(right, _Unresolved):
+            if left.kind not in _KIND_NAMESPACE:
+                raise ConstraintError(
+                    f"symbol {right.symbol!r} compared against a {left.kind.value} expression"
+                )
+            namespace = _KIND_NAMESPACE[left.kind]
+            code = self.symbols.resolve(namespace, right.symbol)
+            kind = Kind.CAT if left.kind == Kind.CATSET else left.kind
+            right = TConst(kind, code)
+        return left, right
+
+    def _eq(self, left, right) -> TExpr:
+        if isinstance(left, _WordRef) or isinstance(right, _WordRef):
+            raise ConstraintError("(word ...) can only be used inside (cat ...)")
+        left, right = self._resolve_pair(left, right)
+
+        lk, rk = left.kind, right.kind
+        if lk == Kind.CATSET or rk == Kind.CATSET:
+            if lk == Kind.CATSET and rk == Kind.CATSET:
+                return TEq(EqMode.CATSET_CATSET, left, right)
+            if lk == Kind.CATSET:
+                catset, other = left, right
+            else:
+                catset, other = right, left
+            if other.kind != Kind.CAT:
+                raise ConstraintError(
+                    f"category set compared against a {other.kind.value} expression"
+                )
+            return TEq(EqMode.CATSET_CODE, catset, other)
+        if lk in CODE_KINDS or rk in CODE_KINDS:
+            if lk != rk:
+                raise ConstraintError(f"cannot eq a {lk.value} with a {rk.value}")
+            return TEq(EqMode.CODE, left, right)
+        if lk == Kind.NIL and rk == Kind.NIL:
+            raise ConstraintError("(eq nil nil) is vacuous")
+        if Kind.NIL in (lk, rk):
+            other = right if lk == Kind.NIL else left
+            if other.kind == Kind.MODV:
+                return TEq(EqMode.NUMERIC, left, right)  # nil encodes as 0
+            # Positions and integers are never nil.
+            return TEq(EqMode.CONST_FALSE, left, right)
+        if lk in NUMERIC_KINDS and rk in NUMERIC_KINDS:
+            return TEq(EqMode.NUMERIC, left, right)
+        raise ConstraintError(f"cannot eq a {lk.value} with a {rk.value}")
+
+    def _cmp(self, op: str, left, right) -> TExpr:
+        if isinstance(left, (_Unresolved, _WordRef)) or isinstance(right, (_Unresolved, _WordRef)):
+            raise ConstraintError(f"({op} ...) compares positions; symbols are not ordered")
+        lk, rk = left.kind, right.kind
+        if lk == Kind.NIL or rk == Kind.NIL:
+            # "true if x > y and x, y in Integers" — nil is not an integer.
+            return TEq(EqMode.CONST_FALSE, TConst(Kind.INT, 0), TConst(Kind.INT, 0))
+        if lk not in NUMERIC_KINDS or rk not in NUMERIC_KINDS:
+            raise ConstraintError(f"({op} ...) needs integer operands, got {lk.value} and {rk.value}")
+        return TCmp(
+            op=op,
+            left=left,
+            right=right,
+            guard_left=lk == Kind.MODV,
+            guard_right=rk == Kind.MODV,
+        )

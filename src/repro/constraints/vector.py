@@ -1,0 +1,177 @@
+"""Vector backend: compile a typed constraint to a numpy evaluator.
+
+This backend is the numpy stand-in for the MasPar's SIMD lock-step
+execution: one compiled constraint evaluates over *all* role values (or
+all pairs of role values) at once, exactly the way the ACU broadcasts one
+instruction to every PE.
+
+Calling convention
+------------------
+
+The compiled function takes a :class:`VectorEnv` whose field arrays may be
+any mutually broadcastable shapes.  The two standard uses are:
+
+* unary: ``x`` fields of shape ``(NV,)`` -> result ``(NV,)``;
+* binary: ``x`` fields of shape ``(NV, 1)`` and ``y`` fields of shape
+  ``(1, NV)`` -> result ``(NV, NV)``, the full pair matrix in one shot.
+
+Per the hpc-parallel guides, the evaluators avoid Python-level loops and
+temporaries where practical (in-place logical ops on the accumulators).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.constraints.texpr import (
+    EqMode,
+    TAnd,
+    TCatSet,
+    TCmp,
+    TConst,
+    TEq,
+    TExpr,
+    TField,
+    TNot,
+    TOr,
+)
+from repro.constraints.typing import TypedConstraint
+
+#: Field arrays for one variable: keys "pos", "role", "cat", "lab", "mod".
+FieldArrays = Mapping[str, np.ndarray]
+
+
+@dataclass
+class VectorEnv:
+    """Bindings for one vectorized constraint evaluation.
+
+    Attributes:
+        x: field arrays for variable ``x``.
+        y: field arrays for ``y`` (unused by unary constraints).
+        canbe: bool array of shape ``(n + 1, n_categories)``;
+            ``canbe[0]`` is all-False (nil has no category).
+    """
+
+    x: FieldArrays
+    y: FieldArrays | None
+    canbe: np.ndarray
+
+
+VectorFn = Callable[[VectorEnv], np.ndarray]
+
+
+def compile_vector(constraint: TypedConstraint) -> VectorFn:
+    """Compile *constraint* to: env -> bool array of surviving tests."""
+    return _compile_bool(constraint.expr)
+
+
+def _broadcast_shape(env: VectorEnv) -> tuple[int, ...]:
+    shapes = [env.x["pos"].shape]
+    if env.y is not None:
+        shapes.append(env.y["pos"].shape)
+    return np.broadcast_shapes(*shapes)
+
+
+def _compile_bool(expr: TExpr) -> VectorFn:
+    if isinstance(expr, TAnd):
+        parts = [_compile_bool(part) for part in expr.parts]
+
+        def run_and(env: VectorEnv) -> np.ndarray:
+            out = np.broadcast_to(parts[0](env), _broadcast_shape(env)).copy()
+            for part in parts[1:]:
+                out &= part(env)
+            return out
+
+        return run_and
+    if isinstance(expr, TOr):
+        parts = [_compile_bool(part) for part in expr.parts]
+
+        def run_or(env: VectorEnv) -> np.ndarray:
+            out = np.broadcast_to(parts[0](env), _broadcast_shape(env)).copy()
+            for part in parts[1:]:
+                out |= part(env)
+            return out
+
+        return run_or
+    if isinstance(expr, TNot):
+        inner = _compile_bool(expr.part)
+        return lambda env: ~inner(env)
+    if isinstance(expr, TEq):
+        return _compile_eq(expr)
+    if isinstance(expr, TCmp):
+        return _compile_cmp(expr)
+    raise TypeError(f"not a boolean expression: {expr!r}")
+
+
+def _compile_value(expr: TExpr) -> Callable[[VectorEnv], np.ndarray | int]:
+    if isinstance(expr, TConst):
+        value = expr.value
+        return lambda env: value
+    if isinstance(expr, TField):
+        field = expr.field
+        if expr.var == "x":
+            return lambda env: env.x[field]
+        return lambda env: env.y[field]  # type: ignore[index]
+    raise TypeError(f"not a value expression: {expr!r}")
+
+
+def _compile_eq(expr: TEq) -> VectorFn:
+    if expr.mode == EqMode.CONST_FALSE:
+        return lambda env: np.zeros(_broadcast_shape(env), dtype=bool)
+    if expr.mode in (EqMode.CODE, EqMode.NUMERIC):
+        left = _compile_value(expr.left)
+        right = _compile_value(expr.right)
+
+        def run_eq(env: VectorEnv) -> np.ndarray:
+            return np.broadcast_to(np.asarray(left(env) == right(env)), _broadcast_shape(env))
+
+        return run_eq
+    if expr.mode == EqMode.CATSET_CODE:
+        assert isinstance(expr.left, TCatSet)
+        position = _compile_value(expr.left.position)
+        code = _compile_value(expr.right)
+
+        def run_member(env: VectorEnv) -> np.ndarray:
+            pos = np.asarray(position(env))
+            cat = code(env)
+            if isinstance(cat, (int, np.integer)):
+                return np.broadcast_to(env.canbe[pos, cat], _broadcast_shape(env))
+            pos_b, cat_b = np.broadcast_arrays(pos, cat)
+            return np.broadcast_to(env.canbe[pos_b, cat_b], _broadcast_shape(env))
+
+        return run_member
+    if expr.mode == EqMode.CATSET_CATSET:
+        assert isinstance(expr.left, TCatSet) and isinstance(expr.right, TCatSet)
+        lpos = _compile_value(expr.left.position)
+        rpos = _compile_value(expr.right.position)
+
+        def run_intersect(env: VectorEnv) -> np.ndarray:
+            lsets = env.canbe[np.asarray(lpos(env))]
+            rsets = env.canbe[np.asarray(rpos(env))]
+            return np.broadcast_to((lsets & rsets).any(axis=-1), _broadcast_shape(env))
+
+        return run_intersect
+    raise AssertionError(f"unhandled eq mode {expr.mode}")  # pragma: no cover
+
+
+def _compile_cmp(expr: TCmp) -> VectorFn:
+    left = _compile_value(expr.left)
+    right = _compile_value(expr.right)
+    guard_left = expr.guard_left
+    guard_right = expr.guard_right
+    greater = expr.op == "gt"
+
+    def run_cmp(env: VectorEnv) -> np.ndarray:
+        lv = np.asarray(left(env))
+        rv = np.asarray(right(env))
+        out = lv > rv if greater else lv < rv
+        if guard_left:
+            out = out & (lv != 0)
+        if guard_right:
+            out = out & (rv != 0)
+        return np.broadcast_to(out, _broadcast_shape(env))
+
+    return run_cmp

@@ -1,0 +1,5 @@
+"""Grammar-debugging tooling: parse traces and elimination diffs."""
+
+from repro.debugging.recorder import TraceRecorder, TraceStep
+
+__all__ = ["TraceRecorder", "TraceStep"]

@@ -1,0 +1,34 @@
+"""Parser engines: serial, vector, PRAM-simulated and MasPar-simulated.
+
+All engines settle every network to the same greatest locally-consistent
+state; they differ in *how* (loops vs broadcasts vs simulated machines)
+and in what they instrument (operation counts, parallel steps, simulated
+cycles).
+"""
+
+from repro.engines.base import EngineStats, ParserEngine, ParseResult, TraceHook
+from repro.engines.pram import PRAMEngine
+from repro.engines.serial import SerialEngine
+from repro.engines.vector import VectorEngine
+
+__all__ = [
+    "EngineStats",
+    "ParserEngine",
+    "ParseResult",
+    "TraceHook",
+    "SerialEngine",
+    "VectorEngine",
+    "PRAMEngine",
+]
+
+
+def all_engines() -> list[ParserEngine]:
+    """One instance of every engine, including the machine-simulated ones.
+
+    Imported lazily because those engines live above packages that
+    themselves build on the engines package.
+    """
+    from repro.mesh.engine import MeshEngine
+    from repro.parsec.parser import MasParEngine
+
+    return [SerialEngine(), VectorEngine(), PRAMEngine(), MasParEngine(), MeshEngine()]

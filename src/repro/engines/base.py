@@ -1,0 +1,117 @@
+"""Common interface implemented by all four parser engines.
+
+The engines (serial, vector, PRAM, MasPar/PARSEC) share one contract:
+given a grammar and a sentence they run the CDG algorithm —
+
+    unary propagation -> binary propagation -> consistency maintenance
+    -> filtering
+
+— and return a :class:`ParseResult` wrapping the settled constraint
+network plus instrumentation.  All engines must settle on the *same*
+network (the greatest locally-consistent subnetwork); the cross-engine
+equivalence tests rely on this.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.grammar.grammar import CDGGrammar, Sentence
+from repro.network.network import ConstraintNetwork
+
+#: Test/debug hook: called with (event, network) after each phase.  Events:
+#: "built", "unary:<name>", "unary-done", "binary:<name>",
+#: "consistency:<name>", "filtering-done".
+TraceHook = Callable[[str, ConstraintNetwork], None]
+
+
+@dataclass
+class EngineStats:
+    """Operation counts and timings recorded while parsing.
+
+    ``parallel_steps`` / ``processors`` are only meaningful for the
+    simulated parallel engines; ``simulated_seconds`` only for the MasPar
+    engine (its cycle-accurate cost model).
+    """
+
+    engine: str = ""
+    unary_checks: int = 0
+    pair_checks: int = 0
+    role_values_killed: int = 0
+    matrix_entries_zeroed: int = 0
+    consistency_passes: int = 0
+    filtering_iterations: int = 0
+    parallel_steps: int = 0
+    processors: int = 0
+    wall_seconds: float = 0.0
+    simulated_seconds: float | None = None
+    extra: dict = field(default_factory=dict)
+
+
+@dataclass
+class ParseResult:
+    """Outcome of running an engine over one sentence.
+
+    Attributes:
+        network: the settled constraint network.
+        locally_consistent: every role kept at least one role value — the
+            paper's acceptance condition at the CN level.  (Definitive
+            acceptance additionally needs a consistent assignment; use
+            :func:`repro.search.extract_parses`.)
+        ambiguous: some role still holds multiple role values.
+        stats: instrumentation counters.
+    """
+
+    network: ConstraintNetwork
+    locally_consistent: bool
+    ambiguous: bool
+    stats: EngineStats
+
+    @property
+    def rejected(self) -> bool:
+        return not self.locally_consistent
+
+
+class ParserEngine(abc.ABC):
+    """Abstract parser engine."""
+
+    #: Short identifier used in stats and benchmark tables.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def run(
+        self,
+        network: ConstraintNetwork,
+        *,
+        filter_limit: int | None = None,
+        trace: TraceHook | None = None,
+    ) -> EngineStats:
+        """Propagate all constraints over *network* in place."""
+
+    def parse(
+        self,
+        grammar: CDGGrammar,
+        sentence: Sentence | str | list[str],
+        *,
+        filter_limit: int | None = None,
+        trace: TraceHook | None = None,
+    ) -> ParseResult:
+        """Build the CN for *sentence* and run this engine over it."""
+        if not isinstance(sentence, Sentence):
+            sentence = grammar.tokenize(sentence)
+        network = ConstraintNetwork(grammar, sentence)
+        if trace:
+            trace("built", network)
+        started = time.perf_counter()
+        stats = self.run(network, filter_limit=filter_limit, trace=trace)
+        stats.wall_seconds = time.perf_counter() - started
+        stats.engine = self.name
+        return ParseResult(
+            network=network,
+            locally_consistent=network.all_domains_nonempty(),
+            ambiguous=network.is_ambiguous(),
+            stats=stats,
+        )

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch the whole family with a single
+``except`` clause while still being able to distinguish the layers
+(s-expression syntax, constraint semantics, grammar definition, machine
+simulation) when they need to.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SexprSyntaxError(ReproError):
+    """Malformed s-expression text (unbalanced parens, bad token, ...)."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class ConstraintError(ReproError):
+    """A constraint expression is semantically invalid.
+
+    Examples: unknown access function, wrong arity, a binary constraint
+    using three distinct variables, or a type mismatch such as comparing a
+    label with a position using ``gt``.
+    """
+
+
+class GrammarError(ReproError):
+    """A CDG grammar definition is inconsistent.
+
+    Examples: a constraint referring to a label that is not in ``L``, a
+    role-table entry for an unknown role, or a lexicon entry with an
+    unknown category.
+    """
+
+
+class LexiconError(GrammarError):
+    """A word is not covered by the grammar's lexicon."""
+
+
+class NetworkError(ReproError):
+    """Invalid operation on a constraint network (e.g. mismatched shapes)."""
+
+
+class MachineError(ReproError):
+    """Invalid operation on a simulated machine (PRAM or MasPar)."""
+
+
+class VirtualizationError(MachineError):
+    """A kernel requested more virtual PEs than the machine can virtualize."""
+
+
+class ExtractionError(ReproError):
+    """Parse-graph extraction failed (e.g. requested parses of a rejected CN)."""

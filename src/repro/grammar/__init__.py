@@ -1,0 +1,16 @@
+"""CDG grammars: the 5-tuple, lexicon, builder, loader and built-ins."""
+
+from repro.grammar.builder import GrammarBuilder
+from repro.grammar.grammar import CDGGrammar, Sentence
+from repro.grammar.lexicon import Lexicon
+from repro.grammar.loader import dump_grammar, load_grammar, load_grammar_file
+
+__all__ = [
+    "CDGGrammar",
+    "Sentence",
+    "Lexicon",
+    "GrammarBuilder",
+    "load_grammar",
+    "load_grammar_file",
+    "dump_grammar",
+]

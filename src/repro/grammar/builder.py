@@ -1,0 +1,107 @@
+"""Fluent builder for CDG grammars defined in Python code."""
+
+from __future__ import annotations
+
+from repro.errors import GrammarError
+from repro.constraints import Constraint, SymbolTable
+from repro.grammar.grammar import CDGGrammar
+from repro.grammar.lexicon import Lexicon
+
+
+class GrammarBuilder:
+    """Assemble a :class:`CDGGrammar` declaration by declaration.
+
+    Order matters only in that labels/roles/categories must be declared
+    before the tables, lexicon entries and constraints that mention them —
+    constraints resolve symbols at :meth:`constraint` time.
+
+    Example::
+
+        builder = GrammarBuilder("demo")
+        builder.labels("SUBJ", "ROOT")
+        builder.roles("governor")
+        builder.categories("noun", "verb")
+        builder.table("governor", "SUBJ", "ROOT")
+        builder.word("dogs", "noun")
+        builder.constraint("verbs-root", '''
+            (if (and (eq (cat (word (pos x))) verb)
+                     (eq (role x) governor))
+                (eq (lab x) ROOT))''')
+        grammar = builder.build()
+    """
+
+    def __init__(self, name: str):
+        self._name = name
+        self._symbols = SymbolTable()
+        self._lexicon = Lexicon(self._symbols.categories)
+        self._table: dict[int, frozenset[int]] = {}
+        self._lexical_table: dict[tuple[int, int], frozenset[int]] = {}
+        self._constraints: list[Constraint] = []
+        self._names_seen: set[str] = set()
+
+    # -- namespaces ----------------------------------------------------------
+
+    def labels(self, *names: str) -> "GrammarBuilder":
+        for name in names:
+            self._symbols.labels.intern(name)
+        return self
+
+    def roles(self, *names: str) -> "GrammarBuilder":
+        for name in names:
+            self._symbols.roles.intern(name)
+        return self
+
+    def categories(self, *names: str) -> "GrammarBuilder":
+        for name in names:
+            self._symbols.categories.intern(name)
+        return self
+
+    # -- tables ----------------------------------------------------------------
+
+    def table(self, role: str, *labels: str) -> "GrammarBuilder":
+        """Declare T's allowed labels for *role*."""
+        role_code = self._symbols.roles.code(role)
+        label_codes = frozenset(self._symbols.labels.code(lab) for lab in labels)
+        self._table[role_code] = self._table.get(role_code, frozenset()) | label_codes
+        return self
+
+    def lexical(self, role: str, category: str, *labels: str) -> "GrammarBuilder":
+        """Refine T for (role, category) — the paper's footnote 1."""
+        key = (self._symbols.roles.code(role), self._symbols.categories.code(category))
+        codes = frozenset(self._symbols.labels.code(lab) for lab in labels)
+        self._lexical_table[key] = self._lexical_table.get(key, frozenset()) | codes
+        return self
+
+    # -- lexicon -----------------------------------------------------------------
+
+    def word(self, word: str, *categories: str) -> "GrammarBuilder":
+        self._lexicon.add(word, *categories)
+        return self
+
+    def words(self, entries: dict[str, str | tuple[str, ...]]) -> "GrammarBuilder":
+        for word, cats in entries.items():
+            if isinstance(cats, str):
+                cats = (cats,)
+            self._lexicon.add(word, *cats)
+        return self
+
+    # -- constraints ------------------------------------------------------------
+
+    def constraint(self, name: str, source: str) -> "GrammarBuilder":
+        if name in self._names_seen:
+            raise GrammarError(f"duplicate constraint name {name!r}")
+        self._names_seen.add(name)
+        self._constraints.append(Constraint.parse(source, self._symbols, name=name))
+        return self
+
+    # -- finish -------------------------------------------------------------------
+
+    def build(self) -> CDGGrammar:
+        return CDGGrammar(
+            name=self._name,
+            symbols=self._symbols,
+            table=dict(self._table),
+            constraints=self._constraints,
+            lexicon=self._lexicon,
+            lexical_table=self._lexical_table,
+        )

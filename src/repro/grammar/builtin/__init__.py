@@ -1,0 +1,26 @@
+"""Built-in grammars: the paper's toy example, a broader English grammar,
+and the expressivity demonstrations (a^n b^n and the non-context-free ww)."""
+
+from repro.grammar.builtin.abcd import abcd_grammar, abcd_oracle
+from repro.grammar.builtin.anbn import anbn_grammar, anbn_oracle
+from repro.grammar.builtin.copy_language import copy_language_grammar, copy_oracle
+from repro.grammar.builtin.dyck import dyck_grammar, dyck_oracle
+from repro.grammar.builtin.english import english_grammar
+from repro.grammar.builtin.english_extended import english_extended_grammar
+from repro.grammar.builtin.free_order import free_order_grammar
+from repro.grammar.builtin.program import program_grammar
+
+__all__ = [
+    "program_grammar",
+    "english_grammar",
+    "english_extended_grammar",
+    "anbn_grammar",
+    "anbn_oracle",
+    "copy_language_grammar",
+    "copy_oracle",
+    "dyck_grammar",
+    "dyck_oracle",
+    "abcd_grammar",
+    "abcd_oracle",
+    "free_order_grammar",
+]

@@ -1,0 +1,120 @@
+"""A three-role CDG grammar for a^n b^n c^n d^n.
+
+The paper notes "at least two roles per word are required to parse a
+sentence, though more can be used as needed".  This grammar actually
+needs three: every ``a`` word simultaneously points at its ``b`` (from
+the governor role), its ``c`` (from the needs role) **and** its ``d``
+(from a third role, ``extra``), with mutual-pointing constraints making
+each of the three matchings a bijection.  Block ordering then yields
+exactly a^n b^n c^n d^n — a language requiring three simultaneous
+counts, well beyond context-free.
+
+Besides the formal-language point, the grammar exercises every engine
+and the MasPar PE layout at q = 3 (virtual PEs = q^2 n^4 = 9 n^4),
+where the paper only ever uses q = 2.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.grammar.builder import GrammarBuilder
+from repro.grammar.grammar import CDGGrammar
+
+_BACK_ROLE = {"MB": "needs", "MC": "needs", "MD": "needs"}
+
+
+@lru_cache(maxsize=1)
+def abcd_grammar() -> CDGGrammar:
+    builder = GrammarBuilder("abcd")
+    builder.labels("MB", "MC", "MD", "BB", "BC", "BD", "BLANK")
+    builder.roles("governor", "needs", "extra")
+    builder.categories("a", "b", "c", "d")
+    builder.table("governor", "MB", "BLANK")
+    builder.table("needs", "MC", "BB", "BC", "BD", "BLANK")
+    builder.table("extra", "MD", "BLANK")
+    for letter in "abcd":
+        builder.word(letter, letter)
+
+    # -- the a words: three outgoing pointers --------------------------------
+    for role, label, target in (
+        ("governor", "MB", "b"),
+        ("needs", "MC", "c"),
+        ("extra", "MD", "d"),
+    ):
+        builder.constraint(
+            f"a-{role}-points-at-{target}",
+            f"""
+            (if (and (eq (cat (word (pos x))) a) (eq (role x) {role}))
+                (and (eq (lab x) {label})
+                     (gt (mod x) (pos x))
+                     (eq (cat (word (mod x))) {target})))
+            """,
+        )
+
+    # -- the b/c/d words: one back pointer (in needs), others blank ----------
+    for letter, back in (("b", "BB"), ("c", "BC"), ("d", "BD")):
+        builder.constraint(
+            f"{letter}-needs-points-back",
+            f"""
+            (if (and (eq (cat (word (pos x))) {letter}) (eq (role x) needs))
+                (and (eq (lab x) {back})
+                     (lt (mod x) (pos x))
+                     (eq (cat (word (mod x))) a)))
+            """,
+        )
+        for role in ("governor", "extra"):
+            builder.constraint(
+                f"{letter}-{role}-blank",
+                f"""
+                (if (and (eq (cat (word (pos x))) {letter}) (eq (role x) {role}))
+                    (and (eq (lab x) BLANK) (eq (mod x) nil)))
+                """,
+            )
+
+    # -- mutual pointing: each matching is a bijection ------------------------
+    for forward, back, forward_role in (
+        ("MB", "BB", "governor"),
+        ("MC", "BC", "needs"),
+        ("MD", "BD", "extra"),
+    ):
+        builder.constraint(
+            f"{forward}-acknowledged",
+            f"""
+            (if (and (eq (lab x) {forward})
+                     (eq (role y) needs)
+                     (eq (pos y) (mod x)))
+                (and (eq (lab y) {back}) (eq (mod y) (pos x))))
+            """,
+        )
+        builder.constraint(
+            f"{back}-acknowledged",
+            f"""
+            (if (and (eq (lab x) {back})
+                     (eq (role y) {forward_role})
+                     (eq (pos y) (mod x)))
+                (and (eq (lab y) {forward}) (eq (mod y) (pos x))))
+            """,
+        )
+
+    # -- block ordering: a+ b+ c+ d+ -------------------------------------------
+    for left, right in (("a", "b"), ("b", "c"), ("c", "d")):
+        builder.constraint(
+            f"{left}s-before-{right}s",
+            f"""
+            (if (and (eq (cat (word (pos x))) {left})
+                     (eq (cat (word (pos y))) {right}))
+                (lt (pos x) (pos y)))
+            """,
+        )
+    return builder.build()
+
+
+def abcd_oracle(letters: list[str] | tuple[str, ...]) -> bool:
+    """Ground truth: the string is a^n b^n c^n d^n for some n >= 1."""
+    n = len(letters)
+    if n == 0 or n % 4:
+        return False
+    quarter = n // 4
+    expected = ["a"] * quarter + ["b"] * quarter + ["c"] * quarter + ["d"] * quarter
+    return list(letters) == expected

@@ -1,0 +1,106 @@
+"""A CDG grammar for the context-free language a^n b^n (n >= 1).
+
+Demonstrates one half of the paper's expressivity claim (section 1.5):
+CDG covers context-free languages.  The encoding is the *mutual
+pointing* idiom: every ``a`` word's governor carries ``MATE-m``,
+pointing at a ``b`` to its right; every ``b`` word's needs role carries
+``BACK-m``, pointing at an ``a`` to its left; two binary constraints
+force the pointers to pair up bijectively, and an ordering constraint
+keeps all ``a``s before all ``b``s.  Counting then comes for free: a
+bijection between the blocks exists iff they are the same size.
+
+The test suite property-checks acceptance against the obvious oracle
+and against the CYK/Earley parsers running the equivalent CFG.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.grammar.builder import GrammarBuilder
+from repro.grammar.grammar import CDGGrammar
+
+
+@lru_cache(maxsize=1)
+def anbn_grammar() -> CDGGrammar:
+    builder = GrammarBuilder("anbn")
+    builder.labels("MATE", "BACK", "BLANK")
+    builder.roles("governor", "needs")
+    builder.categories("a", "b")
+    builder.table("governor", "MATE", "BLANK")
+    builder.table("needs", "BACK", "BLANK")
+    builder.word("a", "a")
+    builder.word("b", "b")
+
+    # Every a's governor points MATE at a b to its right.
+    builder.constraint(
+        "a-governor-mates-right",
+        """
+        (if (and (eq (cat (word (pos x))) a) (eq (role x) governor))
+            (and (eq (lab x) MATE)
+                 (gt (mod x) (pos x))
+                 (eq (cat (word (mod x))) b)))
+        """,
+    )
+    builder.constraint(
+        "a-needs-nothing",
+        """
+        (if (and (eq (cat (word (pos x))) a) (eq (role x) needs))
+            (and (eq (lab x) BLANK) (eq (mod x) nil)))
+        """,
+    )
+    # Every b's needs points BACK at an a to its left.
+    builder.constraint(
+        "b-needs-back-left",
+        """
+        (if (and (eq (cat (word (pos x))) b) (eq (role x) needs))
+            (and (eq (lab x) BACK)
+                 (lt (mod x) (pos x))
+                 (eq (cat (word (mod x))) a)))
+        """,
+    )
+    builder.constraint(
+        "b-governs-nothing",
+        """
+        (if (and (eq (cat (word (pos x))) b) (eq (role x) governor))
+            (and (eq (lab x) BLANK) (eq (mod x) nil)))
+        """,
+    )
+    # Mutual pointing: MATE and BACK must pair up (forces a bijection).
+    builder.constraint(
+        "mate-is-acknowledged",
+        """
+        (if (and (eq (lab x) MATE)
+                 (eq (role y) needs)
+                 (eq (pos y) (mod x)))
+            (and (eq (lab y) BACK) (eq (mod y) (pos x))))
+        """,
+    )
+    builder.constraint(
+        "back-is-acknowledged",
+        """
+        (if (and (eq (lab x) BACK)
+                 (eq (role y) governor)
+                 (eq (pos y) (mod x)))
+            (and (eq (lab y) MATE) (eq (mod y) (pos x))))
+        """,
+    )
+    # All as precede all bs.
+    builder.constraint(
+        "as-before-bs",
+        """
+        (if (and (eq (cat (word (pos x))) a)
+                 (eq (cat (word (pos y))) b))
+            (lt (pos x) (pos y)))
+        """,
+    )
+    return builder.build()
+
+
+def anbn_oracle(letters: list[str] | tuple[str, ...]) -> bool:
+    """Ground truth: the string is a^n b^n for some n >= 1."""
+    n = len(letters)
+    if n == 0 or n % 2:
+        return False
+    half = n // 2
+    return all(c == "a" for c in letters[:half]) and all(c == "b" for c in letters[half:])

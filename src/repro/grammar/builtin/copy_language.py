@@ -1,0 +1,128 @@
+"""A CDG grammar for the copy language ww — beyond context-free power.
+
+The paper (section 1.5): "CDG can accept languages that CFGs cannot,
+for example, ww (where w is some string of terminal symbols)."  This
+module makes that claim concrete with w over {a, b}, w non-empty.
+
+Encoding.  Every word is either a *left* word (governor ``MATE-m``
+pointing at its copy to the right, needs ``FREE-nil``) or a *right*
+word (needs ``BACK-m`` pointing at its original to the left, governor
+``IDLE-nil``) — never both, never neither.  Binary constraints force:
+
+* mutual pointing (MATE/BACK pair up bijectively),
+* equal letters between partners (``(eq (cat (word (mod x))) (cat (word
+  (pos x))))``),
+* every left word before every right word (the halves are blocks),
+* monotone matching (no crossings).
+
+A prefix block mapped bijectively, monotonically and letter-preservingly
+onto the suffix block is exactly "the second half repeats the first", so
+the accepted language is ww.  Property tests check acceptance against
+the string oracle, and check that the context-free *palindrome* grammar
+(w w^R — which CFGs do accept) disagrees with ww exactly where it should.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.grammar.builder import GrammarBuilder
+from repro.grammar.grammar import CDGGrammar
+
+
+@lru_cache(maxsize=1)
+def copy_language_grammar() -> CDGGrammar:
+    builder = GrammarBuilder("copy-language")
+    builder.labels("MATE", "IDLE", "BACK", "FREE")
+    builder.roles("governor", "needs")
+    builder.categories("a", "b")
+    builder.table("governor", "MATE", "IDLE")
+    builder.table("needs", "BACK", "FREE")
+    builder.word("a", "a")
+    builder.word("b", "b")
+
+    # Governor: MATE points right at the same letter, or IDLE-nil.
+    builder.constraint(
+        "governor-shape",
+        """
+        (if (eq (role x) governor)
+            (or (and (eq (lab x) MATE)
+                     (gt (mod x) (pos x))
+                     (eq (cat (word (mod x))) (cat (word (pos x)))))
+                (and (eq (lab x) IDLE) (eq (mod x) nil))))
+        """,
+    )
+    # Needs: BACK points left at the same letter, or FREE-nil.
+    builder.constraint(
+        "needs-shape",
+        """
+        (if (eq (role x) needs)
+            (or (and (eq (lab x) BACK)
+                     (lt (mod x) (pos x))
+                     (eq (cat (word (mod x))) (cat (word (pos x)))))
+                (and (eq (lab x) FREE) (eq (mod x) nil))))
+        """,
+    )
+    # A word is left xor right: MATE excludes BACK on the same word ...
+    builder.constraint(
+        "not-both-halves",
+        """
+        (if (and (eq (lab x) MATE) (eq (lab y) BACK))
+            (not (eq (pos x) (pos y))))
+        """,
+    )
+    # ... and IDLE excludes FREE (no unmatched word).
+    builder.constraint(
+        "no-unmatched-word",
+        """
+        (if (and (eq (lab x) IDLE) (eq (lab y) FREE))
+            (not (eq (pos x) (pos y))))
+        """,
+    )
+    # Mutual pointing.
+    builder.constraint(
+        "mate-acknowledged",
+        """
+        (if (and (eq (lab x) MATE)
+                 (eq (role y) needs)
+                 (eq (pos y) (mod x)))
+            (and (eq (lab y) BACK) (eq (mod y) (pos x))))
+        """,
+    )
+    builder.constraint(
+        "back-acknowledged",
+        """
+        (if (and (eq (lab x) BACK)
+                 (eq (role y) governor)
+                 (eq (pos y) (mod x)))
+            (and (eq (lab y) MATE) (eq (mod y) (pos x))))
+        """,
+    )
+    # Halves are contiguous blocks: lefts strictly precede rights.
+    builder.constraint(
+        "left-block-before-right-block",
+        """
+        (if (and (eq (lab x) MATE) (eq (lab y) BACK))
+            (lt (pos x) (pos y)))
+        """,
+    )
+    # The matching preserves order (no crossings).
+    builder.constraint(
+        "matching-is-monotone",
+        """
+        (if (and (eq (lab x) MATE)
+                 (eq (lab y) MATE)
+                 (lt (pos x) (pos y)))
+            (lt (mod x) (mod y)))
+        """,
+    )
+    return builder.build()
+
+
+def copy_oracle(letters: list[str] | tuple[str, ...]) -> bool:
+    """Ground truth: the string is w w for some non-empty w."""
+    n = len(letters)
+    if n == 0 or n % 2:
+        return False
+    half = n // 2
+    return tuple(letters[:half]) == tuple(letters[half:])

@@ -1,0 +1,125 @@
+"""A CDG grammar for two-flavour balanced brackets (the Dyck language D2).
+
+Completes the expressivity picture alongside :mod:`anbn` (counting) and
+:mod:`copy_language` (cross-serial/monotone matching): bracket balance
+needs *nested* matching, and CDG expresses it with the same mutual
+pointing idiom plus one non-crossing constraint —
+
+    if an opener y starts inside the span of an opener x,
+    it must also close inside it:
+    pos(x) < pos(y) < mod(x)  =>  mod(y) < mod(x)
+
+— so "([)]" is rejected while "([])" parses.  Each opener must MATE a
+closer of its own flavour ("(" with ")", "[" with "]").
+
+Property-tested against the stack-scan oracle and against CYK/Earley on
+the equivalent CFG (D2 is context-free, so here the formalisms must
+agree — the interesting contrast is with ww, where they cannot).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.grammar.builder import GrammarBuilder
+from repro.grammar.grammar import CDGGrammar
+
+#: opener -> matching closer.
+PAIRS = {"(": ")", "[": "]"}
+
+
+@lru_cache(maxsize=1)
+def dyck_grammar() -> CDGGrammar:
+    builder = GrammarBuilder("dyck")
+    builder.labels("MATE", "IDLE", "BACK", "FREE")
+    builder.roles("governor", "needs")
+    builder.categories("oparen", "cparen", "obrack", "cbrack")
+    builder.table("governor", "MATE", "IDLE")
+    builder.table("needs", "BACK", "FREE")
+    builder.word("(", "oparen")
+    builder.word(")", "cparen")
+    builder.word("[", "obrack")
+    builder.word("]", "cbrack")
+
+    # Openers MATE a closer of their own flavour, to the right.
+    for opener, closer in (("oparen", "cparen"), ("obrack", "cbrack")):
+        builder.constraint(
+            f"{opener}-governor",
+            f"""
+            (if (and (eq (cat (word (pos x))) {opener}) (eq (role x) governor))
+                (and (eq (lab x) MATE)
+                     (gt (mod x) (pos x))
+                     (eq (cat (word (mod x))) {closer})))
+            """,
+        )
+        builder.constraint(
+            f"{closer}-needs",
+            f"""
+            (if (and (eq (cat (word (pos x))) {closer}) (eq (role x) needs))
+                (and (eq (lab x) BACK)
+                     (lt (mod x) (pos x))
+                     (eq (cat (word (mod x))) {opener})))
+            """,
+        )
+    builder.constraint(
+        "openers-need-nothing",
+        """
+        (if (and (or (eq (cat (word (pos x))) oparen)
+                     (eq (cat (word (pos x))) obrack))
+                 (eq (role x) needs))
+            (and (eq (lab x) FREE) (eq (mod x) nil)))
+        """,
+    )
+    builder.constraint(
+        "closers-govern-nothing",
+        """
+        (if (and (or (eq (cat (word (pos x))) cparen)
+                     (eq (cat (word (pos x))) cbrack))
+                 (eq (role x) governor))
+            (and (eq (lab x) IDLE) (eq (mod x) nil)))
+        """,
+    )
+    # Mutual pointing: the matching is a bijection.
+    builder.constraint(
+        "mate-acknowledged",
+        """
+        (if (and (eq (lab x) MATE)
+                 (eq (role y) needs)
+                 (eq (pos y) (mod x)))
+            (and (eq (lab y) BACK) (eq (mod y) (pos x))))
+        """,
+    )
+    builder.constraint(
+        "back-acknowledged",
+        """
+        (if (and (eq (lab x) BACK)
+                 (eq (role y) governor)
+                 (eq (pos y) (mod x)))
+            (and (eq (lab y) MATE) (eq (mod y) (pos x))))
+        """,
+    )
+    # Proper nesting: spans never cross.
+    builder.constraint(
+        "no-crossing",
+        """
+        (if (and (eq (lab x) MATE)
+                 (eq (lab y) MATE)
+                 (lt (pos x) (pos y))
+                 (lt (pos y) (mod x)))
+            (lt (mod y) (mod x)))
+        """,
+    )
+    return builder.build()
+
+
+def dyck_oracle(tokens: list[str] | tuple[str, ...]) -> bool:
+    """Stack-scan ground truth (non-empty balanced two-flavour strings)."""
+    if not tokens:
+        return False
+    stack: list[str] = []
+    for token in tokens:
+        if token in PAIRS:
+            stack.append(PAIRS[token])
+        elif not stack or stack.pop() != token:
+            return False
+    return not stack

@@ -1,0 +1,359 @@
+"""A broader English CDG grammar.
+
+The paper's evaluation uses the authors' (unpublished) English grammars
+and reports that "the average length of an English sentence is on the
+order of 10 words"; this grammar plays that role here.  It keeps the
+paper's structure — two roles (governor / needs), unary + binary
+constraints, a label table T — and covers determiners, adjectives,
+nouns, verbs (single main verb), prepositional phrases and adverbs,
+including lexically ambiguous words (*saw*, *duck*, *flies*, *program*).
+
+Design idioms (all expressible in the paper's constraint language):
+
+* **Direction** is enforced in unary constraints by comparing ``(mod x)``
+  with ``(pos x)`` (e.g. a determiner precedes the noun it modifies).
+* **Category of the modifiee** is checked with ``(cat (word (mod x)))``
+  under can-be semantics, so it prunes early without committing a
+  lexically ambiguous modifiee.
+* **Mutual pointing** links a governor label to the needs role of the
+  word it modifies (DET <-> NP, SUBJ <-> S, POBJ <-> PNP); this both
+  encodes subcategorization ("a singular count noun always needs a
+  determiner" generalised) and makes fillers unique.
+
+Known scope limits (documented, deliberate): one main verb per sentence
+(no subordinate clauses), no coordination, no auxiliaries.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.grammar.builder import GrammarBuilder
+from repro.grammar.grammar import CDGGrammar
+
+#: Lexicon entries: word -> categories.
+LEXICON: dict[str, tuple[str, ...]] = {
+    # determiners
+    "the": ("det",),
+    "a": ("det",),
+    "an": ("det",),
+    "every": ("det",),
+    "some": ("det",),
+    "this": ("det",),
+    # adjectives
+    "big": ("adj",),
+    "red": ("adj",),
+    "old": ("adj",),
+    "small": ("adj",),
+    "happy": ("adj",),
+    "quick": ("adj",),
+    "lazy": ("adj",),
+    # nouns
+    "dog": ("noun",),
+    "dogs": ("noun",),
+    "cat": ("noun",),
+    "cats": ("noun",),
+    "man": ("noun",),
+    "woman": ("noun",),
+    "bird": ("noun",),
+    "tree": ("noun",),
+    "park": ("noun",),
+    "house": ("noun",),
+    "telescope": ("noun",),
+    "computer": ("noun",),
+    "student": ("noun",),
+    "sentence": ("noun",),
+    # verbs
+    "runs": ("verb",),
+    "barks": ("verb",),
+    "bark": ("verb",),
+    "sees": ("verb",),
+    "likes": ("verb",),
+    "walks": ("verb",),
+    "eats": ("verb",),
+    "sleeps": ("verb",),
+    "chases": ("verb",),
+    "chase": ("verb",),
+    "parses": ("verb",),
+    # lexically ambiguous
+    "saw": ("noun", "verb"),
+    "duck": ("noun", "verb"),
+    "flies": ("noun", "verb"),
+    "program": ("noun", "verb"),
+    # prepositions
+    "in": ("prep",),
+    "on": ("prep",),
+    "with": ("prep",),
+    "under": ("prep",),
+    "near": ("prep",),
+    # adverbs
+    "quickly": ("adv",),
+    "slowly": ("adv",),
+    "often": ("adv",),
+    "today": ("adv",),
+    "loudly": ("adv",),
+}
+
+
+@lru_cache(maxsize=1)
+def english_grammar() -> CDGGrammar:
+    """Build the English grammar."""
+    builder = GrammarBuilder("english")
+    builder.labels(
+        "DET", "MOD", "SUBJ", "OBJ", "POBJ", "PP", "ROOT", "VMOD",  # governor
+        "NP", "S", "PNP", "BLANK",  # needs
+    )
+    builder.roles("governor", "needs")
+    builder.categories("det", "adj", "noun", "verb", "prep", "adv")
+    builder.table("governor", "DET", "MOD", "SUBJ", "OBJ", "POBJ", "PP", "ROOT", "VMOD")
+    builder.table("needs", "NP", "S", "PNP", "BLANK")
+
+    # The lexical table (paper footnote 1) prunes label choices by word
+    # category before any constraint runs.
+    builder.lexical("governor", "det", "DET")
+    builder.lexical("governor", "adj", "MOD")
+    builder.lexical("governor", "noun", "SUBJ", "OBJ", "POBJ")
+    builder.lexical("governor", "verb", "ROOT")
+    builder.lexical("governor", "prep", "PP")
+    builder.lexical("governor", "adv", "VMOD")
+    builder.lexical("needs", "det", "BLANK")
+    builder.lexical("needs", "adj", "BLANK")
+    builder.lexical("needs", "noun", "NP", "BLANK")
+    builder.lexical("needs", "verb", "S")
+    builder.lexical("needs", "prep", "PNP")
+    builder.lexical("needs", "adv", "BLANK")
+
+    for word, cats in LEXICON.items():
+        builder.word(word, *cats)
+
+    # ---- unary constraints -------------------------------------------------
+
+    builder.constraint(
+        "det-governor",
+        """
+        (if (and (eq (cat (word (pos x))) det) (eq (role x) governor))
+            (and (eq (lab x) DET)
+                 (gt (mod x) (pos x))
+                 (eq (cat (word (mod x))) noun)))
+        """,
+    )
+    builder.constraint(
+        "det-needs",
+        """
+        (if (and (eq (cat (word (pos x))) det) (eq (role x) needs))
+            (and (eq (lab x) BLANK) (eq (mod x) nil)))
+        """,
+    )
+    builder.constraint(
+        "adj-governor",
+        """
+        (if (and (eq (cat (word (pos x))) adj) (eq (role x) governor))
+            (and (eq (lab x) MOD)
+                 (gt (mod x) (pos x))
+                 (eq (cat (word (mod x))) noun)))
+        """,
+    )
+    builder.constraint(
+        "adj-needs",
+        """
+        (if (and (eq (cat (word (pos x))) adj) (eq (role x) needs))
+            (and (eq (lab x) BLANK) (eq (mod x) nil)))
+        """,
+    )
+    builder.constraint(
+        "noun-governor",
+        """
+        (if (and (eq (cat (word (pos x))) noun) (eq (role x) governor))
+            (or (and (eq (lab x) SUBJ)
+                     (gt (mod x) (pos x))
+                     (eq (cat (word (mod x))) verb))
+                (and (eq (lab x) OBJ)
+                     (lt (mod x) (pos x))
+                     (eq (cat (word (mod x))) verb))
+                (and (eq (lab x) POBJ)
+                     (lt (mod x) (pos x))
+                     (eq (cat (word (mod x))) prep))))
+        """,
+    )
+    builder.constraint(
+        "noun-needs",
+        """
+        (if (and (eq (cat (word (pos x))) noun) (eq (role x) needs))
+            (or (and (eq (lab x) BLANK) (eq (mod x) nil))
+                (and (eq (lab x) NP)
+                     (lt (mod x) (pos x))
+                     (eq (cat (word (mod x))) det))))
+        """,
+    )
+    builder.constraint(
+        "verb-governor",
+        """
+        (if (and (eq (cat (word (pos x))) verb) (eq (role x) governor))
+            (and (eq (lab x) ROOT) (eq (mod x) nil)))
+        """,
+    )
+    builder.constraint(
+        "verb-needs",
+        """
+        (if (and (eq (cat (word (pos x))) verb) (eq (role x) needs))
+            (and (eq (lab x) S)
+                 (lt (mod x) (pos x))
+                 (eq (cat (word (mod x))) noun)))
+        """,
+    )
+    builder.constraint(
+        "prep-governor",
+        """
+        (if (and (eq (cat (word (pos x))) prep) (eq (role x) governor))
+            (and (eq (lab x) PP)
+                 (lt (mod x) (pos x))
+                 (or (eq (cat (word (mod x))) verb)
+                     (eq (cat (word (mod x))) noun))))
+        """,
+    )
+    builder.constraint(
+        "prep-needs",
+        """
+        (if (and (eq (cat (word (pos x))) prep) (eq (role x) needs))
+            (and (eq (lab x) PNP)
+                 (gt (mod x) (pos x))
+                 (eq (cat (word (mod x))) noun)))
+        """,
+    )
+    builder.constraint(
+        "adv-governor",
+        """
+        (if (and (eq (cat (word (pos x))) adv) (eq (role x) governor))
+            (and (eq (lab x) VMOD)
+                 (not (eq (mod x) nil))
+                 (eq (cat (word (mod x))) verb)))
+        """,
+    )
+    builder.constraint(
+        "adv-needs",
+        """
+        (if (and (eq (cat (word (pos x))) adv) (eq (role x) needs))
+            (and (eq (lab x) BLANK) (eq (mod x) nil)))
+        """,
+    )
+
+    # ---- binary constraints -----------------------------------------------
+
+    builder.constraint(
+        "subj-modifies-root",
+        """
+        (if (and (eq (lab x) SUBJ)
+                 (eq (role y) governor)
+                 (eq (pos y) (mod x)))
+            (eq (lab y) ROOT))
+        """,
+    )
+    builder.constraint(
+        "obj-modifies-root",
+        """
+        (if (and (eq (lab x) OBJ)
+                 (eq (role y) governor)
+                 (eq (pos y) (mod x)))
+            (eq (lab y) ROOT))
+        """,
+    )
+    builder.constraint(
+        "s-need-filled-by-subj",
+        """
+        (if (and (eq (lab x) S)
+                 (eq (role y) governor)
+                 (eq (pos y) (mod x)))
+            (and (eq (lab y) SUBJ) (eq (mod y) (pos x))))
+        """,
+    )
+    builder.constraint(
+        "subj-fills-s-need",
+        """
+        (if (and (eq (lab x) SUBJ)
+                 (eq (role y) needs)
+                 (eq (pos y) (mod x)))
+            (and (eq (lab y) S) (eq (mod y) (pos x))))
+        """,
+    )
+    builder.constraint(
+        "det-fills-np-need",
+        """
+        (if (and (eq (lab x) DET)
+                 (eq (role y) needs)
+                 (eq (pos y) (mod x)))
+            (and (eq (lab y) NP) (eq (mod y) (pos x))))
+        """,
+    )
+    builder.constraint(
+        "np-need-filled-by-det",
+        """
+        (if (and (eq (lab x) NP)
+                 (eq (role y) governor)
+                 (eq (pos y) (mod x)))
+            (and (eq (lab y) DET) (eq (mod y) (pos x))))
+        """,
+    )
+    builder.constraint(
+        "pnp-need-filled-by-pobj",
+        """
+        (if (and (eq (lab x) PNP)
+                 (eq (role y) governor)
+                 (eq (pos y) (mod x)))
+            (and (eq (lab y) POBJ) (eq (mod y) (pos x))))
+        """,
+    )
+    builder.constraint(
+        "pobj-fills-pnp-need",
+        """
+        (if (and (eq (lab x) POBJ)
+                 (eq (role y) needs)
+                 (eq (pos y) (mod x)))
+            (and (eq (lab y) PNP) (eq (mod y) (pos x))))
+        """,
+    )
+    builder.constraint(
+        "single-root",
+        """
+        (if (and (eq (lab x) ROOT) (eq (lab y) ROOT))
+            (eq (pos x) (pos y)))
+        """,
+    )
+    builder.constraint(
+        "object-unique",
+        """
+        (if (and (eq (lab x) OBJ) (eq (lab y) OBJ))
+            (or (eq (pos x) (pos y))
+                (not (eq (mod x) (mod y)))))
+        """,
+    )
+    builder.constraint(
+        "det-precedes-adjectives",
+        """
+        (if (and (eq (lab x) DET)
+                 (eq (lab y) MOD)
+                 (eq (mod x) (mod y)))
+            (lt (pos x) (pos y)))
+        """,
+    )
+    builder.constraint(
+        "vmod-modifies-root",
+        """
+        (if (and (eq (lab x) VMOD)
+                 (eq (role y) governor)
+                 (eq (pos y) (mod x)))
+            (eq (lab y) ROOT))
+        """,
+    )
+    builder.constraint(
+        "pp-attaches-to-verb-or-noun",
+        """
+        (if (and (eq (lab x) PP)
+                 (eq (role y) governor)
+                 (eq (pos y) (mod x)))
+            (or (eq (lab y) ROOT)
+                (eq (lab y) SUBJ)
+                (eq (lab y) OBJ)
+                (eq (lab y) POBJ)))
+        """,
+    )
+    return builder.build()

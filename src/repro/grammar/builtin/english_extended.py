@@ -1,0 +1,429 @@
+"""An extended English CDG grammar.
+
+The paper: "we have developed a variety of grammars for English".  This
+second, larger grammar extends :mod:`repro.grammar.builtin.english` with
+
+* **pronouns** (*she sees him*) — case-marked: nominative pronouns only
+  as subjects, accusative only as objects;
+* **proper nouns** (*mary likes john*) — noun phrases without
+  determiners;
+* **the copula + predicate adjectives** (*the dog is big*) — *is/are*
+  acts as the root with a PRED-labelled adjective complement;
+* **subject relative clauses** (*the dog that barks runs*) — an embedded
+  verb carries RROOT and attaches to the head noun; the relative pronoun
+  *that* fills the embedded verb's subject need with RSUBJ.
+
+Scope limits (deliberate, documented): no object relatives, no
+auxiliaries/passives, no coordination.  The grammar shares the base
+lexicon and adds to it, so every base-grammar sentence should still
+parse; ``tests/test_english_extended.py`` checks that plus the new
+constructions, including garden paths that must stay rejected.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.grammar.builder import GrammarBuilder
+from repro.grammar.grammar import CDGGrammar
+from repro.grammar.builtin.english import LEXICON as BASE_LEXICON
+
+EXTRA_LEXICON: dict[str, tuple[str, ...]] = {
+    # pronouns, case-marked as separate categories
+    "she": ("npron",),
+    "he": ("npron",),
+    "they": ("npron",),
+    "i": ("npron",),
+    "we": ("npron",),
+    "him": ("apron",),
+    "her": ("apron",),
+    "them": ("apron",),
+    "me": ("apron",),
+    "us": ("apron",),
+    "it": ("npron", "apron"),
+    "you": ("npron", "apron"),
+    # proper nouns
+    "john": ("pnoun",),
+    "mary": ("pnoun",),
+    "rover": ("pnoun",),
+    "purdue": ("pnoun",),
+    # copula
+    "is": ("cop",),
+    "are": ("cop",),
+    "was": ("cop",),
+    # relative pronoun
+    "that": ("relpron",),
+}
+
+
+@lru_cache(maxsize=1)
+def english_extended_grammar() -> CDGGrammar:
+    builder = GrammarBuilder("english-extended")
+    builder.labels(
+        "DET", "MOD", "SUBJ", "OBJ", "POBJ", "PP", "ROOT", "VMOD",  # base governor
+        "PRED", "RSUBJ", "RROOT",  # new governor labels
+        "NP", "S", "PNP", "BLANK",  # needs labels
+    )
+    builder.roles("governor", "needs")
+    builder.categories(
+        "det", "adj", "noun", "verb", "prep", "adv",
+        "npron", "apron", "pnoun", "cop", "relpron",
+    )
+    builder.table(
+        "governor",
+        "DET", "MOD", "SUBJ", "OBJ", "POBJ", "PP", "ROOT", "VMOD", "PRED", "RSUBJ", "RROOT",
+    )
+    builder.table("needs", "NP", "S", "PNP", "BLANK")
+
+    builder.lexical("governor", "det", "DET")
+    builder.lexical("governor", "adj", "MOD", "PRED")
+    builder.lexical("governor", "noun", "SUBJ", "OBJ", "POBJ")
+    builder.lexical("governor", "pnoun", "SUBJ", "OBJ", "POBJ")
+    builder.lexical("governor", "npron", "SUBJ")
+    builder.lexical("governor", "apron", "OBJ", "POBJ")
+    builder.lexical("governor", "verb", "ROOT", "RROOT")
+    builder.lexical("governor", "cop", "ROOT")
+    builder.lexical("governor", "prep", "PP")
+    builder.lexical("governor", "adv", "VMOD")
+    builder.lexical("governor", "relpron", "RSUBJ")
+    for cat in ("det", "adj", "adv", "npron", "apron", "relpron"):
+        builder.lexical("needs", cat, "BLANK")
+    builder.lexical("needs", "noun", "NP", "BLANK")
+    builder.lexical("needs", "pnoun", "BLANK")
+    builder.lexical("needs", "verb", "S")
+    builder.lexical("needs", "cop", "S")
+    builder.lexical("needs", "prep", "PNP")
+
+    for word, cats in {**BASE_LEXICON, **EXTRA_LEXICON}.items():
+        builder.word(word, *cats)
+
+    # ---- helpers ------------------------------------------------------------
+    def is_cat(var: str, *cats: str) -> str:
+        tests = " ".join(f"(eq (cat (word (pos {var}))) {cat})" for cat in cats)
+        return tests if len(cats) == 1 else f"(or {tests})"
+
+    def mod_cat(var: str, *cats: str) -> str:
+        tests = " ".join(f"(eq (cat (word (mod {var}))) {cat})" for cat in cats)
+        return tests if len(cats) == 1 else f"(or {tests})"
+
+    # ---- unary constraints ----------------------------------------------------
+
+    builder.constraint(
+        "blank-means-no-modifiee",
+        """
+        (if (eq (lab x) BLANK)
+            (eq (mod x) nil))
+        """,
+    )
+    builder.constraint(
+        "det-governor",
+        f"""
+        (if (and {is_cat('x', 'det')} (eq (role x) governor))
+            (and (eq (lab x) DET)
+                 (gt (mod x) (pos x))
+                 {mod_cat('x', 'noun')}))
+        """,
+    )
+    builder.constraint(
+        "adj-governor",
+        f"""
+        (if (and {is_cat('x', 'adj')} (eq (role x) governor))
+            (or (and (eq (lab x) MOD)
+                     (gt (mod x) (pos x))
+                     {mod_cat('x', 'noun')})
+                (and (eq (lab x) PRED)
+                     (lt (mod x) (pos x))
+                     {mod_cat('x', 'cop')})))
+        """,
+    )
+    builder.constraint(
+        "nominal-governor",
+        f"""
+        (if (and {is_cat('x', 'noun', 'pnoun')} (eq (role x) governor))
+            (or (and (eq (lab x) SUBJ)
+                     (gt (mod x) (pos x))
+                     {mod_cat('x', 'verb', 'cop')})
+                (and (eq (lab x) OBJ)
+                     (lt (mod x) (pos x))
+                     {mod_cat('x', 'verb')})
+                (and (eq (lab x) POBJ)
+                     (lt (mod x) (pos x))
+                     {mod_cat('x', 'prep')})))
+        """,
+    )
+    builder.constraint(
+        "nominative-pronoun-governor",
+        f"""
+        (if (and {is_cat('x', 'npron')} (eq (role x) governor))
+            (and (eq (lab x) SUBJ)
+                 (gt (mod x) (pos x))
+                 {mod_cat('x', 'verb', 'cop')}))
+        """,
+    )
+    builder.constraint(
+        "accusative-pronoun-governor",
+        f"""
+        (if (and {is_cat('x', 'apron')} (eq (role x) governor))
+            (or (and (eq (lab x) OBJ)
+                     (lt (mod x) (pos x))
+                     {mod_cat('x', 'verb')})
+                (and (eq (lab x) POBJ)
+                     (lt (mod x) (pos x))
+                     {mod_cat('x', 'prep')})))
+        """,
+    )
+    builder.constraint(
+        "noun-needs",
+        f"""
+        (if (and {is_cat('x', 'noun')} (eq (role x) needs))
+            (or (and (eq (lab x) BLANK) (eq (mod x) nil))
+                (and (eq (lab x) NP)
+                     (lt (mod x) (pos x))
+                     {mod_cat('x', 'det')})))
+        """,
+    )
+    builder.constraint(
+        "verb-governor",
+        f"""
+        (if (and {is_cat('x', 'verb')} (eq (role x) governor))
+            (or (and (eq (lab x) ROOT) (eq (mod x) nil))
+                (and (eq (lab x) RROOT)
+                     (lt (mod x) (pos x))
+                     {mod_cat('x', 'noun', 'pnoun')})))
+        """,
+    )
+    builder.constraint(
+        "verb-needs",
+        f"""
+        (if (and {is_cat('x', 'verb')} (eq (role x) needs))
+            (and (eq (lab x) S)
+                 (lt (mod x) (pos x))
+                 {mod_cat('x', 'noun', 'pnoun', 'npron', 'relpron')}))
+        """,
+    )
+    builder.constraint(
+        "copula-governor",
+        f"""
+        (if (and {is_cat('x', 'cop')} (eq (role x) governor))
+            (and (eq (lab x) ROOT) (eq (mod x) nil)))
+        """,
+    )
+    builder.constraint(
+        "copula-needs",
+        f"""
+        (if (and {is_cat('x', 'cop')} (eq (role x) needs))
+            (and (eq (lab x) S)
+                 (lt (mod x) (pos x))
+                 {mod_cat('x', 'noun', 'pnoun', 'npron')}))
+        """,
+    )
+    builder.constraint(
+        "prep-governor",
+        f"""
+        (if (and {is_cat('x', 'prep')} (eq (role x) governor))
+            (and (eq (lab x) PP)
+                 (lt (mod x) (pos x))
+                 {mod_cat('x', 'verb', 'noun', 'pnoun')}))
+        """,
+    )
+    builder.constraint(
+        "prep-needs",
+        f"""
+        (if (and {is_cat('x', 'prep')} (eq (role x) needs))
+            (and (eq (lab x) PNP)
+                 (gt (mod x) (pos x))
+                 {mod_cat('x', 'noun', 'pnoun', 'apron')}))
+        """,
+    )
+    builder.constraint(
+        "adv-governor",
+        f"""
+        (if (and {is_cat('x', 'adv')} (eq (role x) governor))
+            (and (eq (lab x) VMOD)
+                 (not (eq (mod x) nil))
+                 {mod_cat('x', 'verb')}))
+        """,
+    )
+    builder.constraint(
+        "relpron-governor",
+        f"""
+        (if (and {is_cat('x', 'relpron')} (eq (role x) governor))
+            (and (eq (lab x) RSUBJ)
+                 (gt (mod x) (pos x))
+                 {mod_cat('x', 'verb')}))
+        """,
+    )
+
+    # ---- binary constraints ----------------------------------------------------
+
+    builder.constraint(
+        "subj-modifies-root",
+        """
+        (if (and (eq (lab x) SUBJ)
+                 (eq (role y) governor)
+                 (eq (pos y) (mod x)))
+            (eq (lab y) ROOT))
+        """,
+    )
+    builder.constraint(
+        "rsubj-modifies-rroot",
+        """
+        (if (and (eq (lab x) RSUBJ)
+                 (eq (role y) governor)
+                 (eq (pos y) (mod x)))
+            (eq (lab y) RROOT))
+        """,
+    )
+    builder.constraint(
+        "obj-modifies-a-verb-root",
+        """
+        (if (and (eq (lab x) OBJ)
+                 (eq (role y) governor)
+                 (eq (pos y) (mod x)))
+            (or (eq (lab y) ROOT) (eq (lab y) RROOT)))
+        """,
+    )
+    builder.constraint(
+        "s-need-filled-by-a-subject",
+        """
+        (if (and (eq (lab x) S)
+                 (eq (role y) governor)
+                 (eq (pos y) (mod x)))
+            (and (or (eq (lab y) SUBJ) (eq (lab y) RSUBJ))
+                 (eq (mod y) (pos x))))
+        """,
+    )
+    builder.constraint(
+        "subj-fills-s-need",
+        """
+        (if (and (or (eq (lab x) SUBJ) (eq (lab x) RSUBJ))
+                 (eq (role y) needs)
+                 (eq (pos y) (mod x)))
+            (and (eq (lab y) S) (eq (mod y) (pos x))))
+        """,
+    )
+    builder.constraint(
+        "det-fills-np-need",
+        """
+        (if (and (eq (lab x) DET)
+                 (eq (role y) needs)
+                 (eq (pos y) (mod x)))
+            (and (eq (lab y) NP) (eq (mod y) (pos x))))
+        """,
+    )
+    builder.constraint(
+        "np-need-filled-by-det",
+        """
+        (if (and (eq (lab x) NP)
+                 (eq (role y) governor)
+                 (eq (pos y) (mod x)))
+            (and (eq (lab y) DET) (eq (mod y) (pos x))))
+        """,
+    )
+    builder.constraint(
+        "pnp-need-filled-by-pobj",
+        """
+        (if (and (eq (lab x) PNP)
+                 (eq (role y) governor)
+                 (eq (pos y) (mod x)))
+            (and (eq (lab y) POBJ) (eq (mod y) (pos x))))
+        """,
+    )
+    builder.constraint(
+        "pobj-fills-pnp-need",
+        """
+        (if (and (eq (lab x) POBJ)
+                 (eq (role y) needs)
+                 (eq (pos y) (mod x)))
+            (and (eq (lab y) PNP) (eq (mod y) (pos x))))
+        """,
+    )
+    builder.constraint(
+        "single-root",
+        """
+        (if (and (eq (lab x) ROOT) (eq (lab y) ROOT))
+            (eq (pos x) (pos y)))
+        """,
+    )
+    builder.constraint(
+        "object-unique",
+        """
+        (if (and (eq (lab x) OBJ) (eq (lab y) OBJ))
+            (or (eq (pos x) (pos y))
+                (not (eq (mod x) (mod y)))))
+        """,
+    )
+    builder.constraint(
+        "pred-unique",
+        """
+        (if (and (eq (lab x) PRED) (eq (lab y) PRED))
+            (or (eq (pos x) (pos y))
+                (not (eq (mod x) (mod y)))))
+        """,
+    )
+    builder.constraint(
+        "rroot-unique-per-noun",
+        """
+        (if (and (eq (lab x) RROOT) (eq (lab y) RROOT))
+            (or (eq (pos x) (pos y))
+                (not (eq (mod x) (mod y)))))
+        """,
+    )
+    builder.constraint(
+        "det-precedes-adjectives",
+        """
+        (if (and (eq (lab x) DET)
+                 (eq (lab y) MOD)
+                 (eq (mod x) (mod y)))
+            (lt (pos x) (pos y)))
+        """,
+    )
+    builder.constraint(
+        "vmod-modifies-a-root",
+        """
+        (if (and (eq (lab x) VMOD)
+                 (eq (role y) governor)
+                 (eq (pos y) (mod x)))
+            (or (eq (lab y) ROOT) (eq (lab y) RROOT)))
+        """,
+    )
+    builder.constraint(
+        "pp-attaches-to-verb-or-nominal",
+        """
+        (if (and (eq (lab x) PP)
+                 (eq (role y) governor)
+                 (eq (pos y) (mod x)))
+            (or (eq (lab y) ROOT)
+                (eq (lab y) RROOT)
+                (eq (lab y) SUBJ)
+                (eq (lab y) OBJ)
+                (eq (lab y) POBJ)))
+        """,
+    )
+    # The relative pronoun sits between the head noun and the embedded verb.
+    builder.constraint(
+        "relative-clause-contiguity",
+        """
+        (if (and (eq (lab x) RROOT)
+                 (eq (lab y) RSUBJ)
+                 (eq (mod y) (pos x)))
+            (and (gt (pos y) (mod x))
+                 (lt (pos y) (pos x))))
+        """,
+    )
+    # The relative clause span (head noun .. embedded verb) must not
+    # contain the main verb — the projectivity that rules out reading
+    # "the dog that barks runs" with *barks* as the main verb and a
+    # trailing relative "that runs".  (The language has no arithmetic, so
+    # adjacency is enforced through span non-crossing, the same idiom the
+    # Dyck grammar uses.)
+    builder.constraint(
+        "relative-clause-does-not-cross-root",
+        """
+        (if (and (eq (lab x) RROOT)
+                 (eq (lab y) ROOT))
+            (or (lt (pos y) (mod x))
+                (gt (pos y) (pos x))))
+        """,
+    )
+    return builder.build()

@@ -1,0 +1,126 @@
+"""A case-marked free-word-order grammar.
+
+Paper section 1.5: "In CDG parsing, if a constraint applies to a word,
+it does not matter where in the sentence the word is (unless the
+constraint needs to relate the order of two words) ... there is no
+notion of left-to-right parsing", which the authors argue suits spoken
+language with "repeated and aborted phrases".
+
+This grammar makes the claim concrete with a miniature case-marking
+language (Latin-style): nominative and accusative nouns plus a
+transitive verb, with **no ordering constraints at all** — grammatical
+function comes from case morphology, so every permutation of a valid
+clause parses, and always to the same dependency structure.  The tests
+verify exactly that: all 6 orders of subject/verb/object accepted with
+identical heads, and case violations rejected in every order.
+
+Lexicon (word-final -a = nominative, -am = accusative, mirroring the
+first declension): puella/puellam (girl), agricola/agricolam (farmer),
+stella/stellam (star); verbs amat (loves), videt (sees).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.grammar.builder import GrammarBuilder
+from repro.grammar.grammar import CDGGrammar
+
+NOUNS = ("puella", "agricola", "stella")
+VERBS = ("amat", "videt")
+
+
+@lru_cache(maxsize=1)
+def free_order_grammar() -> CDGGrammar:
+    builder = GrammarBuilder("free-order")
+    builder.labels("SUBJ", "OBJ", "ROOT", "S", "O", "BLANK")
+    builder.roles("governor", "needs")
+    builder.categories("nom", "acc", "verb")
+    builder.table("governor", "SUBJ", "OBJ", "ROOT")
+    builder.table("needs", "S", "O", "BLANK")
+    for stem in NOUNS:
+        builder.word(stem, "nom")
+        builder.word(stem + "m", "acc")
+    for verb in VERBS:
+        builder.word(verb, "verb")
+
+    # Case determines function; note: NO position comparisons anywhere.
+    builder.constraint(
+        "nominative-is-subject",
+        """
+        (if (and (eq (cat (word (pos x))) nom) (eq (role x) governor))
+            (and (eq (lab x) SUBJ)
+                 (not (eq (mod x) nil))
+                 (eq (cat (word (mod x))) verb)))
+        """,
+    )
+    builder.constraint(
+        "accusative-is-object",
+        """
+        (if (and (eq (cat (word (pos x))) acc) (eq (role x) governor))
+            (and (eq (lab x) OBJ)
+                 (not (eq (mod x) nil))
+                 (eq (cat (word (mod x))) verb)))
+        """,
+    )
+    builder.constraint(
+        "nouns-need-nothing",
+        """
+        (if (and (or (eq (cat (word (pos x))) nom)
+                     (eq (cat (word (pos x))) acc))
+                 (eq (role x) needs))
+            (and (eq (lab x) BLANK) (eq (mod x) nil)))
+        """,
+    )
+    builder.constraint(
+        "verb-is-root",
+        """
+        (if (and (eq (cat (word (pos x))) verb) (eq (role x) governor))
+            (and (eq (lab x) ROOT) (eq (mod x) nil)))
+        """,
+    )
+    # The verb needs a subject (via its needs role) and exactly one
+    # object (via the uniqueness constraint below) — in any direction.
+    builder.constraint(
+        "verb-needs-subject",
+        """
+        (if (and (eq (cat (word (pos x))) verb) (eq (role x) needs))
+            (and (eq (lab x) S)
+                 (not (eq (mod x) nil))
+                 (eq (cat (word (mod x))) nom)))
+        """,
+    )
+    builder.constraint(
+        "s-need-filled-by-subj",
+        """
+        (if (and (eq (lab x) S)
+                 (eq (role y) governor)
+                 (eq (pos y) (mod x)))
+            (and (eq (lab y) SUBJ) (eq (mod y) (pos x))))
+        """,
+    )
+    builder.constraint(
+        "subj-fills-s-need",
+        """
+        (if (and (eq (lab x) SUBJ)
+                 (eq (role y) needs)
+                 (eq (pos y) (mod x)))
+            (and (eq (lab y) S) (eq (mod y) (pos x))))
+        """,
+    )
+    builder.constraint(
+        "object-unique",
+        """
+        (if (and (eq (lab x) OBJ) (eq (lab y) OBJ))
+            (or (eq (pos x) (pos y))
+                (not (eq (mod x) (mod y)))))
+        """,
+    )
+    builder.constraint(
+        "single-root",
+        """
+        (if (and (eq (lab x) ROOT) (eq (lab y) ROOT))
+            (eq (pos x) (pos y)))
+        """,
+    )
+    return builder.build()

@@ -1,0 +1,130 @@
+"""The paper's worked example grammar for "The program runs" (section 1).
+
+Labels, roles, table T, lexicon and all ten constraints are transcribed
+verbatim from the paper, so the constraint-network states after each
+propagation step can be asserted against Figures 1-7 exactly
+(``tests/test_paper_figures.py``).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.grammar.builder import GrammarBuilder
+from repro.grammar.grammar import CDGGrammar
+
+
+@lru_cache(maxsize=1)
+def program_grammar() -> CDGGrammar:
+    """Build the "The program runs" grammar from the paper."""
+    builder = GrammarBuilder("program")
+    builder.labels("SUBJ", "ROOT", "DET", "NP", "S", "BLANK")
+    builder.roles("governor", "needs")
+    builder.categories("det", "noun", "verb")
+    builder.table("governor", "SUBJ", "ROOT", "DET")
+    builder.table("needs", "NP", "S", "BLANK")
+    builder.words(
+        {
+            "the": "det",
+            "a": "det",
+            "program": "noun",
+            "runs": "verb",
+        }
+    )
+
+    # -- unary constraints (paper section 1.3) -----------------------------
+
+    builder.constraint(
+        "verbs-are-ungoverned-roots",
+        """
+        (if (and (eq (cat (word (pos x))) verb)
+                 (eq (role x) governor))
+            (and (eq (lab x) ROOT)
+                 (eq (mod x) nil)))
+        """,
+    )
+    builder.constraint(
+        "verbs-need-s",
+        """
+        (if (and (eq (cat (word (pos x))) verb)
+                 (eq (role x) needs))
+            (and (eq (lab x) S)
+                 (not (eq (mod x) nil))))
+        """,
+    )
+    builder.constraint(
+        "nouns-are-subjects",
+        """
+        (if (and (eq (cat (word (pos x))) noun)
+                 (eq (role x) governor))
+            (and (eq (lab x) SUBJ)
+                 (not (eq (mod x) nil))))
+        """,
+    )
+    builder.constraint(
+        "nouns-need-np",
+        """
+        (if (and (eq (cat (word (pos x))) noun)
+                 (eq (role x) needs))
+            (and (eq (lab x) NP)
+                 (not (eq (mod x) nil))))
+        """,
+    )
+    builder.constraint(
+        "dets-are-determiners",
+        """
+        (if (and (eq (cat (word (pos x))) det)
+                 (eq (role x) governor))
+            (and (eq (lab x) DET)
+                 (not (eq (mod x) nil))))
+        """,
+    )
+    builder.constraint(
+        "dets-need-nothing",
+        """
+        (if (and (eq (cat (word (pos x))) det)
+                 (eq (role x) needs))
+            (and (eq (lab x) BLANK)
+                 (eq (mod x) nil)))
+        """,
+    )
+
+    # -- binary constraints (paper section 1.3) ----------------------------
+
+    builder.constraint(
+        "subj-governed-by-root-to-right",
+        """
+        (if (and (eq (lab x) SUBJ)
+                 (eq (lab y) ROOT))
+            (and (eq (mod x) (pos y))
+                 (lt (pos x) (pos y))))
+        """,
+    )
+    builder.constraint(
+        "s-needs-subj-to-left",
+        """
+        (if (and (eq (lab x) S)
+                 (eq (lab y) SUBJ))
+            (and (eq (mod x) (pos y))
+                 (gt (pos x) (pos y))))
+        """,
+    )
+    builder.constraint(
+        "det-governed-by-noun-to-right",
+        """
+        (if (and (eq (lab x) DET)
+                 (eq (cat (word (pos y))) noun))
+            (and (eq (mod x) (pos y))
+                 (lt (pos x) (pos y))))
+        """,
+    )
+    builder.constraint(
+        "np-needs-det-to-left",
+        """
+        (if (and (eq (lab x) NP)
+                 (eq (lab y) DET))
+            (and (eq (mod x) (pos y))
+                 (gt (pos x) (pos y))))
+        """,
+    )
+    return builder.build()

@@ -1,0 +1,208 @@
+"""The CDG grammar 5-tuple (paper section 1.1).
+
+A grammar is ``<Sigma, L(abels), R(oles), T(able), C(onstraints)>`` plus a
+lexicon mapping surface words to elements of Sigma.  ``T`` restricts which
+labels may appear in which role ("though T is not a necessary component
+of the grammar, it does make the analysis of a sentence more efficient");
+we additionally support the footnote's refinement — restricting labels by
+word category — through the optional *lexical table*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import GrammarError
+from repro.constraints import Constraint, SymbolTable
+from repro.grammar.lexicon import Lexicon
+
+
+@dataclass(frozen=True)
+class Sentence:
+    """A tokenized input sentence with resolved category sets.
+
+    Positions are 1-based throughout, as in the paper ("program ...
+    modifies runs, the third word in the sentence"); index 0 is reserved
+    for the ``nil`` modifiee.
+
+    Attributes:
+        words: surface tokens, in order.
+        category_sets: ``category_sets[i]`` is the frozenset of category
+            codes word ``i + 1`` may have.
+    """
+
+    words: tuple[str, ...]
+    category_sets: tuple[frozenset[int], ...]
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+    def canbe_array(self, n_categories: int) -> np.ndarray:
+        """Bool array of shape ``(n + 1, n_categories)``; row 0 all-False."""
+        table = np.zeros((len(self.words) + 1, n_categories), dtype=bool)
+        for position, cats in enumerate(self.category_sets, start=1):
+            for code in cats:
+                table[position, code] = True
+        return table
+
+    def canbe_sets(self) -> tuple[frozenset[int], ...]:
+        """Category sets indexed by position, with ``[0]`` empty (nil)."""
+        return (frozenset(),) + self.category_sets
+
+
+class CDGGrammar:
+    """An immutable-after-validation CDG grammar.
+
+    Build one with :class:`repro.grammar.builder.GrammarBuilder` or load it
+    from text with :func:`repro.grammar.loader.load_grammar`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        symbols: SymbolTable,
+        table: dict[int, frozenset[int]],
+        constraints: list[Constraint],
+        lexicon: Lexicon,
+        lexical_table: dict[tuple[int, int], frozenset[int]] | None = None,
+    ):
+        self.name = name
+        self.symbols = symbols
+        self.table = table
+        self.constraints = list(constraints)
+        self.lexicon = lexicon
+        #: Optional (role, category) -> allowed labels refinement of T.
+        self.lexical_table = dict(lexical_table or {})
+        self._validate()
+
+    # -- structural views --------------------------------------------------
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        return self.symbols.labels.names()
+
+    @property
+    def roles(self) -> tuple[str, ...]:
+        return self.symbols.roles.names()
+
+    @property
+    def categories(self) -> tuple[str, ...]:
+        return self.symbols.categories.names()
+
+    @property
+    def n_roles(self) -> int:
+        """q — roles per word, a grammatical constant."""
+        return len(self.symbols.roles)
+
+    @property
+    def n_labels(self) -> int:
+        """p — distinct labels, a grammatical constant."""
+        return len(self.symbols.labels)
+
+    @property
+    def unary_constraints(self) -> list[Constraint]:
+        return [c for c in self.constraints if c.is_unary]
+
+    @property
+    def binary_constraints(self) -> list[Constraint]:
+        return [c for c in self.constraints if c.is_binary]
+
+    @property
+    def k(self) -> int:
+        """k — the total number of constraints, the paper's running-time factor."""
+        return len(self.constraints)
+
+    def allowed_labels(self, role: int, category: int | None = None) -> frozenset[int]:
+        """Labels T admits for *role*, refined by *category* when available."""
+        base = self.table.get(role, frozenset(range(self.n_labels)))
+        if category is None:
+            return base
+        refined = self.lexical_table.get((role, category))
+        if refined is None:
+            return base
+        return base & refined
+
+    # -- sentence admission --------------------------------------------------
+
+    def tokenize(self, text: str | list[str] | tuple[str, ...]) -> Sentence:
+        """Turn raw text (or a token list) into a :class:`Sentence`.
+
+        Raises:
+            LexiconError: when a token is not covered by the lexicon.
+            GrammarError: for an empty sentence.
+        """
+        if isinstance(text, str):
+            tokens = [tok for tok in text.replace(".", " ").split() if tok]
+        else:
+            tokens = list(text)
+        if not tokens:
+            raise GrammarError("cannot parse an empty sentence")
+        cats = tuple(self.lexicon.categories_of(word) for word in tokens)
+        return Sentence(words=tuple(tokens), category_sets=cats)
+
+    def tokenize_lattice(self, alternatives: list[list[str]] | list[tuple[str, ...]]) -> Sentence:
+        """Build a :class:`Sentence` from per-position word hypotheses.
+
+        This is the speech-recognition interface the paper motivates: a
+        recognizer emits several candidate words per position, and the
+        parser constrains them jointly — each position's category set is
+        the union over its hypotheses, and the constraint network's
+        category-coherence machinery selects among them exactly as it
+        does for lexically ambiguous words.
+
+        Args:
+            alternatives: one non-empty list of candidate words per
+                sentence position.
+
+        Raises:
+            GrammarError: on an empty lattice or an empty position.
+            LexiconError: when a hypothesis is not in the lexicon.
+        """
+        if not alternatives:
+            raise GrammarError("cannot parse an empty lattice")
+        words = []
+        cats = []
+        for position, candidates in enumerate(alternatives, start=1):
+            if not candidates:
+                raise GrammarError(f"lattice position {position} has no hypotheses")
+            union: frozenset[int] = frozenset()
+            for word in candidates:
+                union |= self.lexicon.categories_of(word)
+            words.append("|".join(candidates))
+            cats.append(union)
+        return Sentence(words=tuple(words), category_sets=tuple(cats))
+
+    # -- validation ----------------------------------------------------------
+
+    def _validate(self) -> None:
+        n_roles = len(self.symbols.roles)
+        n_labels = len(self.symbols.labels)
+        if n_roles < 1:
+            raise GrammarError("a grammar needs at least one role")
+        if n_labels < 1:
+            raise GrammarError("a grammar needs at least one label")
+        for role, labels in self.table.items():
+            if not 0 <= role < n_roles:
+                raise GrammarError(f"table entry for unknown role code {role}")
+            for lab in labels:
+                if not 0 <= lab < n_labels:
+                    raise GrammarError(f"table for role {role} lists unknown label code {lab}")
+        for (role, cat), labels in self.lexical_table.items():
+            if not 0 <= role < n_roles:
+                raise GrammarError(f"lexical table entry for unknown role code {role}")
+            if not 0 <= cat < len(self.symbols.categories):
+                raise GrammarError(f"lexical table entry for unknown category code {cat}")
+            for lab in labels:
+                if not 0 <= lab < n_labels:
+                    raise GrammarError(f"lexical table lists unknown label code {lab}")
+        if len(self.lexicon) == 0:
+            raise GrammarError("the lexicon is empty")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CDGGrammar({self.name!r}: {self.n_labels} labels, {self.n_roles} roles, "
+            f"{len(self.unary_constraints)} unary + {len(self.binary_constraints)} binary constraints, "
+            f"{len(self.lexicon)} lexicon entries)"
+        )

@@ -1,0 +1,62 @@
+"""Lexicon: surface words -> possible part-of-speech categories.
+
+The paper's constraint networks record "the possible parts of speech for
+that word" in each node; lexical ambiguity (e.g. *program* as noun or
+verb) is therefore first-class here.  Lookup is case-insensitive on the
+word form, which is how the examples in the paper treat "The".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import LexiconError
+from repro.constraints.symbols import Interner
+
+
+class Lexicon:
+    """A finite word -> category-set map over an interned category space."""
+
+    def __init__(self, categories: Interner):
+        self._categories = categories
+        self._entries: dict[str, frozenset[int]] = {}
+
+    @property
+    def categories(self) -> Interner:
+        return self._categories
+
+    def add(self, word: str, *category_names: str) -> None:
+        """Add (or extend) the entry for *word*."""
+        if not category_names:
+            raise LexiconError(f"word {word!r} needs at least one category")
+        codes = frozenset(self._categories.code(name) for name in category_names)
+        key = word.lower()
+        self._entries[key] = self._entries.get(key, frozenset()) | codes
+
+    def categories_of(self, word: str) -> frozenset[int]:
+        """Category codes for *word*; raises :class:`LexiconError` if unknown."""
+        try:
+            return self._entries[word.lower()]
+        except KeyError:
+            raise LexiconError(f"word {word!r} is not in the lexicon") from None
+
+    def category_names_of(self, word: str) -> frozenset[str]:
+        return frozenset(self._categories.name(code) for code in self.categories_of(word))
+
+    def __contains__(self, word: str) -> bool:
+        return word.lower() in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def words(self) -> tuple[str, ...]:
+        return tuple(sorted(self._entries))
+
+    def items(self) -> Iterable[tuple[str, frozenset[int]]]:
+        return self._entries.items()
+
+    def as_mapping(self) -> Mapping[str, frozenset[int]]:
+        return dict(self._entries)

@@ -1,0 +1,143 @@
+"""Load CDG grammars from an s-expression text format.
+
+Format::
+
+    (grammar NAME
+      (labels SUBJ ROOT DET NP S BLANK)
+      (roles governor needs)
+      (categories det noun verb)
+      (table (governor SUBJ ROOT DET)
+             (needs NP S BLANK))
+      (lexical (governor noun SUBJ ROOT))      ; optional refinement of T
+      (lexicon (the det) (program noun verb) (runs verb))
+      (constraint verbs-are-roots
+        (if (and (eq (cat (word (pos x))) verb)
+                 (eq (role x) governor))
+            (and (eq (lab x) ROOT) (eq (mod x) nil)))))
+
+:func:`dump_grammar` writes the same format back out, and the round trip
+is covered by tests.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import GrammarError
+from repro.sexpr import parse_one
+from repro.sexpr.nodes import Atom, SList, SNode, sexpr_to_str
+from repro.grammar.builder import GrammarBuilder
+from repro.grammar.grammar import CDGGrammar
+
+
+def _symbol(node: SNode, context: str) -> str:
+    if isinstance(node, Atom) and node.is_symbol:
+        return node.symbol()
+    raise GrammarError(f"expected a symbol in {context}, got {sexpr_to_str(node)}")
+
+
+def _word(node: SNode, context: str) -> str:
+    """A lexicon word form — may look like an integer ("3", "42")."""
+    if isinstance(node, Atom):
+        return str(node.value)
+    raise GrammarError(f"expected a word in {context}, got {sexpr_to_str(node)}")
+
+
+def _symbols(nodes, context: str) -> list[str]:
+    return [_symbol(node, context) for node in nodes]
+
+
+def load_grammar(source: str) -> CDGGrammar:
+    """Parse one ``(grammar NAME ...)`` form into a :class:`CDGGrammar`."""
+    top = parse_one(source)
+    if not isinstance(top, SList) or top.head_symbol != "grammar" or len(top) < 2:
+        raise GrammarError("grammar text must start with (grammar NAME ...)")
+    name = _symbol(top[1], "(grammar NAME ...)")
+    builder = GrammarBuilder(name)
+
+    sections = list(top.items[2:])
+    # Namespace sections must be interned before anything that uses them,
+    # regardless of the order they appear in the file.
+    for section in sections:
+        if not isinstance(section, SList) or section.head_symbol is None:
+            raise GrammarError(f"bad grammar section: {sexpr_to_str(section)}")
+        head = section.head_symbol
+        if head == "labels":
+            builder.labels(*_symbols(section.args, "(labels ...)"))
+        elif head == "roles":
+            builder.roles(*_symbols(section.args, "(roles ...)"))
+        elif head == "categories":
+            builder.categories(*_symbols(section.args, "(categories ...)"))
+
+    for section in sections:
+        head = section.head_symbol  # type: ignore[union-attr]
+        if head in ("labels", "roles", "categories"):
+            continue
+        if head == "table":
+            for entry in section.args:  # type: ignore[union-attr]
+                if not isinstance(entry, SList) or len(entry) < 2:
+                    raise GrammarError(f"bad table entry: {sexpr_to_str(entry)}")
+                names = _symbols(entry.items, "(table (role LABEL...))")
+                builder.table(names[0], *names[1:])
+        elif head == "lexical":
+            for entry in section.args:  # type: ignore[union-attr]
+                if not isinstance(entry, SList) or len(entry) < 3:
+                    raise GrammarError(f"bad lexical entry: {sexpr_to_str(entry)}")
+                names = _symbols(entry.items, "(lexical (role category LABEL...))")
+                builder.lexical(names[0], names[1], *names[2:])
+        elif head == "lexicon":
+            for entry in section.args:  # type: ignore[union-attr]
+                if not isinstance(entry, SList) or len(entry) < 2:
+                    raise GrammarError(f"bad lexicon entry: {sexpr_to_str(entry)}")
+                word = _word(entry[0], "(lexicon (word category...))")
+                cats = _symbols(entry.items[1:], "(lexicon (word category...))")
+                builder.word(word, *cats)
+        elif head == "constraint":
+            args = section.args  # type: ignore[union-attr]
+            if len(args) != 2:
+                raise GrammarError(f"(constraint NAME (if ...)) expected, got {sexpr_to_str(section)}")
+            cname = _symbol(args[0], "(constraint NAME ...)")
+            builder.constraint(cname, sexpr_to_str(args[1]))
+        else:
+            raise GrammarError(f"unknown grammar section {head!r}")
+
+    return builder.build()
+
+
+def load_grammar_file(path: str | Path) -> CDGGrammar:
+    """Load a grammar from a ``.cdg`` file."""
+    return load_grammar(Path(path).read_text())
+
+
+def dump_grammar(grammar: CDGGrammar) -> str:
+    """Render *grammar* back to the text format (inverse of :func:`load_grammar`)."""
+    lines = [f"(grammar {grammar.name}"]
+    lines.append("  (labels " + " ".join(grammar.labels) + ")")
+    lines.append("  (roles " + " ".join(grammar.roles) + ")")
+    lines.append("  (categories " + " ".join(grammar.categories) + ")")
+    table_entries = []
+    for role_code in sorted(grammar.table):
+        role_name = grammar.symbols.roles.name(role_code)
+        label_names = sorted(grammar.symbols.labels.name(code) for code in grammar.table[role_code])
+        table_entries.append(f"({role_name} " + " ".join(label_names) + ")")
+    if table_entries:
+        lines.append("  (table " + " ".join(table_entries) + ")")
+    lexical_entries = []
+    for (role_code, cat_code) in sorted(grammar.lexical_table):
+        role_name = grammar.symbols.roles.name(role_code)
+        cat_name = grammar.symbols.categories.name(cat_code)
+        label_names = sorted(
+            grammar.symbols.labels.name(code) for code in grammar.lexical_table[(role_code, cat_code)]
+        )
+        lexical_entries.append(f"({role_name} {cat_name} " + " ".join(label_names) + ")")
+    if lexical_entries:
+        lines.append("  (lexical " + " ".join(lexical_entries) + ")")
+    lexicon_entries = []
+    for word in grammar.lexicon.words():
+        cat_names = sorted(grammar.lexicon.category_names_of(word))
+        lexicon_entries.append(f"({word} " + " ".join(cat_names) + ")")
+    lines.append("  (lexicon " + " ".join(lexicon_entries) + ")")
+    for constraint in grammar.constraints:
+        lines.append(f"  (constraint {constraint.name} {constraint.source})")
+    lines.append(")")
+    return "\n".join(lines)

@@ -1,0 +1,41 @@
+"""Simulated MasPar MP-1: SIMD PE array, ACU, global router, scans.
+
+See DESIGN.md ("Hardware / data gates and substitutions") for why a
+cycle-costed simulator stands in for the 1992 hardware and what was
+calibrated against the paper's reported timings.
+"""
+
+from repro.maspar.cost import DEFAULT_COST_MODEL, CostModel
+from repro.maspar.machine import MP1, OpCounts
+from repro.maspar.mpl import MPLContext, Plural
+from repro.maspar.scans import (
+    segment_reduce_add,
+    segment_reduce_and,
+    segment_reduce_max,
+    segment_reduce_or,
+    segment_starts,
+    segmented_scan_add,
+    segmented_scan_and,
+    segmented_scan_or,
+)
+from repro.maspar.xnet import grid_shape, xnet_reduce_or, xnet_shift
+
+__all__ = [
+    "MP1",
+    "OpCounts",
+    "MPLContext",
+    "Plural",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "segment_starts",
+    "segmented_scan_add",
+    "segmented_scan_and",
+    "segmented_scan_or",
+    "segment_reduce_add",
+    "segment_reduce_and",
+    "segment_reduce_or",
+    "segment_reduce_max",
+    "grid_shape",
+    "xnet_shift",
+    "xnet_reduce_or",
+]

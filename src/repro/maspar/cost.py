@@ -1,0 +1,65 @@
+"""Cycle cost model for the simulated MasPar MP-1.
+
+The MP-1 is a SIMD array of up to 16,384 4-bit processing elements
+clocked at 12.5 MHz; 32-bit integer operations run as 8 nibble-serial
+slices, the ACU broadcasts one instruction per macro step, and the
+global router performs segmented scans in a logarithmic number of
+stages [MasPar System Overview, 1990].
+
+Two constants cannot be derived from the architecture manuals alone —
+the effective per-macro-instruction ACU/MPL overhead and the router
+cycles per scan stage — so they are *calibrated* so that the simulated
+toy-grammar parse reproduces the paper's reported 0.15 s (see
+``repro.parsec.timing``; the calibration is a single multiplicative
+factor, so every *shape* claim — the ceil(q^2 n^4/16K) step function,
+the O(log n) scans, the O(k) constraint sweep — is produced by the
+model, not by the fit).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-operation cycle costs for the MP-1.
+
+    Attributes:
+        clock_hz: PE array clock (12.5 MHz on the MP-1).
+        n_physical: physical PE count (16K on the largest MP-1, as the
+            paper uses).
+        pe_bits: ALU slice width; a w-bit ALU op costs ``w / pe_bits``.
+        broadcast_cycles: ACU -> PE array broadcast of one word.
+        instruction_overhead: ACU decode/issue overhead charged per
+            macro operation (covers the MPL runtime the paper's timings
+            inevitably include).
+        scan_cycles_per_stage: global-router cycles per scan stage; a
+            scan over ``m`` PEs runs ``ceil(log2 m)`` stages.
+        router_cycles: one global-router permutation (send/fetch).
+    """
+
+    clock_hz: float = 12.5e6
+    n_physical: int = 16384
+    pe_bits: int = 4
+    broadcast_cycles: int = 4
+    instruction_overhead: int = 12
+    scan_cycles_per_stage: int = 32
+    router_cycles: int = 64
+
+    def alu_cycles(self, width: int = 32) -> int:
+        """Cycles for one elementwise ALU op of *width* bits on all PEs."""
+        return max(1, width // self.pe_bits)
+
+    def scan_cycles(self, span: int) -> int:
+        """Cycles for one segmented scan over *span* virtual PEs."""
+        stages = max(1, math.ceil(math.log2(max(2, span))))
+        return stages * self.scan_cycles_per_stage
+
+    def seconds(self, cycles: int) -> float:
+        return cycles / self.clock_hz
+
+
+#: The model used throughout unless a caller overrides it.
+DEFAULT_COST_MODEL = CostModel()

@@ -1,0 +1,215 @@
+"""The simulated MasPar MP-1.
+
+The machine executes SIMD *macro operations* over plural (per-PE) numpy
+arrays: every call applies one operation to all (active) PEs in lock
+step, exactly the programming model MPL exposes, and charges the cycle
+cost from :class:`repro.maspar.cost.CostModel`.
+
+Processor virtualization (paper design decision 6 and section 2.2's
+"one processor may have to do the work of many to parse longer
+sentences"): a machine may be created with more *virtual* PEs than the
+physical 16,384.  Plural arrays are sized to the virtual count and every
+macro operation's cost is multiplied by ``ceil(virtual / physical)`` —
+each physical PE executes the op once per virtual PE it emulates.
+
+Local memory is bounded: allocations are charged against each physical
+PE's 16 KB, scaled by the virtualization factor, and exceeding it raises
+:class:`~repro.errors.MachineError` — the same wall the real machine has.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import MachineError, VirtualizationError
+from repro.maspar.cost import DEFAULT_COST_MODEL, CostModel
+from repro.maspar import scans
+
+
+@dataclass
+class OpCounts:
+    """How many macro operations of each kind the machine has executed."""
+
+    elementwise: int = 0
+    broadcast: int = 0
+    scan: int = 0
+    router: int = 0
+    reduce: int = 0
+
+    def total(self) -> int:
+        return self.elementwise + self.broadcast + self.scan + self.router + self.reduce
+
+
+class MP1:
+    """A MasPar MP-1 with cycle accounting and PE virtualization.
+
+    Args:
+        n_virtual: number of virtual PEs the program needs (plural array
+            length).  Defaults to the physical size.
+        cost: the cycle cost model.
+        memory_limit_bytes: per-physical-PE local memory (16 KB).
+        max_virtualization: guard against absurd virtual counts.
+    """
+
+    def __init__(
+        self,
+        n_virtual: int | None = None,
+        cost: CostModel = DEFAULT_COST_MODEL,
+        memory_limit_bytes: int = 16 * 1024,
+        max_virtualization: int = 4096,
+    ):
+        self.cost = cost
+        self.n_physical = cost.n_physical
+        self.n = int(n_virtual) if n_virtual is not None else self.n_physical
+        if self.n <= 0:
+            raise MachineError(f"need at least one virtual PE, got {self.n}")
+        self.vfactor = math.ceil(self.n / self.n_physical)
+        if self.vfactor > max_virtualization:
+            raise VirtualizationError(
+                f"{self.n} virtual PEs need virtualization factor {self.vfactor} "
+                f"> limit {max_virtualization}"
+            )
+        self.memory_limit_bytes = memory_limit_bytes
+        self.cycles = 0
+        self.ops = OpCounts()
+        self._allocated_bytes_per_pe = 0
+
+    # -- accounting ------------------------------------------------------
+
+    def _tick(self, cycles: int) -> None:
+        self.cycles += (cycles + self.cost.instruction_overhead) * self.vfactor
+
+    @property
+    def simulated_seconds(self) -> float:
+        """Wall-clock the modelled hardware would have spent."""
+        return self.cost.seconds(self.cycles)
+
+    # -- plural memory ------------------------------------------------------
+
+    def alloc(self, dtype=np.int32, fill=0, shape_tail: tuple[int, ...] = ()) -> np.ndarray:
+        """Allocate a plural variable: one element (or row) per virtual PE.
+
+        ``shape_tail`` adds per-PE extra dimensions (e.g. the l x l label
+        submatrix of paper Figure 13 is ``shape_tail=(l, l)``).
+        """
+        shape = (self.n, *shape_tail)
+        array = np.full(shape, fill, dtype=dtype)
+        per_pe = array.itemsize * int(np.prod(shape_tail, dtype=np.int64) or 1)
+        self._allocated_bytes_per_pe += per_pe * self.vfactor
+        if self._allocated_bytes_per_pe > self.memory_limit_bytes:
+            raise MachineError(
+                f"PE local memory exhausted: {self._allocated_bytes_per_pe} B "
+                f"> {self.memory_limit_bytes} B per PE "
+                f"(virtualization factor {self.vfactor})"
+            )
+        return array
+
+    @property
+    def allocated_bytes_per_pe(self) -> int:
+        return self._allocated_bytes_per_pe
+
+    def proc_id(self) -> np.ndarray:
+        """Each PE's processor id (free: it is wired in, paper section 2.2.2)."""
+        return np.arange(self.n, dtype=np.int64)
+
+    # -- ACU operations --------------------------------------------------------
+
+    def broadcast(self, value):
+        """ACU broadcasts one scalar to all PEs."""
+        self.ops.broadcast += 1
+        self._tick(self.cost.broadcast_cycles)
+        return value
+
+    def elementwise(self, fn, *arrays, width: int = 32, ops: int = 1):
+        """One SIMD ALU macro-op: apply *fn* to plural operands.
+
+        ``ops`` charges *fn* as that many ALU instructions (a compiled
+        constraint is a short straight-line predicate program, so the
+        caller passes its instruction count).
+        """
+        self.ops.elementwise += ops
+        self._tick(self.cost.alu_cycles(width) * ops)
+        return fn(*arrays)
+
+    def select(self, cond: np.ndarray, a, b):
+        """Masked assignment — the SIMD ``if`` (activity control)."""
+        self.ops.elementwise += 1
+        self._tick(self.cost.alu_cycles(32))
+        return np.where(cond, a, b)
+
+    # -- global router: segmented scans ------------------------------------------
+
+    def _scan_tick(self) -> None:
+        self.ops.scan += 1
+        self._tick(self.cost.scan_cycles(self.n))
+
+    def scan_or(self, bits: np.ndarray, seg_id: np.ndarray) -> np.ndarray:
+        """Segmented inclusive OR scan (``scanOr()``)."""
+        self._scan_tick()
+        return scans.segmented_scan_or(bits, seg_id)
+
+    def scan_and(self, bits: np.ndarray, seg_id: np.ndarray) -> np.ndarray:
+        """Segmented inclusive AND scan (``scanAnd()``)."""
+        self._scan_tick()
+        return scans.segmented_scan_and(bits, seg_id)
+
+    def scan_add(self, values: np.ndarray, seg_id: np.ndarray) -> np.ndarray:
+        """Segmented inclusive prefix sum."""
+        self._scan_tick()
+        return scans.segmented_scan_add(values, seg_id)
+
+    def segment_or(self, bits: np.ndarray, seg_id: np.ndarray) -> np.ndarray:
+        """Per-segment OR broadcast back to every PE of the segment."""
+        self._scan_tick()
+        return scans.segment_reduce_or(bits, seg_id)
+
+    def segment_and(self, bits: np.ndarray, seg_id: np.ndarray) -> np.ndarray:
+        """Per-segment AND broadcast back to every PE of the segment."""
+        self._scan_tick()
+        return scans.segment_reduce_and(bits, seg_id)
+
+    def segment_add(self, values: np.ndarray, seg_id: np.ndarray) -> np.ndarray:
+        self._scan_tick()
+        return scans.segment_reduce_add(values, seg_id)
+
+    # -- global router: permutation traffic -----------------------------------------
+
+    def router_fetch(self, source: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        """Each PE fetches ``source[indices[pe]]`` through the router."""
+        if (np.asarray(indices) < 0).any() or (np.asarray(indices) >= len(source)).any():
+            raise MachineError("router fetch index out of range")
+        self.ops.router += 1
+        self._tick(self.cost.router_cycles)
+        return source[indices]
+
+    def router_send(self, dest_size: int, indices: np.ndarray, values: np.ndarray, mask: np.ndarray | None = None) -> np.ndarray:
+        """Each (masked) PE sends its value to ``out[indices[pe]]``.
+
+        Collisions resolve arbitrarily (last writer wins), matching the
+        router's delivery order being unspecified.
+        """
+        self.ops.router += 1
+        self._tick(self.cost.router_cycles)
+        out = np.zeros(dest_size, dtype=values.dtype)
+        if mask is None:
+            out[indices] = values
+        else:
+            out[indices[mask]] = values[mask]
+        return out
+
+    # -- global reductions to the ACU --------------------------------------------------
+
+    def reduce_or(self, bits: np.ndarray) -> bool:
+        """Global OR of one plural bit, delivered to the ACU."""
+        self.ops.reduce += 1
+        self._tick(self.cost.scan_cycles(self.n))
+        return bool(np.asarray(bits).any())
+
+    def reduce_add(self, values: np.ndarray) -> int:
+        """Global sum delivered to the ACU."""
+        self.ops.reduce += 1
+        self._tick(self.cost.scan_cycles(self.n))
+        return int(np.asarray(values).sum())

@@ -1,0 +1,168 @@
+"""An MPL-flavoured programming layer over the simulated MP-1.
+
+The paper's implementation language is MPL, "an extension of C which
+supports the SIMD parallelism of the MasPar": scalar-looking expressions
+over *plural* variables execute on every PE in lock step.  This module
+gives the simulator the same feel: a :class:`Plural` wraps a per-PE
+numpy array and charges the machine for every operator it evaluates, so
+kernel code reads like MPL while the cycle accounting stays exact.
+
+Example::
+
+    machine = MP1(n_virtual=1024)
+    mpl = MPLContext(machine)
+    iproc = mpl.iproc()               # plural int: each PE's id
+    flag = (iproc % 2 == 0) & (iproc > 10)
+    total = mpl.reduce_add(flag)      # ACU-side scalar
+
+Activity control (`if` over plural conditions) is expressed with
+:meth:`MPLContext.where`, which is how MPL compiles plural
+conditionals::
+
+    updated = mpl.where(flag, iproc * 2, iproc)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MachineError
+from repro.maspar.machine import MP1
+
+
+class Plural:
+    """A plural (per-PE) value; operators run SIMD and charge cycles."""
+
+    __slots__ = ("values", "_machine")
+
+    def __init__(self, machine: MP1, values: np.ndarray):
+        values = np.asarray(values)
+        if values.shape[:1] != (machine.n,):
+            raise MachineError(
+                f"plural variable must have one slot per virtual PE "
+                f"({machine.n}), got shape {values.shape}"
+            )
+        self.values = values
+        self._machine = machine
+
+    # -- helpers --------------------------------------------------------
+
+    def _coerce(self, other):
+        if isinstance(other, Plural):
+            return other.values
+        # Scalars reach the PEs by ACU broadcast.
+        self._machine.broadcast(other)
+        return other
+
+    def _binary(self, other, fn, width: int = 32) -> "Plural":
+        rhs = self._coerce(other)
+        out = self._machine.elementwise(fn, self.values, rhs, width=width)
+        return Plural(self._machine, out)
+
+    # -- arithmetic -------------------------------------------------------
+
+    def __add__(self, other):
+        return self._binary(other, np.add)
+
+    def __sub__(self, other):
+        return self._binary(other, np.subtract)
+
+    def __mul__(self, other):
+        return self._binary(other, np.multiply)
+
+    def __mod__(self, other):
+        return self._binary(other, np.mod)
+
+    def __floordiv__(self, other):
+        return self._binary(other, np.floor_divide)
+
+    # -- comparisons (1-bit results) -----------------------------------------
+
+    def __eq__(self, other):  # type: ignore[override]
+        return self._binary(other, np.equal, width=32)
+
+    def __ne__(self, other):  # type: ignore[override]
+        return self._binary(other, np.not_equal, width=32)
+
+    def __gt__(self, other):
+        return self._binary(other, np.greater, width=32)
+
+    def __lt__(self, other):
+        return self._binary(other, np.less, width=32)
+
+    def __ge__(self, other):
+        return self._binary(other, np.greater_equal, width=32)
+
+    def __le__(self, other):
+        return self._binary(other, np.less_equal, width=32)
+
+    # -- logic (on boolean plurals) ----------------------------------------------
+
+    def __and__(self, other):
+        return self._binary(other, np.logical_and, width=4)
+
+    def __or__(self, other):
+        return self._binary(other, np.logical_or, width=4)
+
+    def __invert__(self):
+        out = self._machine.elementwise(np.logical_not, self.values, width=4)
+        return Plural(self._machine, out)
+
+    def __hash__(self):  # pragma: no cover - identity hashing
+        return id(self)
+
+
+class MPLContext:
+    """Factory and ACU-side operations for plural programs."""
+
+    def __init__(self, machine: MP1):
+        self.machine = machine
+
+    # -- constructors -------------------------------------------------------
+
+    def iproc(self) -> Plural:
+        """The built-in processor-id plural (free, wired into each PE)."""
+        return Plural(self.machine, self.machine.proc_id())
+
+    def plural(self, values) -> Plural:
+        """Wrap an existing per-PE array."""
+        return Plural(self.machine, np.asarray(values))
+
+    def constant(self, value, dtype=np.int64) -> Plural:
+        """Broadcast one scalar into a plural variable."""
+        self.machine.broadcast(value)
+        return Plural(self.machine, np.full(self.machine.n, value, dtype=dtype))
+
+    # -- control -----------------------------------------------------------------
+
+    def where(self, condition: Plural, then: Plural, otherwise: Plural) -> Plural:
+        """Plural conditional (MPL's plural ``if``)."""
+        out = self.machine.select(condition.values, then.values, otherwise.values)
+        return Plural(self.machine, out)
+
+    # -- router / reductions --------------------------------------------------------
+
+    def scan_or(self, bits: Plural, segments: Plural) -> Plural:
+        return Plural(self.machine, self.machine.scan_or(bits.values, segments.values))
+
+    def scan_and(self, bits: Plural, segments: Plural) -> Plural:
+        return Plural(self.machine, self.machine.scan_and(bits.values, segments.values))
+
+    def scan_add(self, values: Plural, segments: Plural) -> Plural:
+        return Plural(self.machine, self.machine.scan_add(values.values, segments.values))
+
+    def segment_or(self, bits: Plural, segments: Plural) -> Plural:
+        return Plural(self.machine, self.machine.segment_or(bits.values, segments.values))
+
+    def segment_and(self, bits: Plural, segments: Plural) -> Plural:
+        return Plural(self.machine, self.machine.segment_and(bits.values, segments.values))
+
+    def fetch(self, source: Plural, indices: Plural) -> Plural:
+        """Router gather: each PE reads ``source[indices[pe]]``."""
+        return Plural(self.machine, self.machine.router_fetch(source.values, indices.values))
+
+    def reduce_or(self, bits: Plural) -> bool:
+        return self.machine.reduce_or(bits.values)
+
+    def reduce_add(self, values: Plural) -> int:
+        return self.machine.reduce_add(values.values)

@@ -1,0 +1,94 @@
+"""Segmented scan primitives (pure algorithms, no cost accounting).
+
+The MasPar's global router implements ``scanOr()``/``scanAnd()`` —
+logarithmic-time segmented reductions over the PE array [MasPar System
+Overview, 1990].  The machine layer (:mod:`repro.maspar.machine`) wraps
+these pure numpy implementations with cycle accounting; keeping the
+algorithms separate makes them independently testable against the
+obvious per-segment loops.
+
+Segments are described by a *segment id* array: a non-decreasing int
+array mapping each PE to its segment (the natural encoding of the
+"boundary PEs mark scanning segments" scheme of paper Figure 12).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _check_segments(values: np.ndarray, seg_id: np.ndarray) -> None:
+    if values.shape != seg_id.shape or values.ndim != 1:
+        raise ValueError(f"values {values.shape} and seg_id {seg_id.shape} must be equal-length 1-D")
+    if len(seg_id) and (np.diff(seg_id) < 0).any():
+        raise ValueError("segment ids must be non-decreasing")
+
+
+def segment_starts(seg_id: np.ndarray) -> np.ndarray:
+    """Boolean mask marking the first PE of each segment."""
+    starts = np.empty(len(seg_id), dtype=bool)
+    if len(seg_id):
+        starts[0] = True
+        np.not_equal(seg_id[1:], seg_id[:-1], out=starts[1:])
+    return starts
+
+
+def _start_indices(seg_id: np.ndarray) -> np.ndarray:
+    return np.flatnonzero(segment_starts(seg_id))
+
+
+def segmented_scan_add(values: np.ndarray, seg_id: np.ndarray) -> np.ndarray:
+    """Inclusive per-segment prefix sum."""
+    _check_segments(values, seg_id)
+    if len(values) == 0:
+        return values.astype(np.int64)
+    totals = np.cumsum(values.astype(np.int64))
+    starts_idx = _start_indices(seg_id)
+    # Sum of everything before each segment, repeated across the segment.
+    before = np.concatenate(([0], totals[starts_idx[1:] - 1]))
+    lengths = np.diff(np.append(starts_idx, len(values)))
+    return totals - np.repeat(before, lengths)
+
+
+def segmented_scan_or(bits: np.ndarray, seg_id: np.ndarray) -> np.ndarray:
+    """Inclusive per-segment OR scan."""
+    return segmented_scan_add(bits.astype(np.int64), seg_id) > 0
+
+
+def segmented_scan_and(bits: np.ndarray, seg_id: np.ndarray) -> np.ndarray:
+    """Inclusive per-segment AND scan."""
+    zeros = (~bits.astype(bool)).astype(np.int64)
+    return segmented_scan_add(zeros, seg_id) == 0
+
+
+def segment_reduce_add(values: np.ndarray, seg_id: np.ndarray) -> np.ndarray:
+    """Per-segment sum, broadcast back to every PE of the segment."""
+    _check_segments(values, seg_id)
+    if len(values) == 0:
+        return values.astype(np.int64)
+    starts_idx = _start_indices(seg_id)
+    sums = np.add.reduceat(values.astype(np.int64), starts_idx)
+    lengths = np.diff(np.append(starts_idx, len(values)))
+    return np.repeat(sums, lengths)
+
+
+def segment_reduce_or(bits: np.ndarray, seg_id: np.ndarray) -> np.ndarray:
+    """Per-segment OR, broadcast back — the paper's ``scanOr`` use."""
+    return segment_reduce_add(bits.astype(np.int64), seg_id) > 0
+
+
+def segment_reduce_and(bits: np.ndarray, seg_id: np.ndarray) -> np.ndarray:
+    """Per-segment AND, broadcast back — the paper's ``scanAnd`` use."""
+    zeros = (~bits.astype(bool)).astype(np.int64)
+    return segment_reduce_add(zeros, seg_id) == 0
+
+
+def segment_reduce_max(values: np.ndarray, seg_id: np.ndarray) -> np.ndarray:
+    """Per-segment max, broadcast back."""
+    _check_segments(values, seg_id)
+    if len(values) == 0:
+        return values
+    starts_idx = _start_indices(seg_id)
+    tops = np.maximum.reduceat(values, starts_idx)
+    lengths = np.diff(np.append(starts_idx, len(values)))
+    return np.repeat(tops, lengths)

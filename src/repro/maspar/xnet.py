@@ -1,0 +1,76 @@
+"""X-Net nearest-neighbour communication.
+
+The MP-1's PE array is physically a 128 x 128 grid with an 8-neighbour
+"X-Net" mesh.  PARSEC itself views the PEs as a linear array and uses
+the global router (paper section 2.2), but the mesh is part of the
+machine and the Figure-8 mesh baselines cost their communication with
+it, so it is modelled here: a shift moves every PE's value to its
+neighbour ``(dx, dy)`` away in one macro step.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import MachineError
+from repro.maspar.machine import MP1
+
+
+def grid_shape(n_pes: int) -> tuple[int, int]:
+    """The squarest 2-D factorization of *n_pes* (128 x 128 for 16 K)."""
+    side = int(math.isqrt(n_pes))
+    while side > 1 and n_pes % side:
+        side -= 1
+    return side, n_pes // side
+
+
+def xnet_reduce_or(machine: MP1, values: np.ndarray) -> bool:
+    """Global OR using only X-Net shifts (no router).
+
+    Folds the grid in halves: ``rows/2 + cols/2`` single-hop shift
+    rounds, each moving one half of the grid onto the other — O(sqrt P)
+    communication where the router's ``reduce_or`` takes O(log P).  The
+    Figure-8 mesh rows and the ABL-R ablation use exactly this contrast:
+    "because of the power of the global router" the MasPar gets
+    O(k + log n), while a pure mesh pays its diameter.
+    """
+    rows, cols = grid_shape(machine.n)
+    grid = values.reshape(rows, cols).astype(bool).copy()
+    # Sweep everything up to row 0, then left to cell (0, 0):
+    # (rows - 1) + (cols - 1) single-hop OR-shifts — the grid diameter.
+    for _ in range(rows - 1):
+        shifted = np.zeros_like(grid)
+        shifted[:-1, :] = grid[1:, :]
+        grid |= shifted
+        machine.ops.router += 1
+        machine._tick(machine.cost.alu_cycles(4))
+    for _ in range(cols - 1):
+        shifted = np.zeros_like(grid)
+        shifted[:, :-1] = grid[:, 1:]
+        grid |= shifted
+        machine.ops.router += 1
+        machine._tick(machine.cost.alu_cycles(4))
+    return bool(grid[0, 0])
+
+
+def xnet_shift(machine: MP1, values: np.ndarray, dx: int, dy: int, fill=0) -> np.ndarray:
+    """Shift a plural variable across the mesh by (dx, dy), edge-filled.
+
+    ``dx``/``dy`` must each be -1, 0 or 1 — the X-Net reaches the eight
+    immediate neighbours only; longer moves are repeated shifts.
+    """
+    if dx not in (-1, 0, 1) or dy not in (-1, 0, 1):
+        raise MachineError(f"X-Net reaches immediate neighbours only, got ({dx}, {dy})")
+    rows, cols = grid_shape(machine.n)
+    grid = values.reshape(rows, cols)
+    out = np.full_like(grid, fill)
+    src_r = slice(max(0, -dx), rows - max(0, dx))
+    dst_r = slice(max(0, dx), rows - max(0, -dx))
+    src_c = slice(max(0, -dy), cols - max(0, dy))
+    dst_c = slice(max(0, dy), cols - max(0, -dy))
+    out[dst_r, dst_c] = grid[src_r, src_c]
+    machine.ops.router += 1
+    machine._tick(machine.cost.alu_cycles(32))
+    return out.reshape(values.shape)

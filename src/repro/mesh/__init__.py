@@ -1,0 +1,6 @@
+"""2-D mesh substrate and CDG engine (Figure 8's mesh row)."""
+
+from repro.mesh.engine import MeshEngine
+from repro.mesh.machine import MeshMachine, MeshStats
+
+__all__ = ["MeshEngine", "MeshMachine", "MeshStats"]

@@ -1,0 +1,230 @@
+"""CDG parsing on a 2-D mesh — Figure 8's "2D Mesh / Cellular Automata" row.
+
+Figure 8 lists CDG parsing on a 2D mesh at **O(n^2) PEs, O(k + n^2)
+time**.  This engine realizes that design on the
+:class:`~repro.mesh.machine.MeshMachine` substrate:
+
+* the mesh is R x R cells, R = q*n roles — O(n^2) processors;
+* cell (i, j) owns the *entire arc matrix* between roles i and j
+  (a D x D block, D = O(n) role values), so each constraint is applied
+  by every cell serially scanning its local block: O(D^2) = O(n^2) local
+  work per constraint — the n^2 term of the running time;
+* consistency maintenance ORs each block's rows locally, ANDs across
+  the mesh row by shift-based reduce-broadcast (O(R) = O(n) single-hop
+  communication steps), and redistributes the updated liveness down the
+  columns from the diagonal.
+
+Time therefore measures as O(k * n^2) local work per cell plus O(k * n)
+communication — quadratic in n for the grammar-constant k, matching the
+figure's row (which absorbs k the same way).  The engine settles every
+network bit-identically to the other four; the Figure-8 bench reports
+its measured exponent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constraints import VectorEnv
+from repro.engines.base import EngineStats, ParserEngine, TraceHook
+from repro.mesh.machine import MeshMachine
+from repro.network.network import ConstraintNetwork
+from repro.propagation.filtering import filter_network
+
+#: ALU-op charge per compiled-constraint evaluation (as in the PARSEC kernels).
+CONSTRAINT_OPS = 24
+
+
+class MeshEngine(ParserEngine):
+    """CDG parsing on an R x R mesh of arc-matrix cells."""
+
+    name = "mesh"
+
+    def run(
+        self,
+        network: ConstraintNetwork,
+        *,
+        filter_limit: int | None = None,
+        trace: TraceHook | None = None,
+    ) -> EngineStats:
+        stats = EngineStats()
+        R = network.n_roles
+        sizes = [sl.stop - sl.start for sl in network.role_slices]
+        D = max(sizes)
+        mesh = MeshMachine(R, R)
+
+        # Per-role padded field tables (role, D).
+        def padded(field: np.ndarray, fill: int) -> np.ndarray:
+            table = np.full((R, D), fill, dtype=np.int32)
+            for role, sl in enumerate(network.role_slices):
+                table[role, : sizes[role]] = field[sl]
+            return table
+
+        fields = {
+            "pos": padded(network.pos, 0),
+            "role": padded(network.role_kind, -1),
+            "cat": padded(network.cat, -1),
+            "lab": padded(network.lab, -1),
+            "mod": padded(network.mod, -1),
+        }
+        valid = np.zeros((R, D), dtype=bool)
+        for role, size in enumerate(sizes):
+            valid[role, :size] = True
+
+        # Cell-local views: row role values vary along axis 2, column role
+        # values along axis 3 of the (R, R, D, D) block plane.
+        row_fields = {k: v[:, None, :, None] for k, v in fields.items()}
+        col_fields = {k: v[None, :, None, :] for k, v in fields.items()}
+        row_env = VectorEnv(x={k: v[:, None, :] for k, v in fields.items()}, y=None, canbe=network.canbe_array)
+
+        blocks = mesh.alloc("blocks", tail=(D, D), dtype=bool)
+        row_alive = mesh.alloc("row_alive", tail=(D,), dtype=bool)
+        col_alive = mesh.alloc("col_alive", tail=(D,), dtype=bool)
+
+        def initialize(blocks, row_alive, col_alive):
+            cross_role = ~np.eye(R, dtype=bool)
+            blocks[:] = cross_role[:, :, None, None]
+            blocks &= valid[:, None, :, None] & valid[None, :, None, :]
+            same_word = fields["pos"][:, 0][:, None] == fields["pos"][:, 0][None, :]
+            cat_clash = row_fields["cat"] != col_fields["cat"]
+            blocks &= ~(same_word[:, :, None, None] & cat_clash)
+            row_alive[:] = valid[:, None, :]
+            col_alive[:] = valid[None, :, :]
+
+        mesh.compute(initialize, "blocks", "row_alive", "col_alive", work_per_cell=D * D)
+
+        def sync(event: str) -> None:
+            if trace:
+                self._read_back(network, mesh, sizes)
+                trace(event, network)
+
+        # -- unary constraints: purely cell-local --------------------------
+        for constraint in network.grammar.unary_constraints:
+            permitted = constraint.vector(row_env)  # (R, 1, D) broadcast over roles
+            permitted = np.broadcast_to(permitted, (R, R, D))
+
+            def apply_unary(blocks, row_alive, col_alive, permitted=permitted):
+                row_alive &= permitted.transpose(0, 1, 2)[:, :, :]
+                col_alive &= permitted.transpose(1, 0, 2)[:, :, :]
+                blocks &= row_alive[:, :, :, None]
+                blocks &= col_alive[:, :, None, :]
+
+            mesh.compute(
+                apply_unary,
+                "blocks",
+                "row_alive",
+                "col_alive",
+                work_per_cell=CONSTRAINT_OPS * D + 2 * D * D,
+            )
+            stats.unary_checks += R * R * D
+            stats.role_values_killed = int(valid.sum()) - int(
+                mesh.plane("row_alive")[:, 0, :].sum()
+            )
+            sync(f"unary:{constraint.name}")
+        sync("unary-done")
+
+        # -- binary constraints + consistency ------------------------------
+        pair_env = VectorEnv(x=row_fields, y=col_fields, canbe=network.canbe_array)
+        swap_env = VectorEnv(x=col_fields, y=row_fields, canbe=network.canbe_array)
+        for constraint in network.grammar.binary_constraints:
+            permitted = constraint.vector(pair_env) & constraint.vector(swap_env)
+
+            def apply_binary(blocks, permitted=permitted):
+                blocks &= permitted
+
+            before = int(mesh.plane("blocks").sum())
+            mesh.compute(
+                apply_binary, "blocks", work_per_cell=2 * CONSTRAINT_OPS * D * D
+            )
+            stats.pair_checks += R * R * D * D
+            stats.matrix_entries_zeroed += before - int(mesh.plane("blocks").sum())
+            sync(f"binary:{constraint.name}")
+
+            killed = self._consistency(mesh, R, D)
+            stats.role_values_killed += killed
+            stats.consistency_passes += 1
+            sync(f"consistency:{constraint.name}")
+
+        # -- filtering -------------------------------------------------------
+        def counting_step(_net: ConstraintNetwork) -> int:
+            killed = self._consistency(mesh, R, D)
+            stats.role_values_killed += killed
+            stats.consistency_passes += 1
+            return killed
+
+        stats.filtering_iterations = filter_network(network, counting_step, limit=filter_limit)
+
+        self._read_back(network, mesh, sizes)
+        if trace:
+            trace("filtering-done", network)
+
+        stats.processors = mesh.cells
+        stats.parallel_steps = mesh.stats.total_steps
+        stats.extra.update(
+            {
+                "cells": mesh.cells,
+                "compute_steps": mesh.stats.compute_steps,
+                "comm_steps": mesh.stats.comm_steps,
+                "local_work": mesh.stats.local_work,
+                "mesh_time": mesh.stats.local_work // mesh.cells + mesh.stats.comm_steps,
+                "block_size": D,
+            }
+        )
+        return stats
+
+    # -- pieces ---------------------------------------------------------------
+
+    @staticmethod
+    def _consistency(mesh: MeshMachine, R: int, D: int) -> int:
+        """One consistency step: local row-OR, mesh-row AND, column redistribute."""
+        blocks = mesh.plane("blocks")
+        row_alive = mesh.plane("row_alive")
+        col_alive = mesh.plane("col_alive")
+        before = int(row_alive[:, 0, :].sum())
+
+        # Local: does role i's value d keep a partner in role j?
+        local_or = np.empty((R, R, D), dtype=bool)
+
+        def local_support(blocks, local_or=local_or):
+            local_or[:] = blocks.any(axis=3)
+            # Self-cells feed the neutral element into the row AND.
+            local_or[np.arange(R), np.arange(R)] = True
+
+        mesh.compute(local_support, "blocks", work_per_cell=D * D)
+
+        # Across the mesh row: AND over all arcs incident to role i.
+        supported = mesh.row_reduce_broadcast(local_or, "and")  # (R, R, D)
+
+        def apply_kills(blocks, row_alive, col_alive, supported=supported):
+            row_alive &= supported
+
+        mesh.compute(apply_kills, "blocks", "row_alive", "col_alive", work_per_cell=D)
+
+        # Redistribute updated liveness down the columns from the diagonal.
+        diagonal = np.zeros((R, R, D), dtype=bool)
+        diagonal[np.arange(R), np.arange(R)] = mesh.plane("row_alive")[np.arange(R), np.arange(R)]
+        new_col_alive = mesh.col_reduce_broadcast(diagonal, "or")
+
+        def zero_dead(blocks, row_alive, col_alive, new_col_alive=new_col_alive):
+            col_alive &= new_col_alive
+            blocks &= row_alive[:, :, :, None]
+            blocks &= col_alive[:, :, None, :]
+
+        mesh.compute(zero_dead, "blocks", "row_alive", "col_alive", work_per_cell=2 * D * D)
+
+        return before - int(mesh.plane("row_alive")[:, 0, :].sum())
+
+    @staticmethod
+    def _read_back(network: ConstraintNetwork, mesh: MeshMachine, sizes: list[int]) -> None:
+        blocks = mesh.plane("blocks")
+        row_alive = mesh.plane("row_alive")
+        R = network.n_roles
+        for role, sl in enumerate(network.role_slices):
+            network.alive[sl] = row_alive[role, 0, : sizes[role]]
+        matrix = np.zeros_like(network.matrix)
+        for i, sl_i in enumerate(network.role_slices):
+            for j, sl_j in enumerate(network.role_slices):
+                if i == j:
+                    continue
+                matrix[sl_i, sl_j] = blocks[i, j, : sizes[i], : sizes[j]]
+        network.matrix[:] = matrix

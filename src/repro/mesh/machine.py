@@ -1,0 +1,125 @@
+"""A 2-D processor mesh with neighbour-only communication.
+
+The substrate for Figure 8's "2D Mesh" rows: an R x C grid of cells,
+each with local state, executing *synchronous macro steps*.  A macro
+step is either local compute (every cell applies the same function to
+its state) or a single-hop shift (every cell passes a message to the
+neighbour in one direction).  The step counter separates compute from
+communication so the CDG mesh engine can report both against the
+paper's O(k + n^2) row.
+
+Row/column reductions are built from shifts the standard way: R - 1
+leftward (upward) combine-shifts accumulate a row (column) reduction
+into column (row) 0, and the same number of rightward shifts broadcast
+it back — 2(R - 1) communication steps, each carrying one fixed-size
+message per cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import MachineError
+
+
+@dataclass
+class MeshStats:
+    compute_steps: int = 0
+    comm_steps: int = 0
+    local_work: int = 0  # total element operations across cells
+
+    @property
+    def total_steps(self) -> int:
+        return self.compute_steps + self.comm_steps
+
+
+class MeshMachine:
+    """An R x C mesh of cells holding numpy-array state planes.
+
+    State *planes* are named arrays of shape (R, C, ...) — one slot per
+    cell.  All operations are lock-step across cells.
+    """
+
+    def __init__(self, rows: int, cols: int):
+        if rows <= 0 or cols <= 0:
+            raise MachineError(f"mesh needs positive dimensions, got {rows}x{cols}")
+        self.rows = rows
+        self.cols = cols
+        self.stats = MeshStats()
+        self._planes: dict[str, np.ndarray] = {}
+
+    @property
+    def cells(self) -> int:
+        return self.rows * self.cols
+
+    # -- state ------------------------------------------------------------
+
+    def alloc(self, name: str, tail: tuple[int, ...] = (), dtype=np.int64, fill=0) -> np.ndarray:
+        if name in self._planes:
+            raise MachineError(f"plane {name!r} already allocated")
+        plane = np.full((self.rows, self.cols, *tail), fill, dtype=dtype)
+        self._planes[name] = plane
+        return plane
+
+    def plane(self, name: str) -> np.ndarray:
+        try:
+            return self._planes[name]
+        except KeyError:
+            raise MachineError(f"no plane {name!r}") from None
+
+    # -- lock-step operations ------------------------------------------------
+
+    def compute(self, fn: Callable[..., None], *plane_names: str, work_per_cell: int = 1) -> None:
+        """One compute macro step: ``fn(*planes)`` mutates planes in place.
+
+        ``work_per_cell`` charges the per-cell serial work (e.g. the
+        number of local matrix entries each cell scans this step).
+        """
+        fn(*(self._planes[name] for name in plane_names))
+        self.stats.compute_steps += 1
+        self.stats.local_work += work_per_cell * self.cells
+
+    def row_reduce_broadcast(self, values: np.ndarray, op: str) -> np.ndarray:
+        """Reduce *values* along each row and broadcast the result back.
+
+        ``values`` has shape (R, C, ...); the result has the same shape
+        with every cell of a row holding the row reduction.  Costs
+        2 (C - 1) single-hop communication steps.
+        """
+        reduced = self._reduce(values, op, axis=1)
+        self.stats.comm_steps += 2 * max(0, self.cols - 1)
+        return np.broadcast_to(np.expand_dims(reduced, 1), values.shape).copy()
+
+    def col_reduce_broadcast(self, values: np.ndarray, op: str) -> np.ndarray:
+        """Column-wise version of :meth:`row_reduce_broadcast`."""
+        reduced = self._reduce(values, op, axis=0)
+        self.stats.comm_steps += 2 * max(0, self.rows - 1)
+        return np.broadcast_to(np.expand_dims(reduced, 0), values.shape).copy()
+
+    @staticmethod
+    def _reduce(values: np.ndarray, op: str, axis: int) -> np.ndarray:
+        if op == "or":
+            return values.any(axis=axis)
+        if op == "and":
+            return values.all(axis=axis)
+        if op == "add":
+            return values.sum(axis=axis)
+        if op == "max":
+            return values.max(axis=axis)
+        raise MachineError(f"unknown reduction {op!r}")
+
+    def shift(self, values: np.ndarray, drow: int, dcol: int, fill=0) -> np.ndarray:
+        """One single-hop shift of a value plane (edges filled)."""
+        if drow not in (-1, 0, 1) or dcol not in (-1, 0, 1):
+            raise MachineError("mesh shifts are single-hop")
+        out = np.full_like(values, fill)
+        src_r = slice(max(0, -drow), self.rows - max(0, drow))
+        dst_r = slice(max(0, drow), self.rows - max(0, -drow))
+        src_c = slice(max(0, -dcol), self.cols - max(0, dcol))
+        dst_c = slice(max(0, dcol), self.cols - max(0, -dcol))
+        out[dst_r, dst_c] = values[src_r, src_c]
+        self.stats.comm_steps += 1
+        return out

@@ -1,0 +1,15 @@
+"""Constraint-network construction and state (paper section 1.2)."""
+
+from repro.network.network import ConstraintNetwork, RoleRef
+from repro.network.rendering import render_arc_matrix
+from repro.network.rolevalue import RoleValue, enumerate_role_values
+from repro.network.synthetic import SyntheticNetwork
+
+__all__ = [
+    "ConstraintNetwork",
+    "RoleRef",
+    "RoleValue",
+    "enumerate_role_values",
+    "render_arc_matrix",
+    "SyntheticNetwork",
+]

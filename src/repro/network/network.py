@@ -1,0 +1,252 @@
+"""The constraint network (CN): nodes, role-value domains and arc matrices.
+
+Representation
+--------------
+
+All role values in the sentence are flattened into one global index space
+``0..NV-1``; each role owns a contiguous slice of it.  The network then
+consists of:
+
+* five integer field arrays (``pos``, ``role`` kind, ``cat``, ``lab``,
+  ``mod``) of length ``NV`` — the vector backend's evaluation inputs;
+* an ``alive`` bool vector of length ``NV`` — the current domains;
+* one packed bool matrix ``M`` of shape ``(NV, NV)`` holding *every* arc
+  matrix: the block ``M[role_i, role_j]`` is the arc matrix between roles
+  i and j.  Same-role blocks are identically zero and excluded from
+  support checks.
+
+This packed layout is the numpy analogue of the paper's "zero the rows or
+columns ... rather than reducing their dimensions" (MasPar design
+decision 4): domains never shrink physically, they are masked.
+
+Category coherence
+------------------
+
+For lexically ambiguous words, role values of the *same word* that assume
+*different* categories are marked incompatible at construction time, so a
+parse cannot mix "program the noun" with "program the verb".  For
+unambiguous words this is a no-op and the network matches the paper's
+figures exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import NetworkError
+from repro.constraints.symbols import NIL_MOD
+from repro.grammar.grammar import CDGGrammar, Sentence
+from repro.network.rolevalue import RoleValue, enumerate_role_values
+
+
+@dataclass(frozen=True)
+class RoleRef:
+    """A (word position, role kind) pair naming one role in the CN."""
+
+    pos: int
+    role: int
+
+    def index(self, n_roles: int) -> int:
+        return (self.pos - 1) * n_roles + self.role
+
+
+class ConstraintNetwork:
+    """A CN for one sentence under one grammar.
+
+    Attributes:
+        grammar: the grammar the network was built from.
+        sentence: the tokenized input.
+        role_values: all role values, in global-index order.
+        alive: bool vector of length NV — the current domains.
+        matrix: packed bool arc matrices of shape (NV, NV); symmetric.
+    """
+
+    def __init__(self, grammar: CDGGrammar, sentence: Sentence):
+        self.grammar = grammar
+        self.sentence = sentence
+        n = len(sentence)
+        q = grammar.n_roles
+        self.n_words = n
+        self.n_roles_per_word = q
+        self.n_roles = n * q
+
+        role_values: list[RoleValue] = []
+        slices: list[slice] = []
+        for pos in range(1, n + 1):
+            cats = sentence.category_sets[pos - 1]
+            for role in range(q):
+                start = len(role_values)
+                role_values.extend(
+                    enumerate_role_values(pos, role, cats, grammar.allowed_labels, n)
+                )
+                slices.append(slice(start, len(role_values)))
+        if not role_values:
+            raise NetworkError("constraint network has no role values")
+
+        self.role_values: tuple[RoleValue, ...] = tuple(role_values)
+        self.role_slices: tuple[slice, ...] = tuple(slices)
+        nv = len(role_values)
+        self.nv = nv
+
+        # Field arrays (the vector backend's inputs).
+        self.pos = np.fromiter((rv.pos for rv in role_values), dtype=np.int32, count=nv)
+        self.role_kind = np.fromiter((rv.role for rv in role_values), dtype=np.int32, count=nv)
+        self.cat = np.fromiter((rv.cat for rv in role_values), dtype=np.int32, count=nv)
+        self.lab = np.fromiter((rv.lab for rv in role_values), dtype=np.int32, count=nv)
+        self.mod = np.fromiter((rv.mod for rv in role_values), dtype=np.int32, count=nv)
+        #: Global role index (0..n_roles-1) of each role value.
+        self.role_index = (self.pos - 1) * q + self.role_kind
+
+        self.alive = np.ones(nv, dtype=bool)
+
+        # Packed arc matrices: start all-ones across distinct roles
+        # ("initially, all entries in the matrices are set to 1").
+        same_role = self.role_index[:, None] == self.role_index[None, :]
+        self.matrix = ~same_role
+        # Category coherence for lexically ambiguous words.
+        same_word = self.pos[:, None] == self.pos[None, :]
+        cat_clash = same_word & (self.cat[:, None] != self.cat[None, :])
+        self.matrix &= ~cat_clash
+
+        #: Sentence category table for constraint evaluation.
+        self.canbe_array = sentence.canbe_array(len(grammar.symbols.categories))
+        self.canbe_sets = sentence.canbe_sets()
+
+    # -- copying -----------------------------------------------------------
+
+    def clone(self) -> "ConstraintNetwork":
+        """Deep copy of the mutable state (alive vector and matrices)."""
+        other = object.__new__(ConstraintNetwork)
+        other.__dict__.update(self.__dict__)
+        other.alive = self.alive.copy()
+        other.matrix = self.matrix.copy()
+        return other
+
+    # -- field-array views ---------------------------------------------------
+
+    def unary_fields(self) -> dict[str, np.ndarray]:
+        """Field arrays shaped (NV,) for unary vector evaluation."""
+        return {
+            "pos": self.pos,
+            "role": self.role_kind,
+            "cat": self.cat,
+            "lab": self.lab,
+            "mod": self.mod,
+        }
+
+    def pair_fields(self) -> tuple[dict[str, np.ndarray], dict[str, np.ndarray]]:
+        """Field arrays shaped (NV, 1) and (1, NV) for binary evaluation."""
+        x_fields = {k: v[:, None] for k, v in self.unary_fields().items()}
+        y_fields = {k: v[None, :] for k, v in self.unary_fields().items()}
+        return x_fields, y_fields
+
+    # -- role/domain queries ---------------------------------------------------
+
+    def role_ref(self, index: int) -> RoleRef:
+        pos = index // self.n_roles_per_word + 1
+        role = index % self.n_roles_per_word
+        return RoleRef(pos=pos, role=role)
+
+    def role_of(self, pos: int, role_name: str) -> int:
+        """Global role index for (1-based position, role-kind name)."""
+        if not 1 <= pos <= self.n_words:
+            raise NetworkError(f"position {pos} out of range 1..{self.n_words}")
+        role = self.grammar.symbols.roles.code(role_name)
+        return (pos - 1) * self.n_roles_per_word + role
+
+    def domain_indices(self, role_index: int) -> np.ndarray:
+        """Global indices of the *alive* role values of one role."""
+        sl = self.role_slices[role_index]
+        return np.nonzero(self.alive[sl])[0] + sl.start
+
+    def domain(self, pos: int, role_name: str) -> set[str]:
+        """The alive domain rendered as the paper writes it: {"SUBJ-3", ...}.
+
+        Lexically ambiguous words may carry the same label-modifiee pair
+        under several categories; the rendering deduplicates, matching the
+        figures.
+        """
+        indices = self.domain_indices(self.role_of(pos, role_name))
+        return {self.role_values[i].pretty(self.grammar.symbols) for i in indices}
+
+    def domain_size(self, role_index: int) -> int:
+        sl = self.role_slices[role_index]
+        return int(self.alive[sl].sum())
+
+    def all_domains_nonempty(self) -> bool:
+        return all(self.domain_size(r) > 0 for r in range(self.n_roles))
+
+    def empty_roles(self) -> list[RoleRef]:
+        return [self.role_ref(r) for r in range(self.n_roles) if self.domain_size(r) == 0]
+
+    def is_ambiguous(self) -> bool:
+        """True when some role still holds more than one role value."""
+        return any(self.domain_size(r) > 1 for r in range(self.n_roles))
+
+    def alive_count(self) -> int:
+        return int(self.alive.sum())
+
+    # -- arc queries -------------------------------------------------------------
+
+    def arc_matrix(self, role_a: int, role_b: int) -> np.ndarray:
+        """A copy of the arc matrix block between two roles (rows: role_a)."""
+        if role_a == role_b:
+            raise NetworkError("no arc connects a role to itself")
+        sa, sb = self.role_slices[role_a], self.role_slices[role_b]
+        return self.matrix[sa, sb].copy()
+
+    def entry(self, a: int, b: int) -> bool:
+        """The packed-matrix entry for a pair of global role-value indices."""
+        return bool(self.matrix[a, b])
+
+    def role_onehot(self) -> np.ndarray:
+        """(NV, n_roles) one-hot membership matrix, used for support sums."""
+        onehot = np.zeros((self.nv, self.n_roles), dtype=np.uint8)
+        onehot[np.arange(self.nv), self.role_index] = 1
+        return onehot
+
+    # -- mutation helpers ----------------------------------------------------------
+
+    def kill(self, indices: np.ndarray) -> None:
+        """Remove role values and zero their rows/columns (design decision 4)."""
+        if len(indices) == 0:
+            return
+        self.alive[indices] = False
+        self.matrix[indices, :] = False
+        self.matrix[:, indices] = False
+
+    def apply_pair_mask(self, permitted: np.ndarray) -> int:
+        """AND a (NV, NV) permitted mask into the packed matrices.
+
+        The mask is applied in both orientations, since a binary
+        constraint must hold however the pair is bound to (x, y).
+
+        Returns:
+            Number of matrix entries newly zeroed.
+        """
+        if permitted.shape != (self.nv, self.nv):
+            raise NetworkError(
+                f"pair mask shape {permitted.shape} does not match NV={self.nv}"
+            )
+        both = permitted & permitted.T
+        before = int(self.matrix.sum())
+        self.matrix &= both
+        return before - int(self.matrix.sum())
+
+    # -- rendering -------------------------------------------------------------------
+
+    def describe(self) -> str:
+        """Multi-line summary of the CN state (one line per role)."""
+        lines = [
+            f"CN for {' '.join(self.sentence.words)!r}: n={self.n_words}, "
+            f"NV={self.nv}, alive={self.alive_count()}"
+        ]
+        for pos in range(1, self.n_words + 1):
+            word = self.sentence.words[pos - 1]
+            for role in range(self.n_roles_per_word):
+                role_name = self.grammar.symbols.roles.name(role)
+                values = sorted(self.domain(pos, role_name))
+                lines.append(f"  {word} [{pos}] {role_name}: {{{', '.join(values)}}}")
+        return "\n".join(lines)

@@ -1,0 +1,48 @@
+"""ASCII rendering of arc matrices, in the style of paper Figures 4 and 9."""
+
+from __future__ import annotations
+
+from repro.network.network import ConstraintNetwork
+
+
+def render_arc_matrix(
+    net: ConstraintNetwork,
+    pos_a: int,
+    role_a: str,
+    pos_b: int,
+    role_b: str,
+    alive_only: bool = True,
+) -> str:
+    """Render the arc matrix between two roles as a 0/1 grid.
+
+    Rows are role values of (pos_a, role_a); columns of (pos_b, role_b).
+    With ``alive_only`` (the default) dead role values are omitted, which
+    matches the post-propagation figures; pass False for the full
+    pre-propagation grid of Figure 9.
+    """
+    symbols = net.grammar.symbols
+    index_a = net.role_of(pos_a, role_a)
+    index_b = net.role_of(pos_b, role_b)
+    sl_a, sl_b = net.role_slices[index_a], net.role_slices[index_b]
+    rows = [i for i in range(sl_a.start, sl_a.stop) if not alive_only or net.alive[i]]
+    cols = [j for j in range(sl_b.start, sl_b.stop) if not alive_only or net.alive[j]]
+
+    word_a = net.sentence.words[pos_a - 1]
+    word_b = net.sentence.words[pos_b - 1]
+    header = (
+        f"arc: {word_a}[{pos_a}].{role_a} (rows) x {word_b}[{pos_b}].{role_b} (columns)"
+    )
+    col_names = [net.role_values[j].pretty(symbols) for j in cols]
+    row_names = [net.role_values[i].pretty(symbols) for i in rows]
+    width = max([len(name) for name in col_names + row_names], default=1)
+
+    lines = [header]
+    lines.append(
+        " " * (width + 2) + " ".join(name.rjust(width) for name in col_names)
+    )
+    for i, row_name in zip(rows, row_names):
+        cells = " ".join(
+            ("1" if net.matrix[i, j] else "0").rjust(width) for j in cols
+        )
+        lines.append(f"{row_name.rjust(width)}  {cells}")
+    return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""Role values: the (label, modifiee) pairs that fill roles.
+
+A role value in the paper is a label-modifiee pair such as ``SUBJ-3``
+("this word functions as a SUBJ and modifies word 3") or ``ROOT-nil``.
+Because words may be lexically ambiguous we additionally record the
+category the role value *assumes* for its word; for unambiguous words
+this collapses to the paper's representation (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constraints.symbols import NIL_MOD, SymbolTable
+
+
+@dataclass(frozen=True)
+class RoleValue:
+    """One role value, with all fields as interned integer codes.
+
+    Attributes:
+        pos: 1-based sentence position of the word owning the role.
+        role: role-kind code (e.g. 0 = governor, 1 = needs).
+        cat: category code this role value assumes for its word.
+        lab: label code.
+        mod: modifiee — 0 for ``nil``, else a 1-based position (never
+            equal to ``pos``: "no word ever modifies itself").
+    """
+
+    pos: int
+    role: int
+    cat: int
+    lab: int
+    mod: int
+
+    def pretty(self, symbols: SymbolTable) -> str:
+        """Render as the paper writes it, e.g. ``SUBJ-3`` or ``ROOT-nil``."""
+        label = symbols.labels.name(self.lab)
+        modifiee = "nil" if self.mod == NIL_MOD else str(self.mod)
+        return f"{label}-{modifiee}"
+
+    def pretty_full(self, symbols: SymbolTable) -> str:
+        """Verbose rendering including position/role/category."""
+        role = symbols.roles.name(self.role)
+        cat = symbols.categories.name(self.cat)
+        return f"<word {self.pos} {role} ({cat}) {self.pretty(symbols)}>"
+
+
+def enumerate_role_values(
+    pos: int,
+    role: int,
+    categories: frozenset[int],
+    allowed_labels_for,
+    n_words: int,
+) -> list[RoleValue]:
+    """Enumerate the initial domain of one role.
+
+    The initial domain is exhaustive "given the table T and the fact that
+    no word ever modifies itself": every admissible label paired with
+    every modifiee in ``{nil} U {1..n} \\ {pos}``, for every category the
+    word may have.
+
+    Args:
+        pos: the word's 1-based position.
+        role: the role-kind code.
+        categories: category codes the word may have.
+        allowed_labels_for: callable ``(role, cat) -> frozenset[int]``.
+        n_words: sentence length n.
+
+    Returns:
+        The domain in deterministic order (category, label, modifiee).
+    """
+    mods = [NIL_MOD] + [m for m in range(1, n_words + 1) if m != pos]
+    domain: list[RoleValue] = []
+    for cat in sorted(categories):
+        for lab in sorted(allowed_labels_for(role, cat)):
+            for mod in mods:
+                domain.append(RoleValue(pos=pos, role=role, cat=cat, lab=lab, mod=mod))
+    return domain

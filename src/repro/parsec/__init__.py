@@ -1,0 +1,20 @@
+"""PARSEC: the paper's MasPar implementation of parallel CDG parsing."""
+
+from repro.parsec.layout import PELayout, build_layout
+from repro.parsec.parser import MasParEngine
+from repro.parsec.timing import (
+    PAPER_TOY_PARSE_SECONDS,
+    calibration_factor,
+    step_function_seconds,
+    virtualization_units,
+)
+
+__all__ = [
+    "PELayout",
+    "build_layout",
+    "MasParEngine",
+    "virtualization_units",
+    "step_function_seconds",
+    "calibration_factor",
+    "PAPER_TOY_PARSE_SECONDS",
+]

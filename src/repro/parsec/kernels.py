@@ -1,0 +1,270 @@
+"""PARSEC kernels: the MPL programs, run on the simulated MP-1.
+
+Every function here is written the way the MPL original is structured:
+the ACU broadcasts a constraint (or a phase command), all PEs execute
+the same straight-line code on their local ``S x S`` label submatrix,
+and the global router's segmented scans implement consistency
+maintenance (Figures 10 and 12).  All data a PE touches is either local,
+computed from its processor id (paper: "There is no need to broadcast to
+each PE which arc elements it should process, because each PE can
+calculate that from its processor ID number"), fetched through the
+router, or broadcast by the ACU — design decision 2: no shared memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constraints import Constraint, VectorEnv
+from repro.maspar.machine import MP1
+from repro.network.network import ConstraintNetwork
+from repro.parsec.layout import PELayout
+
+#: Rough instruction count charged per compiled-constraint evaluation —
+#: the paper's constraints are short straight-line predicate programs.
+CONSTRAINT_OPS = 24
+
+
+@dataclass
+class ParsecState:
+    """Plural (per-PE) state of one PARSEC run.
+
+    Attributes:
+        submat: (V, S, S) arc-matrix bits — ``submat[pe, sr, sc]`` is the
+            entry for (row rv = (row_role, row_mod, sr),
+            col rv = (col_role, col_mod, sc)).
+        col_alive: (V, S) liveness of each PE's column role values.
+        row_alive: (V, S) liveness of each PE's row role values.
+        rv_alive: (R, n_mods, S) the ACU's role-value liveness table.
+    """
+
+    submat: np.ndarray
+    col_alive: np.ndarray
+    row_alive: np.ndarray
+    rv_alive: np.ndarray
+
+    # Cached per-PE field arrays for constraint evaluation:
+    col_fields: dict[str, np.ndarray]  # each (V, 1, S) for broadcasting
+    row_fields: dict[str, np.ndarray]  # each (V, S, 1)
+    unary_fields: dict[str, np.ndarray]  # each (V, S) — column role values
+
+
+def _gather_fields(machine: MP1, layout: PELayout, roles: np.ndarray, mod_idx: np.ndarray) -> dict[str, np.ndarray]:
+    """Per-PE field arrays, shape (V, S), for the given role/mod coords.
+
+    Each PE derives them from its processor id plus the (broadcast)
+    per-role tables — charged as local table lookups.
+    """
+    S = layout.n_slots
+    pos = layout.role_pos[roles]
+    kind = layout.role_kind[roles]
+    mod = layout.mod_value[roles, mod_idx]
+    fields = {
+        "pos": np.broadcast_to(pos[:, None], (layout.n_pes, S)),
+        "role": np.broadcast_to(kind[:, None], (layout.n_pes, S)),
+        "mod": np.broadcast_to(mod[:, None], (layout.n_pes, S)),
+        "cat": layout.slot_cat[roles],
+        "lab": layout.slot_lab[roles],
+    }
+    machine.elementwise(lambda: None, ops=5)
+    return fields
+
+
+def initialize(machine: MP1, layout: PELayout, network: ConstraintNetwork) -> ParsecState:
+    """Build the initial arc matrices on the PE array (design decision 1).
+
+    All entries start at 1 across distinct roles; padding slots and the
+    category-coherence pairs (same word, different assumed category) are
+    zeroed.  The matrices exist *before* unary propagation, matching
+    Figure 9.
+    """
+    S = layout.n_slots
+    V = layout.n_pes
+
+    col_flat = _gather_fields(machine, layout, layout.col_role, layout.col_mod_idx)
+    row_flat = _gather_fields(machine, layout, layout.row_role, layout.row_mod_idx)
+    col_valid = layout.slot_valid[layout.col_role]  # (V, S)
+    row_valid = layout.slot_valid[layout.row_role]
+
+    submat = machine.alloc(dtype=bool, shape_tail=(S, S))
+    ok = (
+        layout.enabled[:, None, None]
+        & row_valid[:, :, None]
+        & col_valid[:, None, :]
+    )
+    # Category coherence: role values of the same word must agree on its
+    # category (no-op for unambiguous words).
+    same_word = layout.role_pos[layout.row_role] == layout.role_pos[layout.col_role]
+    cat_clash = row_flat["cat"][:, :, None] != col_flat["cat"][:, None, :]
+    ok &= ~(same_word[:, None, None] & cat_clash)
+    submat[:] = ok
+    machine.elementwise(lambda: None, ops=S * S)
+
+    col_alive = machine.alloc(dtype=bool, shape_tail=(S,))
+    row_alive = machine.alloc(dtype=bool, shape_tail=(S,))
+    col_alive[:] = col_valid
+    row_alive[:] = row_valid
+    machine.elementwise(lambda: None, ops=2)
+
+    rv_alive = layout.slot_valid[:, None, :].repeat(layout.n_mods, axis=1).copy()
+
+    return ParsecState(
+        submat=submat,
+        col_alive=col_alive,
+        row_alive=row_alive,
+        rv_alive=rv_alive,
+        col_fields={k: v[:, None, :] for k, v in col_flat.items()},
+        row_fields={k: v[:, :, None] for k, v in row_flat.items()},
+        unary_fields=col_flat,
+    )
+
+
+def _propagate_eliminations(
+    machine: MP1,
+    layout: PELayout,
+    state: ParsecState,
+    eliminated: np.ndarray,
+) -> int:
+    """Zero rows/columns of eliminated role values everywhere.
+
+    ``eliminated`` is an (R, n_mods, S) bool table of *newly* eliminated
+    role values.  Every PE fetches the flags of its own column and row
+    role values through the router (two fetches) and zeroes the matching
+    submatrix lines — design decision 4: zero, never shrink.
+
+    Returns the number of role values eliminated.
+    """
+    count = int(eliminated.sum())
+    if count == 0:
+        return 0
+    state.rv_alive &= ~eliminated
+
+    flat = eliminated.reshape(-1, layout.n_slots)  # (R * n_mods, S)
+    col_key = layout.col_role.astype(np.int64) * layout.n_mods + layout.col_mod_idx
+    row_key = layout.row_role.astype(np.int64) * layout.n_mods + layout.row_mod_idx
+    col_gone = machine.router_fetch(flat, col_key)  # (V, S)
+    row_gone = machine.router_fetch(flat, row_key)
+
+    state.col_alive &= ~col_gone
+    state.row_alive &= ~row_gone
+    state.submat &= ~row_gone[:, :, None]
+    state.submat &= ~col_gone[:, None, :]
+    machine.elementwise(lambda: None, ops=2 + 2 * layout.n_slots)
+    return count
+
+
+def apply_unary(machine: MP1, layout: PELayout, state: ParsecState, constraint: Constraint, canbe: np.ndarray) -> int:
+    """Broadcast one unary constraint; each PE tests its column role values.
+
+    Returns the number of role values eliminated.
+    """
+    machine.broadcast(constraint.name)
+    permitted = machine.elementwise(
+        lambda: constraint.vector(VectorEnv(x=state.unary_fields, y=None, canbe=canbe)),
+        ops=CONSTRAINT_OPS,
+    )  # (V, S)
+    violated = state.col_alive & ~permitted
+
+    # The ACU collects the verdicts from one representative PE per column
+    # role value (the first PE of its coarse segment).
+    rep = np.fromiter(
+        (
+            layout.representative_pe(role, mod_idx)
+            for role in range(layout.n_roles)
+            for mod_idx in range(layout.n_mods)
+        ),
+        dtype=np.int64,
+        count=layout.n_roles * layout.n_mods,
+    )
+    eliminated = machine.router_fetch(violated, rep).reshape(
+        layout.n_roles, layout.n_mods, layout.n_slots
+    )
+    return _propagate_eliminations(machine, layout, state, eliminated)
+
+
+def apply_binary(machine: MP1, layout: PELayout, state: ParsecState, constraint: Constraint, canbe: np.ndarray) -> int:
+    """Broadcast one binary constraint; each PE tests its S x S pairs.
+
+    Each pair is tested in both orientations (x=row, y=col and the
+    swap), because the two stored copies of every arc matrix must stay
+    identical.  Returns the number of matrix entries zeroed.
+    """
+    machine.broadcast(constraint.name)
+    forward = machine.elementwise(
+        lambda: constraint.vector(VectorEnv(x=state.row_fields, y=state.col_fields, canbe=canbe)),
+        ops=CONSTRAINT_OPS * layout.n_slots * layout.n_slots,
+    )
+    backward = machine.elementwise(
+        lambda: constraint.vector(VectorEnv(x=state.col_fields, y=state.row_fields, canbe=canbe)),
+        ops=CONSTRAINT_OPS * layout.n_slots * layout.n_slots,
+    )
+    permitted = forward & backward
+    before = int(state.submat.sum())
+    state.submat &= permitted
+    machine.elementwise(lambda: None, ops=layout.n_slots * layout.n_slots)
+    return before - int(state.submat.sum())
+
+
+def consistency_step(machine: MP1, layout: PELayout, state: ParsecState) -> int:
+    """One consistency-maintenance step via scanOr / scanAnd (Figure 12).
+
+    For every column role value: OR each incident arc-matrix column
+    (fine segments, ``scanOr``), then AND the per-arc results across the
+    coarse segment (``scanAnd``, self-arc PEs feeding the neutral 1).
+    Unsupported role values are eliminated simultaneously.
+
+    Returns the number of role values eliminated.
+    """
+    S = layout.n_slots
+    eliminated = np.zeros((layout.n_roles, layout.n_mods, S), dtype=bool)
+    rep = np.fromiter(
+        (
+            layout.representative_pe(role, mod_idx)
+            for role in range(layout.n_roles)
+            for mod_idx in range(layout.n_mods)
+        ),
+        dtype=np.int64,
+        count=layout.n_roles * layout.n_mods,
+    )
+
+    for s in range(S):  # the constant-factor label loop of Figure 13
+        # OR over the rows of the local submatrix column s.
+        local_or = machine.elementwise(lambda: state.submat[:, :, s].any(axis=1), ops=S)
+        # OR across the row modifiees of each arc (scanOr segments).
+        arc_or = machine.segment_or(local_or, layout.fine_seg)
+        # AND across the arcs (scanAnd segments); disabled self-arc PEs
+        # contribute the neutral element.
+        and_input = machine.select(layout.enabled, arc_or, True)
+        supported = machine.segment_and(and_input, layout.coarse_seg)
+        violated = state.col_alive[:, s] & ~supported
+        eliminated[:, :, s] = machine.router_fetch(violated, rep).reshape(
+            layout.n_roles, layout.n_mods
+        )
+
+    return _propagate_eliminations(machine, layout, state, eliminated)
+
+
+def read_back(layout: PELayout, state: ParsecState, network: ConstraintNetwork) -> None:
+    """Copy the settled PE state into *network* (front-end readout).
+
+    Not a machine operation: the host reads results off the array after
+    parsing, so no cycles are charged.
+    """
+    S = layout.n_slots
+    valid = layout.rv_id >= 0
+    alive = np.zeros(network.nv, dtype=bool)
+    alive[layout.rv_id[valid]] = state.rv_alive[valid]
+    network.alive[:] = alive
+
+    matrix = np.zeros((network.nv, network.nv), dtype=bool)
+    row_ids_all = layout.rv_id[layout.row_role, layout.row_mod_idx]  # (V, S)
+    col_ids_all = layout.rv_id[layout.col_role, layout.col_mod_idx]
+    for sr in range(S):
+        row_ids = row_ids_all[:, sr]
+        for sc in range(S):
+            col_ids = col_ids_all[:, sc]
+            ok = (row_ids >= 0) & (col_ids >= 0) & layout.enabled
+            matrix[row_ids[ok], col_ids[ok]] = state.submat[ok, sr, sc]
+    network.matrix[:] = matrix

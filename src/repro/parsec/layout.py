@@ -1,0 +1,168 @@
+"""PE allocation for PARSEC on the MasPar (paper Figures 11 and 13).
+
+Virtual PE space
+----------------
+
+One virtual PE is allocated per
+
+    (column role, column modifiee, row role, row modifiee)
+
+quadruple, giving ``(q n)^2 * n^2 = q^2 n^4`` virtual PEs — the paper's
+O(n^4) processor bound (324 PEs for the 3-word example, exactly Figure
+11's count).  Each PE owns the ``S x S`` *label submatrix* of the arc
+between its row role and column role, restricted to its (row, col)
+modifiee pair — Figure 13's "each PE processes a 3 x 3 element
+submatrix", generalized: a *slot* is a (category, label) pair admitted
+by the table T for that role, padded to the sentence-wide maximum S so
+the SIMD arrays stay rectangular (the padding slots are permanently
+dead).
+
+The linear PE numbering groups, from slowest to fastest,
+
+    column role -> column modifiee -> row role -> row modifiee
+
+so that the two segment granularities the consistency kernel needs are
+contiguous, exactly as in Figure 12:
+
+* *fine* segments — one per (column role, column modifiee, row role):
+  ``n`` PEs whose ``scanOr()`` ORs an arc-matrix column;
+* *coarse* segments — one per (column role, column modifiee):
+  ``q n * n`` PEs whose ``scanAnd()`` ANDs the per-arc ORs, with the
+  self-arc PEs disabled ("a PE disabled from the beginning of parsing").
+
+``rv_id`` maps (role, modifiee index, slot) to the global role-value
+index of :class:`~repro.network.network.ConstraintNetwork`, which is
+what lets the MasPar engine hand its settled state back for extraction
+and for the cross-engine equivalence tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constraints.symbols import NIL_MOD
+from repro.network.network import ConstraintNetwork
+
+
+@dataclass(frozen=True)
+class PELayout:
+    """Index structure of the PARSEC PE allocation for one sentence."""
+
+    n_words: int
+    n_roles: int  # R = q * n
+    n_mods: int  # modifiee values per role = n (nil + the n-1 other words)
+    n_slots: int  # S = padded (category, label) slots per role
+    n_pes: int  # V = R^2 * n_mods^2 = q^2 n^4
+
+    # Per-role tables, shape (R, ...):
+    role_pos: np.ndarray  # (R,) word position of each role
+    role_kind: np.ndarray  # (R,) role-kind code
+    mod_value: np.ndarray  # (R, n_mods) modifiee value per mod index
+    slot_cat: np.ndarray  # (R, S) category code, -1 = padding
+    slot_lab: np.ndarray  # (R, S) label code, -1 = padding
+    slot_valid: np.ndarray  # (R, S) bool
+    rv_id: np.ndarray  # (R, n_mods, S) global role-value index, -1 = padding
+
+    # Per-PE coordinate arrays, shape (V,):
+    col_role: np.ndarray
+    col_mod_idx: np.ndarray
+    row_role: np.ndarray
+    row_mod_idx: np.ndarray
+    enabled: np.ndarray  # (V,) bool: self-arc PEs are disabled
+    fine_seg: np.ndarray  # (V,) scanOr segment ids
+    coarse_seg: np.ndarray  # (V,) scanAnd segment ids
+
+    @property
+    def virtualization_units(self) -> int:
+        """The paper's ceil(q^2 n^4 / 16384) time-multiplexing factor."""
+        return -(-self.n_pes // 16384)
+
+    def pe_index(self, col_role: int, col_mod_idx: int, row_role: int, row_mod_idx: int) -> int:
+        """Linear PE number for a coordinate quadruple."""
+        return ((col_role * self.n_mods + col_mod_idx) * self.n_roles + row_role) * self.n_mods + row_mod_idx
+
+    def representative_pe(self, role: int, mod_idx: int) -> int:
+        """First PE of the coarse segment owning column (role, mod_idx)."""
+        return (role * self.n_mods + mod_idx) * self.n_roles * self.n_mods
+
+
+def build_layout(network: ConstraintNetwork) -> PELayout:
+    """Derive the PE allocation from a constraint network.
+
+    The slot enumeration must match the network's role-value enumeration
+    (sorted categories, then sorted labels, then modifiees in nil-first
+    order) so that ``rv_id`` is a simple affine map into the network's
+    global index space.
+    """
+    n = network.n_words
+    q = network.n_roles_per_word
+    R = n * q
+    grammar = network.grammar
+
+    # Per-role slot lists, in the network's enumeration order.
+    slots_per_role: list[list[tuple[int, int]]] = []
+    mods_per_role: list[list[int]] = []
+    for role_index in range(R):
+        ref = network.role_ref(role_index)
+        cats = network.sentence.category_sets[ref.pos - 1]
+        slots = [
+            (cat, lab)
+            for cat in sorted(cats)
+            for lab in sorted(grammar.allowed_labels(ref.role, cat))
+        ]
+        slots_per_role.append(slots)
+        mods_per_role.append([NIL_MOD] + [m for m in range(1, n + 1) if m != ref.pos])
+
+    S = max(len(slots) for slots in slots_per_role)
+    n_mods = n  # nil + (n - 1) other words
+
+    role_pos = np.fromiter((network.role_ref(r).pos for r in range(R)), dtype=np.int32, count=R)
+    role_kind = np.fromiter((network.role_ref(r).role for r in range(R)), dtype=np.int32, count=R)
+    mod_value = np.array(mods_per_role, dtype=np.int32)
+    slot_cat = np.full((R, S), -1, dtype=np.int32)
+    slot_lab = np.full((R, S), -1, dtype=np.int32)
+    slot_valid = np.zeros((R, S), dtype=bool)
+    rv_id = np.full((R, n_mods, S), -1, dtype=np.int64)
+    for role_index, slots in enumerate(slots_per_role):
+        start = network.role_slices[role_index].start
+        for s, (cat, lab) in enumerate(slots):
+            slot_cat[role_index, s] = cat
+            slot_lab[role_index, s] = lab
+            slot_valid[role_index, s] = True
+            # Network order within a role: slot-major, modifiee-minor.
+            rv_id[role_index, :, s] = start + s * n_mods + np.arange(n_mods)
+
+    V = R * R * n_mods * n_mods
+    pe = np.arange(V, dtype=np.int64)
+    row_mod_idx = pe % n_mods
+    row_role = (pe // n_mods) % R
+    col_mod_idx = (pe // (n_mods * R)) % n_mods
+    col_role = pe // (n_mods * R * n_mods)
+
+    enabled = row_role != col_role
+    fine_seg = (col_role * n_mods + col_mod_idx) * R + row_role
+    coarse_seg = col_role * n_mods + col_mod_idx
+
+    return PELayout(
+        n_words=n,
+        n_roles=R,
+        n_mods=n_mods,
+        n_slots=S,
+        n_pes=V,
+        role_pos=role_pos,
+        role_kind=role_kind,
+        mod_value=mod_value,
+        slot_cat=slot_cat,
+        slot_lab=slot_lab,
+        slot_valid=slot_valid,
+        rv_id=rv_id,
+        col_role=col_role.astype(np.int32),
+        col_mod_idx=col_mod_idx.astype(np.int32),
+        row_role=row_role.astype(np.int32),
+        row_mod_idx=row_mod_idx.astype(np.int32),
+        enabled=enabled,
+        fine_seg=fine_seg,
+        coarse_seg=coarse_seg,
+    )

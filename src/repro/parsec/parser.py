@@ -1,0 +1,113 @@
+"""The MasPar engine: PARSEC run end-to-end on the simulated MP-1.
+
+The engine follows the paper's phase order under its six design
+decisions (section 2.2.1): arc matrices first, then unary constraints,
+then binary constraints each followed by one consistency-maintenance
+step, then filtering — bounded on the parallel path if ``filter_limit``
+is given (decision 5), to the fixpoint otherwise so results stay
+bit-identical with the serial/vector engines.
+
+Instrumentation: ``stats.simulated_seconds`` is the modelled MP-1
+wall-clock (cycle count / 12.5 MHz, times the calibration factor of
+:mod:`repro.parsec.timing`), ``stats.processors`` the virtual PE count
+q^2 n^4, and ``stats.extra`` carries the raw cycle/op counts and the
+virtualization factor.
+"""
+
+from __future__ import annotations
+
+from repro.engines.base import EngineStats, ParserEngine, TraceHook
+from repro.maspar.cost import DEFAULT_COST_MODEL, CostModel
+from repro.maspar.machine import MP1
+from repro.network.network import ConstraintNetwork
+from repro.parsec import kernels
+from repro.parsec.layout import build_layout
+from repro.propagation.filtering import filter_network
+
+
+class MasParEngine(ParserEngine):
+    """CDG parsing on the simulated MasPar MP-1 (the paper's PARSEC)."""
+
+    name = "maspar"
+
+    def __init__(self, cost: CostModel = DEFAULT_COST_MODEL, calibrate: bool = True):
+        self.cost = cost
+        self.calibrate = calibrate
+
+    def run(
+        self,
+        network: ConstraintNetwork,
+        *,
+        filter_limit: int | None = None,
+        trace: TraceHook | None = None,
+    ) -> EngineStats:
+        stats = EngineStats()
+        layout = build_layout(network)
+        machine = MP1(n_virtual=layout.n_pes, cost=self.cost)
+        canbe = network.canbe_array
+        state = kernels.initialize(machine, layout, network)
+
+        def sync(event: str) -> None:
+            if trace:
+                kernels.read_back(layout, state, network)
+                trace(event, network)
+
+        cycles_before_constraints = machine.cycles
+
+        for constraint in network.grammar.unary_constraints:
+            killed = kernels.apply_unary(machine, layout, state, constraint, canbe)
+            stats.unary_checks += layout.n_pes * layout.n_slots
+            stats.role_values_killed += killed
+            sync(f"unary:{constraint.name}")
+        sync("unary-done")
+
+        per_constraint_cycles = []
+        for constraint in network.grammar.binary_constraints:
+            start_cycles = machine.cycles
+            zeroed = kernels.apply_binary(machine, layout, state, constraint, canbe)
+            stats.pair_checks += layout.n_pes * layout.n_slots**2
+            stats.matrix_entries_zeroed += zeroed
+            sync(f"binary:{constraint.name}")
+
+            killed = kernels.consistency_step(machine, layout, state)
+            stats.role_values_killed += killed
+            stats.consistency_passes += 1
+            per_constraint_cycles.append(machine.cycles - start_cycles)
+            sync(f"consistency:{constraint.name}")
+
+        def counting_step(_net: ConstraintNetwork) -> int:
+            killed = kernels.consistency_step(machine, layout, state)
+            stats.role_values_killed += killed
+            stats.consistency_passes += 1
+            return killed
+
+        # filter_network drives the PE-array steps; the network argument
+        # is unused by the step closure.
+        stats.filtering_iterations = filter_network(network, counting_step, limit=filter_limit)
+
+        kernels.read_back(layout, state, network)
+        if trace:
+            trace("filtering-done", network)
+
+        factor = 1.0
+        if self.calibrate:
+            from repro.parsec.timing import calibration_factor
+
+            factor = calibration_factor(self.cost)
+        stats.processors = layout.n_pes
+        stats.parallel_steps = machine.ops.total()
+        stats.simulated_seconds = machine.simulated_seconds * factor
+        stats.extra.update(
+            {
+                "cycles": machine.cycles,
+                "virtualization_factor": machine.vfactor,
+                "virtualization_units": layout.virtualization_units,
+                "ops": machine.ops,
+                "n_slots": layout.n_slots,
+                "calibration_factor": factor,
+                "constraint_cycles": per_constraint_cycles,
+                "setup_cycles": cycles_before_constraints,
+                "bytes_per_pe": machine.allocated_bytes_per_pe,
+            }
+        )
+        return stats

@@ -1,0 +1,5 @@
+"""CRCW P-RAM simulator (paper section 2.1's model of computation)."""
+
+from repro.pram.machine import CRCWPram, ProcContext, StepStats
+
+__all__ = ["CRCWPram", "ProcContext", "StepStats"]

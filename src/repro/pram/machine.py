@@ -1,0 +1,132 @@
+"""A CRCW P-RAM simulator.
+
+The machine executes *synchronous parallel steps*: in each step every
+processor runs the same program on its processor id, all reads observe
+the memory state from before the step, and all writes commit together
+at the end of the step.  Write conflicts are resolved by policy:
+
+* ``common`` — concurrent writers to a cell must agree (the model the
+  paper's O(k) bound uses for its constant-time AND/OR idiom);
+* ``arbitrary`` — "a single random processor will succeed" (the paper's
+  stated assumption): one writer wins, chosen by a seeded RNG so runs
+  are reproducible.
+
+Memory is a set of named numpy arrays (regions), addressed as
+``(region, index...)``.  The step counter and the peak processor count
+are the quantities the complexity claims are about; the engine layer
+(:mod:`repro.engines.pram`) asserts O(k) steps with O(n^4) processors.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import MachineError
+
+Address = tuple
+
+
+@dataclass
+class StepStats:
+    steps: int = 0
+    peak_processors: int = 0
+    total_work: int = 0  # sum over steps of processors used
+
+    def record(self, processors: int) -> None:
+        self.steps += 1
+        self.peak_processors = max(self.peak_processors, processors)
+        self.total_work += processors
+
+
+class ProcContext:
+    """What one processor sees during a step: reads old state, queues writes."""
+
+    __slots__ = ("pid", "_machine", "_writes")
+
+    def __init__(self, pid: int, machine: "CRCWPram", writes: list):
+        self.pid = pid
+        self._machine = machine
+        self._writes = writes
+
+    def read(self, region: str, *index):
+        """Read a cell (pre-step state — synchronous PRAM semantics)."""
+        return self._machine._read_snapshot(region, index)
+
+    def write(self, region: str, *index_and_value):
+        """Queue a write; commits (with conflict resolution) at step end."""
+        *index, value = index_and_value
+        self._writes.append((region, tuple(index), value, self.pid))
+
+
+class CRCWPram:
+    """The machine.  See module docstring."""
+
+    def __init__(self, policy: str = "arbitrary", seed: int = 0):
+        if policy not in ("common", "arbitrary"):
+            raise MachineError(f"unknown write policy {policy!r}")
+        self.policy = policy
+        self._rng = random.Random(seed)
+        self._memory: dict[str, np.ndarray] = {}
+        self._snapshot: dict[str, np.ndarray] = {}
+        self.stats = StepStats()
+
+    # -- memory management (host side, free) ----------------------------
+
+    def alloc(self, region: str, shape, dtype=np.int64, fill=0) -> None:
+        if region in self._memory:
+            raise MachineError(f"region {region!r} already allocated")
+        self._memory[region] = np.full(shape, fill, dtype=dtype)
+
+    def free(self, region: str) -> None:
+        self._memory.pop(region, None)
+
+    def host_read(self, region: str) -> np.ndarray:
+        """The host may inspect memory between steps (standard PRAM I/O)."""
+        return self._memory[region]
+
+    def host_write(self, region: str, values: np.ndarray) -> None:
+        self._memory[region][...] = values
+
+    def _read_snapshot(self, region: str, index):
+        try:
+            return self._snapshot[region][index]
+        except KeyError:
+            raise MachineError(f"read from unallocated region {region!r}") from None
+
+    # -- execution ---------------------------------------------------------
+
+    def step(self, n_processors: int, program: Callable[[ProcContext], None]) -> None:
+        """Run one synchronous step of *program* on ``n_processors`` procs."""
+        if n_processors <= 0:
+            raise MachineError(f"a step needs at least one processor, got {n_processors}")
+        self._snapshot = {name: arr.copy() for name, arr in self._memory.items()}
+        writes: list = []
+        for pid in range(n_processors):
+            program(ProcContext(pid, self, writes))
+        self._commit(writes)
+        self._snapshot = {}
+        self.stats.record(n_processors)
+
+    def _commit(self, writes: list) -> None:
+        by_cell: dict[tuple[str, tuple], list] = {}
+        for region, index, value, pid in writes:
+            if region not in self._memory:
+                raise MachineError(f"write to unallocated region {region!r}")
+            by_cell.setdefault((region, index), []).append((pid, value))
+        for (region, index), writers in by_cell.items():
+            if len(writers) == 1:
+                value = writers[0][1]
+            elif self.policy == "common":
+                values = {v for _, v in writers}
+                if len(values) != 1:
+                    raise MachineError(
+                        f"COMMON-CRCW conflict at {region}{index}: values {values}"
+                    )
+                value = writers[0][1]
+            else:  # arbitrary: a single random processor succeeds
+                value = self._rng.choice(writers)[1]
+            self._memory[region][index] = value

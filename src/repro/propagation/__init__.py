@@ -1,0 +1,20 @@
+"""Constraint propagation, consistency maintenance and filtering."""
+
+from repro.propagation.consistency import (
+    consistency_step_serial,
+    consistency_step_vector,
+    unsupported_serial,
+    unsupported_vector,
+)
+from repro.propagation.filtering import filter_network
+from repro.propagation.incremental import apply_constraint, apply_constraints
+
+__all__ = [
+    "apply_constraint",
+    "apply_constraints",
+    "consistency_step_serial",
+    "consistency_step_vector",
+    "unsupported_serial",
+    "unsupported_vector",
+    "filter_network",
+]

@@ -1,0 +1,74 @@
+"""Consistency maintenance (paper section 1.4).
+
+A role value *a* is still supported after constraint propagation iff, for
+every other role j, the row of the arc matrix between role(a) and j
+indexed by *a* contains at least one 1 over j's alive values — the
+logical OR along rows followed by the logical AND across arcs that
+Figures 10 and 12 illustrate.  Unsupported role values are removed, and
+their rows/columns zeroed everywhere.
+
+Two implementations with identical semantics:
+
+* :func:`unsupported_vector` — one numpy pass: the OR-then-AND is a
+  masked matrix product against the role one-hot matrix (this is exactly
+  the computation the MasPar does with ``scanOr``/``scanAnd``);
+* :func:`unsupported_serial` — explicit loops over arcs and rows, used by
+  the faithful sequential engine and for cross-checking.
+
+Both report *all* currently unsupported role values; callers kill them
+simultaneously, which matches the parallel semantics and keeps every
+engine on the same trajectory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.network.network import ConstraintNetwork
+
+
+def unsupported_vector(net: ConstraintNetwork) -> np.ndarray:
+    """Global indices of alive role values that currently lack support."""
+    alive = net.alive
+    # support[a, j] = number of alive partners of a in role j.
+    support = (net.matrix & alive[None, :]) @ net.role_onehot().astype(np.int32)
+    # a must be supported in every role except its own.
+    needed = np.ones((net.nv, net.n_roles), dtype=bool)
+    needed[np.arange(net.nv), net.role_index] = False
+    ok = (support > 0) | ~needed
+    supported = ok.all(axis=1)
+    return np.nonzero(alive & ~supported)[0]
+
+
+def unsupported_serial(net: ConstraintNetwork) -> list[int]:
+    """Loop implementation of :func:`unsupported_vector` (same result)."""
+    out: list[int] = []
+    alive_by_role = [
+        [b for b in range(sl.start, sl.stop) if net.alive[b]] for sl in net.role_slices
+    ]
+    for a in range(net.nv):
+        if not net.alive[a]:
+            continue
+        role_a = int(net.role_index[a])
+        for j in range(net.n_roles):
+            if j == role_a:
+                continue
+            # OR along the row of the arc matrix between role_a and j.
+            if not any(net.matrix[a, b] for b in alive_by_role[j]):
+                out.append(a)
+                break
+    return out
+
+
+def consistency_step_vector(net: ConstraintNetwork) -> int:
+    """One parallel consistency-maintenance step; returns #role values killed."""
+    dead = unsupported_vector(net)
+    net.kill(dead)
+    return len(dead)
+
+
+def consistency_step_serial(net: ConstraintNetwork) -> int:
+    """One sequential consistency-maintenance step (same semantics)."""
+    dead = unsupported_serial(net)
+    net.kill(np.asarray(dead, dtype=np.int64))
+    return len(dead)

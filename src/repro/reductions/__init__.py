@@ -1,0 +1,33 @@
+"""Reductions: the paper's P-hardness evidence for filtering, executable.
+
+See :mod:`repro.reductions.mcvp` for the Monotone-Circuit-Value-Problem
+to filtering reduction (paper footnote 3)."""
+
+from repro.reductions.circuits import (
+    Gate,
+    GateKind,
+    MonotoneCircuit,
+    and_chain,
+    random_circuit,
+)
+from repro.reductions.mcvp import (
+    CircuitNetwork,
+    FilteringEvaluation,
+    circuit_to_network,
+    evaluate_by_filtering,
+)
+from repro.reductions.regular import DFA, dfa_to_cdg
+
+__all__ = [
+    "Gate",
+    "GateKind",
+    "MonotoneCircuit",
+    "random_circuit",
+    "and_chain",
+    "CircuitNetwork",
+    "circuit_to_network",
+    "FilteringEvaluation",
+    "evaluate_by_filtering",
+    "DFA",
+    "dfa_to_cdg",
+]

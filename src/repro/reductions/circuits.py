@@ -1,0 +1,103 @@
+"""Monotone boolean circuits (the MCVP side of the filtering reduction)."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import ReproError
+
+
+class GateKind(Enum):
+    INPUT = "input"
+    AND = "and"
+    OR = "or"
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One circuit node; ``args`` are indices of earlier gates."""
+
+    kind: GateKind
+    args: tuple[int, ...] = ()
+
+
+class MonotoneCircuit:
+    """A monotone circuit in topological order (inputs first is not
+    required — only that every gate's arguments precede it)."""
+
+    def __init__(self, gates: list[Gate], output: int | None = None):
+        if not gates:
+            raise ReproError("a circuit needs at least one gate")
+        for index, gate in enumerate(gates):
+            if gate.kind == GateKind.INPUT:
+                if gate.args:
+                    raise ReproError(f"input gate {index} must have no arguments")
+            else:
+                if len(gate.args) != 2:
+                    raise ReproError(f"gate {index} needs exactly two arguments")
+                if any(arg >= index or arg < 0 for arg in gate.args):
+                    raise ReproError(f"gate {index} references a later gate")
+        self.gates = list(gates)
+        self.output = len(gates) - 1 if output is None else output
+        if not 0 <= self.output < len(gates):
+            raise ReproError(f"output index {self.output} out of range")
+
+    @property
+    def n_inputs(self) -> int:
+        return sum(1 for g in self.gates if g.kind == GateKind.INPUT)
+
+    def evaluate(self, inputs: list[bool]) -> list[bool]:
+        """Direct evaluation; returns the value of every gate."""
+        if len(inputs) != self.n_inputs:
+            raise ReproError(f"circuit has {self.n_inputs} inputs, got {len(inputs)}")
+        feed = iter(inputs)
+        values: list[bool] = []
+        for gate in self.gates:
+            if gate.kind == GateKind.INPUT:
+                values.append(bool(next(feed)))
+            elif gate.kind == GateKind.AND:
+                values.append(values[gate.args[0]] and values[gate.args[1]])
+            else:
+                values.append(values[gate.args[0]] or values[gate.args[1]])
+        return values
+
+    def output_value(self, inputs: list[bool]) -> bool:
+        return self.evaluate(inputs)[self.output]
+
+    def depth(self) -> int:
+        """Longest input-to-output path (gate edges)."""
+        depths = []
+        for gate in self.gates:
+            if gate.kind == GateKind.INPUT:
+                depths.append(0)
+            else:
+                depths.append(1 + max(depths[a] for a in gate.args))
+        return depths[self.output]
+
+
+def random_circuit(rng: random.Random, n_inputs: int = 4, n_gates: int = 10) -> MonotoneCircuit:
+    """A random monotone circuit: *n_inputs* inputs then *n_gates* gates."""
+    gates = [Gate(GateKind.INPUT) for _ in range(n_inputs)]
+    for _ in range(n_gates):
+        kind = rng.choice((GateKind.AND, GateKind.OR))
+        a = rng.randrange(len(gates))
+        b = rng.randrange(len(gates))
+        gates.append(Gate(kind, (a, b)))
+    return MonotoneCircuit(gates)
+
+
+def and_chain(depth: int) -> MonotoneCircuit:
+    """inputs x0, x1; then a chain g_i = AND(g_{i-1}, x1) of given depth.
+
+    With x0 = False the falsity must propagate through every link one
+    filtering iteration at a time — the worst-case sequential cascade the
+    paper's NC-reduction is about.
+    """
+    gates = [Gate(GateKind.INPUT), Gate(GateKind.INPUT)]
+    previous = 0
+    for _ in range(depth):
+        gates.append(Gate(GateKind.AND, (previous, 1)))
+        previous = len(gates) - 1
+    return MonotoneCircuit(gates)

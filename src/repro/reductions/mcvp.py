@@ -1,0 +1,120 @@
+"""The Monotone Circuit Value Problem, reduced to CDG filtering.
+
+Paper footnote 3: "We have constructed an NC-reduction from the Monotone
+Circuit Value Problem to the filtering algorithm" — their evidence that
+full filtering is inherently sequential (P-hard), and hence that the
+MasPar implementation is right to bound its iterations (design decision
+5).  The cited report is unpublished; this module reconstructs the
+reduction and makes it executable.
+
+Encoding
+--------
+
+One *role* per circuit gate.  Every role holds a permanently-supported
+**anchor** value (so no role ever empties), plus **truth witnesses**:
+
+* an input gate holds one witness, killed at construction when the input
+  is False;
+* an AND gate holds one witness whose support in *each* input role is
+  restricted to that role's witnesses — it survives iff both inputs have
+  a live witness;
+* an OR gate holds two witnesses, one per input, each supported only by
+  its own input's witnesses — some witness survives iff either input
+  does.
+
+Consistency maintenance then *is* circuit evaluation: one filtering pass
+kills the witnesses of gates whose inputs went false in the previous
+pass, so falsity propagates level by level, and at the fixpoint a gate's
+witnesses are alive iff the gate evaluates to True.  The number of
+filtering iterations grows with circuit depth (see ``and_chain``),
+exhibiting the sequential worst case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.network.synthetic import SyntheticNetwork
+from repro.propagation.consistency import consistency_step_vector
+from repro.propagation.filtering import filter_network
+from repro.reductions.circuits import GateKind, MonotoneCircuit
+
+
+@dataclass
+class CircuitNetwork:
+    """The reduction's output: a network plus the witness bookkeeping."""
+
+    network: SyntheticNetwork
+    #: witnesses[g] — global role-value indices of gate g's truth witnesses.
+    witnesses: list[list[int]]
+
+    def gate_value(self, gate: int) -> bool:
+        """True iff any witness of *gate* is still alive."""
+        return bool(self.network.alive[self.witnesses[gate]].any())
+
+
+def circuit_to_network(circuit: MonotoneCircuit, inputs: list[bool]) -> CircuitNetwork:
+    """Build the filtering instance for ``circuit`` on ``inputs``."""
+    if len(inputs) != circuit.n_inputs:
+        raise ReproError(
+            f"circuit has {circuit.n_inputs} inputs, got {len(inputs)} values"
+        )
+
+    # Domain sizes: anchor + one witness (input/AND) or two (OR).
+    sizes = []
+    for gate in circuit.gates:
+        sizes.append(1 + (2 if gate.kind == GateKind.OR else 1))
+    net = SyntheticNetwork(sizes)
+
+    witnesses: list[list[int]] = []
+    for g, gate in enumerate(circuit.gates):
+        count = 2 if gate.kind == GateKind.OR else 1
+        witnesses.append([net.value(g, 1 + i) for i in range(count)])
+
+    # Wire the support structure.
+    for g, gate in enumerate(circuit.gates):
+        if gate.kind == GateKind.INPUT:
+            continue
+        if gate.kind == GateKind.AND:
+            (witness,) = witnesses[g]
+            for arg in gate.args:
+                net.require_support_only_from(witness, arg, witnesses[arg])
+        else:  # OR: one witness per input branch
+            for branch, arg in enumerate(gate.args):
+                net.require_support_only_from(witnesses[g][branch], arg, witnesses[arg])
+
+    # Load the inputs: kill the witnesses of false inputs.
+    dead = []
+    feed = iter(inputs)
+    for g, gate in enumerate(circuit.gates):
+        if gate.kind == GateKind.INPUT and not next(feed):
+            dead.extend(witnesses[g])
+    net.kill(np.asarray(dead, dtype=np.int64))
+
+    return CircuitNetwork(network=net, witnesses=witnesses)
+
+
+@dataclass
+class FilteringEvaluation:
+    """Result of evaluating a circuit by filtering."""
+
+    gate_values: list[bool]
+    output: bool
+    iterations: int
+
+
+def evaluate_by_filtering(
+    circuit: MonotoneCircuit, inputs: list[bool]
+) -> FilteringEvaluation:
+    """Evaluate ``circuit`` by running CDG filtering to its fixpoint."""
+    instance = circuit_to_network(circuit, inputs)
+    iterations = filter_network(instance.network, consistency_step_vector)
+    values = [instance.gate_value(g) for g in range(len(circuit.gates))]
+    return FilteringEvaluation(
+        gate_values=values,
+        output=values[circuit.output],
+        iterations=iterations,
+    )

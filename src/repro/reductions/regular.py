@@ -1,0 +1,183 @@
+"""Compiling finite automata into CDG grammars.
+
+Maruyama proved CDG (two roles, binary constraints) subsumes all of CFG;
+the general construction is out of scope (DESIGN.md section 7), but its
+*regular* case can be realized exactly, and doing so is a nice stress
+test of the formalism: this module compiles any DFA into a CDG grammar
+whose accepted strings are precisely the DFA's language.
+
+Encoding
+--------
+
+Every word's governor points at the **next** word with a label
+``NEXT_q`` carrying the DFA state *after reading this word*; the last
+word instead carries ``END_q`` (declared only for accepting states q,
+which is the acceptance condition).  The words chain up by force of
+arithmetic-free combinatorics: each pointer must be acknowledged by a
+``PREV`` back-pointer in the target's needs role (mutual pointing), and
+a counting argument (Hall's condition on the bijection it induces — see
+the tests) makes *word i points at word i + 1* the only consistent
+configuration once ``START`` is unique.  A transition table's worth of
+binary constraints then forces consecutive labels to follow delta, and
+one unary constraint pins word 1's state to ``delta(q0, cat(word 1))``.
+
+The construction uses O(|Q|) labels and O(|Q| * |Sigma|) constraints —
+all unary or binary, all in the paper's constraint language.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.grammar.builder import GrammarBuilder
+from repro.grammar.grammar import CDGGrammar
+
+
+@dataclass(frozen=True)
+class DFA:
+    """A deterministic finite automaton over single-letter words.
+
+    Attributes:
+        states: number of states (named 0..states-1; 0 is the start).
+        alphabet: the input symbols (each becomes a word and a category).
+        delta: transition map ``(state, symbol) -> state``; must be total.
+        accepting: the accepting states.
+    """
+
+    states: int
+    alphabet: tuple[str, ...]
+    delta: dict[tuple[int, str], int]
+    accepting: frozenset[int]
+
+    def __post_init__(self):
+        if self.states <= 0:
+            raise ReproError("a DFA needs at least one state")
+        for q in range(self.states):
+            for symbol in self.alphabet:
+                target = self.delta.get((q, symbol))
+                if target is None:
+                    raise ReproError(f"delta is not total: missing ({q}, {symbol!r})")
+                if not 0 <= target < self.states:
+                    raise ReproError(f"delta({q}, {symbol!r}) = {target} out of range")
+        for q in self.accepting:
+            if not 0 <= q < self.states:
+                raise ReproError(f"accepting state {q} out of range")
+
+    def accepts(self, word: list[str] | tuple[str, ...]) -> bool:
+        """Direct simulation (the oracle the CDG grammar is tested against)."""
+        state = 0
+        for symbol in word:
+            if symbol not in self.alphabet:
+                return False
+            state = self.delta[(state, symbol)]
+        return state in self.accepting
+
+
+def dfa_to_cdg(dfa: DFA, name: str = "dfa") -> CDGGrammar:
+    """Compile *dfa* into an equivalent CDG grammar (non-empty strings).
+
+    The grammar accepts exactly ``L(dfa) minus the empty string`` — CDG
+    networks need at least one word.
+    """
+    next_labels = [f"NEXT{q}" for q in range(dfa.states)]
+    end_labels = [f"END{q}" for q in sorted(dfa.accepting)]
+
+    builder = GrammarBuilder(name)
+    builder.labels(*next_labels, *end_labels, "PREV", "START")
+    builder.roles("governor", "needs")
+    builder.categories(*dfa.alphabet)
+    builder.table("governor", *next_labels, *end_labels)
+    builder.table("needs", "PREV", "START")
+    for symbol in dfa.alphabet:
+        builder.word(symbol, symbol)
+
+    def state_of(label: str) -> str:
+        return label
+
+    # Governor shape: NEXT_q points right, END_q is terminal.
+    next_shape = " ".join(
+        f"(and (eq (lab x) {label}) (gt (mod x) (pos x)))" for label in next_labels
+    )
+    end_shape = " ".join(
+        f"(and (eq (lab x) {label}) (eq (mod x) nil))" for label in end_labels
+    )
+    alternatives = f"{next_shape} {end_shape}".strip()
+    builder.constraint(
+        "governor-shape",
+        f"(if (eq (role x) governor) (or {alternatives} (eq (pos x) 0)))"
+        if alternatives
+        else "(if (eq (role x) governor) (eq (pos x) 0))",
+    )
+    # Needs shape: PREV points left, START is word-initial only.
+    builder.constraint(
+        "needs-shape",
+        """
+        (if (eq (role x) needs)
+            (or (and (eq (lab x) PREV) (lt (mod x) (pos x)))
+                (and (eq (lab x) START) (eq (mod x) nil))))
+        """,
+    )
+    builder.constraint(
+        "start-unique",
+        """
+        (if (and (eq (lab x) START) (eq (lab y) START))
+            (eq (pos x) (pos y)))
+        """,
+    )
+    # Mutual pointing: every governor pointer is acknowledged...
+    builder.constraint(
+        "pointer-acknowledged",
+        """
+        (if (and (eq (role x) governor)
+                 (not (eq (mod x) nil))
+                 (eq (role y) needs)
+                 (eq (pos y) (mod x)))
+            (and (eq (lab y) PREV) (eq (mod y) (pos x))))
+        """,
+    )
+    # ... and every back-pointer is pointed at.
+    builder.constraint(
+        "back-pointer-acknowledged",
+        """
+        (if (and (eq (lab x) PREV)
+                 (eq (role y) governor)
+                 (eq (pos y) (mod x)))
+            (eq (mod y) (pos x)))
+        """,
+    )
+    # Word 1 carries the state delta(q0, its category).
+    for symbol in dfa.alphabet:
+        target = dfa.delta[(0, symbol)]
+        allowed = [f"(eq (lab x) NEXT{target})"]
+        if target in dfa.accepting:
+            allowed.append(f"(eq (lab x) END{target})")
+        body = allowed[0] if len(allowed) == 1 else "(or " + " ".join(allowed) + ")"
+        builder.constraint(
+            f"initial-state-on-{symbol}",
+            f"""
+            (if (and (eq (pos x) 1)
+                     (eq (role x) governor)
+                     (eq (cat (word (pos x))) {symbol}))
+                {body})
+            """,
+        )
+    # Transitions: the pointed-at word's label follows delta.
+    for q in range(dfa.states):
+        for symbol in dfa.alphabet:
+            target = dfa.delta[(q, symbol)]
+            allowed = [f"(eq (lab y) NEXT{target})"]
+            if target in dfa.accepting:
+                allowed.append(f"(eq (lab y) END{target})")
+            body = allowed[0] if len(allowed) == 1 else "(or " + " ".join(allowed) + ")"
+            builder.constraint(
+                f"transition-q{q}-{symbol}",
+                f"""
+                (if (and (eq (lab x) NEXT{q})
+                         (eq (role y) governor)
+                         (eq (pos y) (mod x))
+                         (eq (cat (word (pos y))) {symbol}))
+                    {body})
+                """,
+            )
+    return builder.build()

@@ -1,0 +1,14 @@
+"""Parse extraction and precedence graphs (paper section 1.4, Figure 7)."""
+
+from repro.search.conll import to_conll
+from repro.search.extraction import accepts, count_parses, extract_parses, iter_assignments
+from repro.search.precedence import PrecedenceGraph
+
+__all__ = [
+    "accepts",
+    "count_parses",
+    "extract_parses",
+    "iter_assignments",
+    "PrecedenceGraph",
+    "to_conll",
+]

@@ -1,0 +1,42 @@
+"""CoNLL-style dependency export of precedence graphs.
+
+Downstream NLP tooling speaks CoNLL; a CDG precedence graph's governor
+role *is* a dependency tree (head = modifiee, deprel = label), so the
+export is direct.  Columns follow the classic CoNLL-X subset:
+
+    ID  FORM  CPOSTAG  HEAD  DEPREL
+
+with HEAD 0 for ``nil``-modifiee (root) words, plus one extra column per
+additional role (needs, ...) rendered as ``LABEL:MOD``.
+"""
+
+from __future__ import annotations
+
+from repro.constraints.symbols import NIL_MOD, SymbolTable
+from repro.search.precedence import PrecedenceGraph
+
+
+def to_conll(
+    parse: PrecedenceGraph,
+    symbols: SymbolTable,
+    governor_role: int = 0,
+) -> str:
+    """Render *parse* as CoNLL-style rows (tab-separated)."""
+    mapping = parse.mapping()
+    other_roles = sorted(
+        {role for (_pos, role) in mapping if role != governor_role}
+    )
+    lines = []
+    for pos, word in enumerate(parse.words, start=1):
+        governor = mapping[(pos, governor_role)]
+        head = 0 if governor.mod == NIL_MOD else governor.mod
+        deprel = symbols.labels.name(governor.lab)
+        cpostag = symbols.categories.name(governor.cat)
+        extras = []
+        for role in other_roles:
+            value = mapping[(pos, role)]
+            modifiee = "0" if value.mod == NIL_MOD else str(value.mod)
+            extras.append(f"{symbols.labels.name(value.lab)}:{modifiee}")
+        columns = [str(pos), word, cpostag, str(head), deprel, *extras]
+        lines.append("\t".join(columns))
+    return "\n".join(lines)

@@ -1,0 +1,110 @@
+"""Parse-graph extraction: backtracking search over the settled CN.
+
+"In the case of ambiguity, the precedence graphs are extracted by
+selecting a single role value for each role, all of which must be
+consistent given the arc matrices" (section 1.4).  The paper recommends
+extracting only after propagation has reduced the domains; this module
+implements the backtracking search with forward checking, so it is also
+usable on partially filtered networks.
+
+Definitive acceptance of a sentence — as opposed to the CN-level
+"every role kept a value" condition — is the existence of at least one
+extractable assignment; :func:`accepts` exposes exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ExtractionError
+from repro.network.network import ConstraintNetwork
+from repro.search.precedence import PrecedenceGraph
+
+
+def iter_assignments(net: ConstraintNetwork) -> Iterator[tuple[int, ...]]:
+    """Yield consistent assignments as tuples of global role-value indices.
+
+    Roles are assigned in order of increasing live-domain size (fail
+    first); candidate pruning intersects the packed arc-matrix rows of
+    the values chosen so far, so each yielded tuple is pairwise
+    consistent by construction.
+    """
+    order = sorted(range(net.n_roles), key=net.domain_size)
+    if any(net.domain_size(role) == 0 for role in order):
+        return
+
+    chosen: list[int] = []
+    # compatible[i] = True while role value i is pairwise-consistent with
+    # every chosen value so far (a running AND of matrix rows).
+    compatible_stack = [net.alive.copy()]
+
+    def backtrack(depth: int) -> Iterator[tuple[int, ...]]:
+        if depth == len(order):
+            yield tuple(chosen)
+            return
+        role = order[depth]
+        sl = net.role_slices[role]
+        compatible = compatible_stack[-1]
+        candidates = np.nonzero(compatible[sl])[0] + sl.start
+        for a in candidates:
+            narrowed = compatible & net.matrix[a]
+            narrowed[a] = True  # keep the chosen value itself marked
+            # Forward check: every unassigned role must retain a candidate.
+            dead_end = False
+            for later in order[depth + 1 :]:
+                later_sl = net.role_slices[later]
+                if not narrowed[later_sl].any():
+                    dead_end = True
+                    break
+            if dead_end:
+                continue
+            chosen.append(int(a))
+            compatible_stack.append(narrowed)
+            yield from backtrack(depth + 1)
+            compatible_stack.pop()
+            chosen.pop()
+
+    yield from backtrack(0)
+
+
+def extract_parses(net: ConstraintNetwork, limit: int | None = 10) -> list[PrecedenceGraph]:
+    """Enumerate up to *limit* precedence graphs from the settled CN.
+
+    Args:
+        net: a (typically propagated) constraint network.
+        limit: maximum number of parses to return; ``None`` = all.
+
+    Raises:
+        ExtractionError: when *limit* is not positive.
+    """
+    if limit is not None and limit <= 0:
+        raise ExtractionError(f"limit must be positive, got {limit}")
+    parses: list[PrecedenceGraph] = []
+    for indices in iter_assignments(net):
+        mapping = {}
+        for index in indices:
+            rv = net.role_values[index]
+            mapping[(rv.pos, rv.role)] = rv
+        parses.append(PrecedenceGraph.from_mapping(net.sentence.words, mapping))
+        if limit is not None and len(parses) >= limit:
+            break
+    return parses
+
+
+def count_parses(net: ConstraintNetwork, limit: int = 10_000) -> int:
+    """Count consistent assignments, stopping at *limit*."""
+    count = 0
+    for _ in iter_assignments(net):
+        count += 1
+        if count >= limit:
+            break
+    return count
+
+
+def accepts(net: ConstraintNetwork) -> bool:
+    """True iff at least one consistent assignment exists."""
+    for _ in iter_assignments(net):
+        return True
+    return False

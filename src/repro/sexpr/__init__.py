@@ -1,0 +1,27 @@
+"""S-expression front end for the CDG constraint language.
+
+The paper writes constraints in a Lisp-like surface syntax::
+
+    (if (and (eq (cat (word (pos x))) verb)
+             (eq (role x) governor))
+        (and (eq (lab x) ROOT)
+             (eq (mod x) nil)))
+
+This package provides the lexer (:mod:`repro.sexpr.tokenizer`), the reader
+(:mod:`repro.sexpr.reader`) and the tiny AST (:mod:`repro.sexpr.nodes`)
+shared by the scalar and vector constraint compilers.
+"""
+
+from repro.sexpr.nodes import Atom, SList, SNode
+from repro.sexpr.reader import parse_all, parse_one
+from repro.sexpr.tokenizer import Token, tokenize
+
+__all__ = [
+    "Atom",
+    "SList",
+    "SNode",
+    "Token",
+    "tokenize",
+    "parse_one",
+    "parse_all",
+]

@@ -1,0 +1,94 @@
+"""AST nodes produced by the s-expression reader.
+
+The AST is a classic two-variant tree: :class:`Atom` for symbols and
+integers, :class:`SList` for parenthesised forms.  Both carry source
+positions so the constraint compilers can report precise errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+SNode = Union["Atom", "SList"]
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A leaf node: a symbol (``x``, ``SUBJ``, ``nil``) or an integer.
+
+    Attributes:
+        value: the symbol text (``str``) or the integer value (``int``).
+        line: 1-based source line (0 for synthesized nodes).
+        column: 1-based source column (0 for synthesized nodes).
+    """
+
+    value: str | int
+    line: int = 0
+    column: int = 0
+
+    @property
+    def is_symbol(self) -> bool:
+        return isinstance(self.value, str)
+
+    @property
+    def is_int(self) -> bool:
+        return isinstance(self.value, int)
+
+    def symbol(self) -> str:
+        """Return the symbol text; raises :class:`TypeError` for integers."""
+        if not isinstance(self.value, str):
+            raise TypeError(f"atom {self.value!r} is not a symbol")
+        return self.value
+
+    def lowered(self) -> str:
+        """Return the symbol text lower-cased (keyword comparison helper)."""
+        return self.symbol().lower()
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class SList:
+    """A parenthesised form ``(head arg1 arg2 ...)``.
+
+    Attributes:
+        items: the child nodes, in source order.
+        line: 1-based line of the opening parenthesis.
+        column: 1-based column of the opening parenthesis.
+    """
+
+    items: tuple[SNode, ...]
+    line: int = 0
+    column: int = 0
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self) -> Iterator[SNode]:
+        return iter(self.items)
+
+    def __getitem__(self, index: int) -> SNode:
+        return self.items[index]
+
+    @property
+    def head_symbol(self) -> str | None:
+        """The head as a lower-cased symbol, or ``None`` if not a symbol."""
+        if self.items and isinstance(self.items[0], Atom) and self.items[0].is_symbol:
+            return self.items[0].lowered()
+        return None
+
+    @property
+    def args(self) -> tuple[SNode, ...]:
+        return self.items[1:]
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return "(" + " ".join(str(item) for item in self.items) + ")"
+
+
+def sexpr_to_str(node: SNode) -> str:
+    """Render *node* back to canonical s-expression text."""
+    if isinstance(node, Atom):
+        return str(node.value)
+    return "(" + " ".join(sexpr_to_str(item) for item in node.items) + ")"

@@ -1,0 +1,72 @@
+"""Reader: token stream -> s-expression AST."""
+
+from __future__ import annotations
+
+from repro.errors import SexprSyntaxError
+from repro.sexpr.nodes import Atom, SList, SNode
+from repro.sexpr.tokenizer import Token, tokenize_all
+
+
+class _Reader:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    def at_end(self) -> bool:
+        return self._pos >= len(self._tokens)
+
+    def peek(self) -> Token:
+        if self.at_end():
+            last = self._tokens[-1] if self._tokens else None
+            raise SexprSyntaxError(
+                "unexpected end of input",
+                last.line if last else 1,
+                last.column if last else 1,
+            )
+        return self._tokens[self._pos]
+
+    def next(self) -> Token:
+        tok = self.peek()
+        self._pos += 1
+        return tok
+
+    def read_node(self) -> SNode:
+        tok = self.next()
+        if tok.kind == "(":
+            items: list[SNode] = []
+            while True:
+                if self.at_end():
+                    raise SexprSyntaxError("unbalanced '(' — missing ')'", tok.line, tok.column)
+                if self.peek().kind == ")":
+                    close = self.next()
+                    del close
+                    return SList(tuple(items), tok.line, tok.column)
+                items.append(self.read_node())
+        if tok.kind == ")":
+            raise SexprSyntaxError("unbalanced ')'", tok.line, tok.column)
+        if tok.kind == "int":
+            return Atom(int(tok.text), tok.line, tok.column)
+        return Atom(tok.text, tok.line, tok.column)
+
+
+def parse_one(source: str) -> SNode:
+    """Parse exactly one s-expression from *source*.
+
+    Raises:
+        SexprSyntaxError: if the source is empty or contains trailing forms.
+    """
+    reader = _Reader(tokenize_all(source))
+    node = reader.read_node()
+    if not reader.at_end():
+        extra = reader.peek()
+        raise SexprSyntaxError("trailing content after the first expression", extra.line, extra.column)
+    return node
+
+
+def parse_all(source: str) -> list[SNode]:
+    """Parse every top-level s-expression in *source* (possibly none)."""
+    reader = _Reader(tokenize_all(source))
+    nodes: list[SNode] = []
+    while not reader.at_end():
+        nodes.append(reader.read_node())
+    return nodes

@@ -1,0 +1,100 @@
+"""Tokenizer for the s-expression constraint syntax.
+
+The token language is deliberately small: parentheses, integers, and
+symbols.  Comments run from ``;`` to end of line, mirroring Lisp.  Symbols
+are case-sensitive except that the reader layer treats grammar keywords
+(``if``, ``and`` ...) case-insensitively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import SexprSyntaxError
+
+#: Characters that terminate a symbol token.
+_DELIMITERS = frozenset("()' \t\r\n;")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    Attributes:
+        kind: one of ``"("``, ``")"``, ``"int"``, ``"symbol"``.
+        text: the raw source text of the token.
+        line: 1-based source line.
+        column: 1-based source column.
+    """
+
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def as_int(self) -> int:
+        """Return the integer value of an ``int`` token."""
+        if self.kind != "int":
+            raise SexprSyntaxError(f"token {self.text!r} is not an integer", self.line, self.column)
+        return int(self.text)
+
+
+def _is_int_literal(text: str) -> bool:
+    body = text[1:] if text[:1] in "+-" else text
+    return body.isdigit() and bool(body)
+
+
+def tokenize(source: str) -> Iterator[Token]:
+    """Yield :class:`Token` objects for *source*.
+
+    Raises:
+        SexprSyntaxError: on characters that cannot start a token.
+    """
+    line = 1
+    column = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if ch == ";":
+            # Comment to end of line.
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch in "()":
+            yield Token(ch, ch, line, column)
+            i += 1
+            column += 1
+            continue
+        if ch == "'":
+            # Quote is tolerated (and ignored) so grammars can quote symbols
+            # the way the paper's Lisp-flavoured examples sometimes do.
+            i += 1
+            column += 1
+            continue
+        if ch == '"':
+            raise SexprSyntaxError("string literals are not part of the constraint language", line, column)
+        # Symbol or integer: scan to the next delimiter.
+        start = i
+        start_col = column
+        while i < n and source[i] not in _DELIMITERS:
+            i += 1
+            column += 1
+        text = source[start:i]
+        kind = "int" if _is_int_literal(text) else "symbol"
+        yield Token(kind, text, line, start_col)
+
+
+def tokenize_all(source: str) -> list[Token]:
+    """Eagerly tokenize *source* into a list."""
+    return list(tokenize(source))

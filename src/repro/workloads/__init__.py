@@ -1,0 +1,17 @@
+"""Workload generators for tests and benchmarks."""
+
+from repro.workloads.sentences import (
+    corpus,
+    random_sentence,
+    scrambled_sentence,
+    sentence_of_length,
+    toy_sentence,
+)
+
+__all__ = [
+    "corpus",
+    "random_sentence",
+    "scrambled_sentence",
+    "sentence_of_length",
+    "toy_sentence",
+]

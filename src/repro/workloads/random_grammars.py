@@ -1,0 +1,122 @@
+"""Random CDG grammar generation (fuzzing workloads).
+
+The cross-engine equivalence invariant must hold for *every* grammar,
+not just the hand-written ones; this generator samples small random
+grammars — random label/category/role spaces, random tables, and random
+constraints drawn from the idiom templates of the constraint language —
+plus random sentences over their lexicons, giving the equivalence tests
+an adversarial workload no human grammar writer would produce.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.grammar.builder import GrammarBuilder
+from repro.grammar.grammar import CDGGrammar
+
+
+def _predicate(rng: random.Random, var: str, labels, cats, roles) -> str:
+    """One random atomic predicate over *var*."""
+    kind = rng.choice(
+        ["lab", "cat", "role", "mod-nil", "pos-lit", "mod-dir", "mod-cat"]
+    )
+    if kind == "lab":
+        return f"(eq (lab {var}) {rng.choice(labels)})"
+    if kind == "cat":
+        return f"(eq (cat (word (pos {var}))) {rng.choice(cats)})"
+    if kind == "role":
+        return f"(eq (role {var}) {rng.choice(roles)})"
+    if kind == "mod-nil":
+        inner = f"(eq (mod {var}) nil)"
+        return inner if rng.random() < 0.5 else f"(not {inner})"
+    if kind == "pos-lit":
+        op = rng.choice(["eq", "gt", "lt"])
+        return f"({op} (pos {var}) {rng.randint(1, 4)})"
+    if kind == "mod-dir":
+        op = rng.choice(["gt", "lt"])
+        return f"({op} (mod {var}) (pos {var}))"
+    return f"(eq (cat (word (mod {var}))) {rng.choice(cats)})"
+
+
+def _pair_predicate(rng: random.Random, labels, cats, roles) -> str:
+    """One random atomic predicate relating x and y."""
+    kind = rng.choice(["order", "point", "same-mod", "labels"])
+    if kind == "order":
+        op = rng.choice(["gt", "lt"])
+        return f"({op} (pos x) (pos y))"
+    if kind == "point":
+        return "(eq (pos y) (mod x))"
+    if kind == "same-mod":
+        return "(eq (mod x) (mod y))"
+    return f"(and (eq (lab x) {rng.choice(labels)}) (eq (lab y) {rng.choice(labels)}))"
+
+
+def _clause(rng: random.Random, parts: list[str]) -> str:
+    if len(parts) == 1:
+        return parts[0]
+    joiner = rng.choice(["and", "or"])
+    return f"({joiner} " + " ".join(parts) + ")"
+
+
+def random_grammar(rng: random.Random) -> CDGGrammar:
+    """Sample one small, structurally valid CDG grammar."""
+    n_labels = rng.randint(2, 4)
+    n_cats = rng.randint(1, 3)
+    n_roles = rng.randint(1, 3)
+    labels = [f"L{i}" for i in range(n_labels)]
+    cats = [f"c{i}" for i in range(n_cats)]
+    roles = [f"r{i}" for i in range(n_roles)]
+
+    builder = GrammarBuilder(f"fuzz-{rng.randrange(10**6)}")
+    builder.labels(*labels)
+    builder.roles(*roles)
+    builder.categories(*cats)
+    for role in roles:
+        # Every role admits a random non-empty subset of labels.
+        subset = rng.sample(labels, rng.randint(1, n_labels))
+        builder.table(role, *subset)
+    # A small lexicon: every category gets at least one word.
+    for index, cat in enumerate(cats):
+        builder.word(f"w{index}", cat)
+        if rng.random() < 0.4:
+            builder.word(f"amb{index}", cat, rng.choice(cats))
+
+    n_unary = rng.randint(1, 4)
+    n_binary = rng.randint(0, 4)
+    for index in range(n_unary):
+        antecedent = _clause(
+            rng, [_predicate(rng, "x", labels, cats, roles) for _ in range(rng.randint(1, 2))]
+        )
+        consequent = _clause(
+            rng, [_predicate(rng, "x", labels, cats, roles) for _ in range(rng.randint(1, 2))]
+        )
+        builder.constraint(f"u{index}", f"(if {antecedent} {consequent})")
+    for index in range(n_binary):
+        antecedent = _clause(
+            rng,
+            [_pair_predicate(rng, labels, cats, roles)]
+            + [
+                _predicate(rng, rng.choice(["x", "y"]), labels, cats, roles)
+                for _ in range(rng.randint(0, 1))
+            ],
+        )
+        consequent = _clause(
+            rng,
+            [
+                rng.choice(
+                    [
+                        _pair_predicate(rng, labels, cats, roles),
+                        _predicate(rng, rng.choice(["x", "y"]), labels, cats, roles),
+                    ]
+                )
+            ],
+        )
+        builder.constraint(f"b{index}", f"(if {antecedent} {consequent})")
+    return builder.build()
+
+
+def random_sentence_for(grammar: CDGGrammar, rng: random.Random, max_len: int = 5) -> list[str]:
+    """A random token sequence over *grammar*'s lexicon."""
+    words = grammar.lexicon.words()
+    return [rng.choice(words) for _ in range(rng.randint(1, max_len))]

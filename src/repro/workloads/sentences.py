@@ -1,0 +1,123 @@
+"""Workload sentences for the English grammar.
+
+The paper's time trials sweep sentence length ("one to seven words",
+"a sentence of 10 words"); :func:`sentence_of_length` builds a
+grammatical English sentence of *exactly* n words for any n >= 2, by
+composing a core clause with prepositional-phrase chunks (3 words each)
+and attributive adjectives (1 word each):
+
+    n=2   dogs bark
+    n=5   the dog sees the cat
+    n=8   the dog sees the cat in the park
+    n=10  the big quick dog sees the cat in the park
+
+:func:`random_sentence` draws words from the same pools with a seeded
+generator, for property-based testing.
+"""
+
+from __future__ import annotations
+
+import random
+
+NOUNS = ("dog", "cat", "park", "man", "woman", "tree", "bird", "house", "telescope", "computer")
+ADJS = ("big", "red", "old", "small", "happy", "quick", "lazy")
+PREPS = ("in", "on", "with", "under", "near")
+VERBS_TRANS = ("sees", "likes", "chases")
+VERBS_INTRANS = ("runs", "sleeps", "walks")
+ADVS = ("quickly", "slowly", "often", "loudly")
+
+
+def sentence_of_length(n: int) -> list[str]:
+    """A grammatical sentence of exactly *n* words (n >= 2).
+
+    n=1 returns the single noun ``["dogs"]``, which the grammar rejects
+    (a lone noun fills no role) — still a valid *workload* for the
+    constraint-propagation timing sweeps, mirroring the paper's
+    "one to seven words" trials.
+    """
+    if n < 1:
+        raise ValueError(f"sentence length must be >= 1, got {n}")
+    if n == 1:
+        return ["dogs"]
+    if n == 2:
+        return ["dogs", "bark"]
+    if n == 3:
+        return ["the", "dog", "runs"]
+    if n == 4:
+        return ["the", "big", "dog", "runs"]
+
+    # Core transitive clause: "the dog sees the cat" (5 words), then
+    # PP chunks of 3, then adjectives to make up the remainder.
+    n_pp, n_adj = divmod(n - 5, 3)
+    subject = ["the", "dog"]
+    obj = ["the", "cat"]
+    pps: list[list[str]] = []
+    for i in range(n_pp):
+        noun = NOUNS[(2 + i) % len(NOUNS)]
+        pps.append([PREPS[i % len(PREPS)], "the", noun])
+
+    # Distribute adjectives over the noun phrases (subject first).
+    phrases = [subject, obj] + pps
+    for i in range(n_adj):
+        phrase = phrases[i % len(phrases)]
+        # Insert before the noun (the last token of the phrase).
+        phrase.insert(len(phrase) - 1, ADJS[i % len(ADJS)])
+
+    words = subject + ["sees"] + obj
+    for pp in pps:
+        words += pp
+    assert len(words) == n, (len(words), n)
+    return words
+
+
+def toy_sentence(n: int) -> list[str]:
+    """An n-word workload over the *toy* grammar's lexicon.
+
+    Only n <= 3 is grammatical; longer strings are still valid timing
+    workloads (constraint propagation cost does not depend on
+    acceptance), which is how the paper's n-sweep must have been run —
+    its example grammar only covers three-word sentences.
+    """
+    if n < 1:
+        raise ValueError(f"sentence length must be >= 1, got {n}")
+    if n == 1:
+        return ["program"]
+    if n == 2:
+        return ["program", "runs"]
+    return ["the"] * (n - 2) + ["program", "runs"]
+
+
+def random_sentence(rng: random.Random, max_pps: int = 2, max_adjs: int = 2) -> list[str]:
+    """A random grammatical sentence: NP V [NP] [PP]* with optional adverb."""
+
+    def noun_phrase() -> list[str]:
+        out = [rng.choice(("the", "a", "every", "some"))]
+        for _ in range(rng.randrange(max_adjs + 1)):
+            out.append(rng.choice(ADJS))
+        out.append(rng.choice(NOUNS))
+        return out
+
+    words = noun_phrase()
+    if rng.random() < 0.6:
+        words.append(rng.choice(VERBS_TRANS))
+        words += noun_phrase()
+    else:
+        words.append(rng.choice(VERBS_INTRANS))
+    for _ in range(rng.randrange(max_pps + 1)):
+        words += [rng.choice(PREPS)] + noun_phrase()
+    if rng.random() < 0.3:
+        words.append(rng.choice(ADVS))
+    return words
+
+
+def scrambled_sentence(rng: random.Random, **kwargs) -> list[str]:
+    """A random sentence with its word order shuffled (usually rejected)."""
+    words = random_sentence(rng, **kwargs)
+    rng.shuffle(words)
+    return words
+
+
+def corpus(seed: int = 0, size: int = 30) -> list[list[str]]:
+    """A deterministic mixed corpus of grammatical sentences."""
+    rng = random.Random(seed)
+    return [random_sentence(rng) for _ in range(size)]

@@ -1,0 +1,45 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SerialEngine, VectorEngine
+from repro.grammar.builtin import program_grammar
+from repro.network.network import ConstraintNetwork
+
+
+@pytest.fixture(scope="session")
+def toy_grammar():
+    """The paper's "The program runs" grammar."""
+    return program_grammar()
+
+
+@pytest.fixture(params=["serial", "vector"])
+def engine(request):
+    """Parametrize a test over the two pure-software engines."""
+    return {"serial": SerialEngine, "vector": VectorEngine}[request.param]()
+
+
+def find_rv(net: ConstraintNetwork, pos: int, role_name: str, pretty: str) -> int:
+    """Global index of the role value rendered as *pretty* (e.g. "SUBJ-1").
+
+    Helper for matrix-entry assertions against the paper's figures.
+    """
+    symbols = net.grammar.symbols
+    sl = net.role_slices[net.role_of(pos, role_name)]
+    matches = [
+        i for i in range(sl.start, sl.stop) if net.role_values[i].pretty(symbols) == pretty
+    ]
+    assert matches, f"no role value {pretty!r} at word {pos} role {role_name}"
+    assert len(matches) == 1, f"ambiguous role value {pretty!r} (lexically ambiguous word?)"
+    return matches[0]
+
+
+def domains_snapshot(net: ConstraintNetwork) -> dict[tuple[int, str], frozenset[str]]:
+    """All live domains, keyed by (position, role name)."""
+    out = {}
+    for pos in range(1, net.n_words + 1):
+        for role_name in net.grammar.roles:
+            out[(pos, role_name)] = frozenset(net.domain(pos, role_name))
+    return out

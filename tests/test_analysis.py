@@ -1,0 +1,81 @@
+"""Unit tests for the analysis helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import fit_log_growth, fit_power_law, format_seconds, format_table
+
+
+class TestPowerLawFit:
+    def test_exact_cubic(self):
+        xs = [2, 4, 8, 16]
+        ys = [5 * x**3 for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(3.0)
+        assert fit.scale == pytest.approx(5.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        exponent=st.floats(0.5, 5.0),
+        scale=st.floats(0.1, 100.0),
+    )
+    def test_recovers_parameters(self, exponent, scale):
+        xs = np.array([2.0, 3.0, 5.0, 8.0, 13.0])
+        ys = scale * xs**exponent
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(exponent, rel=1e-6)
+        assert fit.scale == pytest.approx(scale, rel=1e-6)
+
+    def test_predict(self):
+        fit = fit_power_law([1, 2, 4], [3, 12, 48])
+        assert fit.predict(8) == pytest.approx(192.0)
+
+    def test_noise_lowers_r_squared(self):
+        rng = np.random.default_rng(0)
+        xs = np.arange(2, 30)
+        ys = xs**2.0 * rng.uniform(0.2, 5.0, size=len(xs))
+        fit = fit_power_law(xs, ys)
+        assert fit.r_squared < 0.999
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1], [1])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [0, 1])
+
+
+class TestLogGrowthFit:
+    def test_exact_log(self):
+        xs = [2, 4, 8, 16, 32]
+        ys = [7 * np.log2(x) + 3 for x in xs]
+        a, b, r2 = fit_log_growth(xs, ys)
+        assert a == pytest.approx(7.0)
+        assert b == pytest.approx(3.0)
+        assert r2 == pytest.approx(1.0)
+
+    def test_constant_data(self):
+        a, _b, r2 = fit_log_growth([2, 4, 8], [5, 5, 5])
+        assert a == pytest.approx(0.0)
+        assert r2 == pytest.approx(1.0)
+
+
+class TestFormatting:
+    def test_table_alignment(self):
+        text = format_table(["n", "time"], [[3, "0.15 s"], [10, "0.45 s"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "n" in lines[2] and "time" in lines[2]
+        assert len(lines) == 6
+
+    def test_seconds_scales(self):
+        assert format_seconds(3e-6) == "3.0 us"
+        assert format_seconds(0.0042) == "4.20 ms"
+        assert format_seconds(1.5) == "1.50 s"
+        assert format_seconds(300) == "5.0 min"

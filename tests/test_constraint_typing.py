@@ -1,0 +1,216 @@
+"""Unit tests for constraint type checking and symbol resolution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints import Constraint, SymbolTable
+from repro.constraints.texpr import EqMode, Kind, TEq, TNot, TOr, variables_used
+from repro.errors import ConstraintError
+
+
+@pytest.fixture
+def symbols():
+    table = SymbolTable()
+    for label in ("SUBJ", "ROOT", "DET"):
+        table.labels.intern(label)
+    for cat in ("det", "noun", "verb"):
+        table.categories.intern(cat)
+    for role in ("governor", "needs"):
+        table.roles.intern(role)
+    return table
+
+
+class TestArity:
+    def test_unary_constraint(self, symbols):
+        c = Constraint.parse("(if (eq (lab x) SUBJ) (eq (mod x) nil))", symbols)
+        assert c.is_unary and c.arity == 1
+
+    def test_binary_constraint(self, symbols):
+        c = Constraint.parse("(if (eq (lab x) SUBJ) (lt (pos x) (pos y)))", symbols)
+        assert c.is_binary and c.arity == 2
+
+    def test_only_y_rejected(self, symbols):
+        with pytest.raises(ConstraintError, match="must use variable x"):
+            Constraint.parse("(if (eq (lab y) SUBJ) (eq (mod y) nil))", symbols)
+
+    def test_unknown_variable_rejected(self, symbols):
+        with pytest.raises(ConstraintError):
+            Constraint.parse("(if (eq (lab z) SUBJ) (eq (mod z) nil))", symbols)
+
+    def test_no_variables_rejected(self, symbols):
+        with pytest.raises(ConstraintError, match="no role-value variable"):
+            Constraint.parse("(if (eq 1 1) (eq 2 2))", symbols)
+
+
+class TestStructure:
+    def test_top_level_must_be_if(self, symbols):
+        with pytest.raises(ConstraintError, match=r"\(if antecedent consequent\)"):
+            Constraint.parse("(and (eq (lab x) SUBJ) (eq (mod x) nil))", symbols)
+
+    def test_if_needs_two_parts(self, symbols):
+        with pytest.raises(ConstraintError):
+            Constraint.parse("(if (eq (lab x) SUBJ))", symbols)
+
+    def test_permitted_form_is_not_ante_or_cons(self, symbols):
+        c = Constraint.parse("(if (eq (lab x) SUBJ) (eq (mod x) nil))", symbols)
+        expr = c.typed.expr
+        assert isinstance(expr, TOr)
+        assert isinstance(expr.parts[0], TNot)
+
+    def test_nary_and(self, symbols):
+        c = Constraint.parse(
+            "(if (and (eq (lab x) SUBJ) (eq (role x) governor) (gt (pos x) 1))"
+            "    (eq (mod x) nil))",
+            symbols,
+        )
+        assert c.is_unary
+
+    def test_and_needs_two_args(self, symbols):
+        with pytest.raises(ConstraintError, match="at least two"):
+            Constraint.parse("(if (and (eq (lab x) SUBJ)) (eq (mod x) nil))", symbols)
+
+    def test_not_single_arg(self, symbols):
+        with pytest.raises(ConstraintError, match="exactly one"):
+            Constraint.parse(
+                "(if (not (eq (lab x) SUBJ) (eq (lab x) DET)) (eq (mod x) nil))", symbols
+            )
+
+    def test_unknown_predicate(self, symbols):
+        with pytest.raises(ConstraintError, match="unknown predicate"):
+            Constraint.parse("(if (xor (eq (lab x) SUBJ) 1) (eq (mod x) nil))", symbols)
+
+    def test_unknown_access_function(self, symbols):
+        with pytest.raises(ConstraintError, match="unknown access function"):
+            Constraint.parse("(if (eq (head x) SUBJ) (eq (mod x) nil))", symbols)
+
+
+class TestSymbolResolution:
+    def test_label_namespace(self, symbols):
+        c = Constraint.parse("(if (eq (lab x) ROOT) (eq (mod x) nil))", symbols)
+        eq = c.typed.expr.parts[0].part  # (not ante) -> ante
+        assert isinstance(eq, TEq)
+        assert eq.right.kind == Kind.LABEL
+        assert eq.right.value == symbols.labels.code("ROOT")
+
+    def test_category_namespace_via_cat(self, symbols):
+        c = Constraint.parse(
+            "(if (eq (cat (word (pos x))) verb) (eq (mod x) nil))", symbols
+        )
+        eq = c.typed.expr.parts[0].part
+        assert eq.right.kind == Kind.CAT
+        assert eq.right.value == symbols.categories.code("verb")
+
+    def test_role_namespace(self, symbols):
+        c = Constraint.parse("(if (eq (role x) needs) (eq (mod x) nil))", symbols)
+        eq = c.typed.expr.parts[0].part
+        assert eq.right.kind == Kind.ROLE
+
+    def test_unknown_symbol_raises(self, symbols):
+        with pytest.raises(ConstraintError, match="unknown label"):
+            Constraint.parse("(if (eq (lab x) OBJ) (eq (mod x) nil))", symbols)
+
+    def test_symbol_order_does_not_matter(self, symbols):
+        c = Constraint.parse("(if (eq SUBJ (lab x)) (eq (mod x) nil))", symbols)
+        assert c.is_unary
+
+    def test_two_bare_symbols_rejected(self, symbols):
+        with pytest.raises(ConstraintError, match="two bare symbols"):
+            Constraint.parse("(if (eq SUBJ ROOT) (eq (mod x) nil))", symbols)
+
+
+class TestComparisonTyping:
+    def test_label_vs_position_rejected(self, symbols):
+        with pytest.raises(ConstraintError, match="cannot eq"):
+            Constraint.parse("(if (eq (lab x) (pos x)) (eq (mod x) nil))", symbols)
+
+    def test_label_vs_role_rejected(self, symbols):
+        with pytest.raises(ConstraintError, match="cannot eq"):
+            Constraint.parse("(if (eq (lab x) (role x)) (eq (mod x) nil))", symbols)
+
+    def test_gt_on_labels_rejected(self, symbols):
+        with pytest.raises(ConstraintError, match="integer operands"):
+            Constraint.parse("(if (gt (lab x) (lab y)) (eq (mod x) nil))", symbols)
+
+    def test_gt_on_bare_symbol_rejected(self, symbols):
+        with pytest.raises(ConstraintError, match="not ordered"):
+            Constraint.parse("(if (gt (pos x) SUBJ) (eq (mod x) nil))", symbols)
+
+    def test_mod_vs_pos_allowed(self, symbols):
+        c = Constraint.parse("(if (eq (mod x) (pos y)) (lt (pos x) (pos y)))", symbols)
+        assert c.is_binary
+
+    def test_pos_vs_int_allowed(self, symbols):
+        c = Constraint.parse("(if (eq (pos x) 1) (eq (mod x) nil))", symbols)
+        assert c.is_unary
+
+    def test_eq_pos_nil_is_statically_false(self, symbols):
+        c = Constraint.parse("(if (eq (pos x) nil) (eq (mod x) nil))", symbols)
+        eq = c.typed.expr.parts[0].part
+        assert eq.mode == EqMode.CONST_FALSE
+
+    def test_eq_nil_nil_rejected(self, symbols):
+        with pytest.raises(ConstraintError, match="vacuous"):
+            Constraint.parse("(if (eq nil nil) (eq (mod x) nil))", symbols)
+
+    def test_gt_with_nil_is_statically_false(self, symbols):
+        c = Constraint.parse("(if (gt (mod x) nil) (eq (mod x) nil))", symbols)
+        eq = c.typed.expr.parts[0].part
+        assert isinstance(eq, TEq) and eq.mode == EqMode.CONST_FALSE
+
+
+class TestWordAndCat:
+    def test_cat_of_pos_is_own_category_field(self, symbols):
+        c = Constraint.parse(
+            "(if (eq (cat (word (pos x))) noun) (eq (mod x) nil))", symbols
+        )
+        eq = c.typed.expr.parts[0].part
+        assert eq.mode == EqMode.CODE  # per-role-value cat field, not a set
+
+    def test_cat_of_mod_is_a_category_set(self, symbols):
+        c = Constraint.parse(
+            "(if (eq (cat (word (mod x))) noun) (eq (mod x) nil))", symbols
+        )
+        eq = c.typed.expr.parts[0].part
+        assert eq.mode == EqMode.CATSET_CODE
+
+    def test_cat_of_literal_position(self, symbols):
+        c = Constraint.parse("(if (eq (cat (word 1)) det) (eq (mod x) nil))", symbols)
+        eq = c.typed.expr.parts[0].part
+        assert eq.mode == EqMode.CATSET_CODE
+
+    def test_two_category_sets_intersect(self, symbols):
+        c = Constraint.parse(
+            "(if (eq (cat (word (mod x))) (cat (word (mod y)))) (lt (pos x) (pos y)))",
+            symbols,
+        )
+        eq = c.typed.expr.parts[0].part
+        assert eq.mode == EqMode.CATSET_CATSET
+
+    def test_word_outside_cat_rejected(self, symbols):
+        with pytest.raises(ConstraintError, match="inside"):
+            Constraint.parse("(if (eq (word (pos x)) 1) (eq (mod x) nil))", symbols)
+
+    def test_cat_of_non_word_rejected(self, symbols):
+        with pytest.raises(ConstraintError, match=r"\(cat ...\) must be applied"):
+            Constraint.parse("(if (eq (cat (pos x)) noun) (eq (mod x) nil))", symbols)
+
+    def test_word_of_label_rejected(self, symbols):
+        with pytest.raises(ConstraintError, match="needs a position"):
+            Constraint.parse("(if (eq (cat (word (lab x))) noun) (eq (mod x) nil))", symbols)
+
+    def test_catset_vs_label_rejected(self, symbols):
+        with pytest.raises(ConstraintError, match="category set"):
+            Constraint.parse(
+                "(if (eq (cat (word (mod x))) (lab x)) (eq (mod x) nil))", symbols
+            )
+
+
+class TestVariablesUsed:
+    def test_variables_used_walks_everything(self, symbols):
+        c = Constraint.parse(
+            "(if (and (eq (lab x) SUBJ) (eq (cat (word (mod y))) noun))"
+            "    (or (lt (pos x) (pos y)) (not (eq (mod x) nil))))",
+            symbols,
+        )
+        assert variables_used(c.typed.expr) == frozenset({"x", "y"})

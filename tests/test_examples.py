@@ -1,0 +1,37 @@
+"""Smoke tests: every example script must run clean as a subprocess."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), f"{script.name} produced no output"
+
+
+def test_examples_are_discovered():
+    names = {path.stem for path in EXAMPLES}
+    assert {
+        "quickstart",
+        "english_ambiguity",
+        "copy_language",
+        "maspar_demo",
+        "incremental_speech",
+        "formal_languages",
+    } <= names

@@ -1,0 +1,102 @@
+"""Filtering is confluent: the fixpoint is unique, however kills are ordered.
+
+The engines rely on this silently — the serial engine kills values one
+consistency sweep at a time, the parallel engines kill whole waves
+simultaneously, and the MasPar bounds its sweeps.  Support elimination
+is a monotone closure, so the greatest locally-consistent subnetwork is
+unique; this file property-tests exactly that on random synthetic
+networks, including adversarially ordered single-kill schedules.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.synthetic import SyntheticNetwork
+from repro.propagation.consistency import (
+    consistency_step_serial,
+    consistency_step_vector,
+    unsupported_vector,
+)
+from repro.propagation.filtering import filter_network
+
+
+def random_network(rng: random.Random) -> SyntheticNetwork:
+    n_roles = rng.randint(2, 5)
+    sizes = [rng.randint(1, 4) for _ in range(n_roles)]
+    net = SyntheticNetwork(sizes)
+    # Randomly zero a fraction of the cross-role pairs.
+    density = rng.uniform(0.2, 0.9)
+    for a in range(net.nv):
+        for b in range(a + 1, net.nv):
+            if net.role_index[a] != net.role_index[b] and rng.random() > density:
+                net.forbid(a, b)
+    return net
+
+
+def one_at_a_time_fixpoint(net: SyntheticNetwork, rng: random.Random) -> np.ndarray:
+    """Kill ONE random unsupported value per step, until quiescent."""
+    while True:
+        unsupported = unsupported_vector(net)
+        if len(unsupported) == 0:
+            return net.alive.copy()
+        victim = rng.choice(list(unsupported))
+        net.kill(np.array([victim]))
+
+
+class TestConfluence:
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 10**6), order_seed=st.integers(0, 10**6))
+    def test_single_kill_order_does_not_matter(self, seed, order_seed):
+        rng = random.Random(seed)
+        net = random_network(rng)
+
+        wave = SyntheticNetwork.__new__(SyntheticNetwork)
+        wave.__dict__.update(net.__dict__)
+        wave.alive = net.alive.copy()
+        wave.matrix = net.matrix.copy()
+
+        sequential = one_at_a_time_fixpoint(net, random.Random(order_seed))
+        filter_network(wave, consistency_step_vector)
+        np.testing.assert_array_equal(sequential, wave.alive)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_serial_and_vector_steps_reach_same_fixpoint(self, seed):
+        rng = random.Random(seed)
+        a = random_network(rng)
+        b = SyntheticNetwork.__new__(SyntheticNetwork)
+        b.__dict__.update(a.__dict__)
+        b.alive = a.alive.copy()
+        b.matrix = a.matrix.copy()
+
+        filter_network(a, consistency_step_vector)
+        filter_network(b, consistency_step_serial)
+        np.testing.assert_array_equal(a.alive, b.alive)
+        np.testing.assert_array_equal(a.matrix, b.matrix)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_fixpoint_is_locally_consistent(self, seed):
+        net = random_network(random.Random(seed))
+        filter_network(net, consistency_step_vector)
+        assert len(unsupported_vector(net)) == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10**6), limit=st.integers(0, 3))
+    def test_bounded_filtering_overapproximates(self, seed, limit):
+        """Design decision 5: a bounded run keeps a superset of the fixpoint."""
+        rng = random.Random(seed)
+        full = random_network(rng)
+        bounded = SyntheticNetwork.__new__(SyntheticNetwork)
+        bounded.__dict__.update(full.__dict__)
+        bounded.alive = full.alive.copy()
+        bounded.matrix = full.matrix.copy()
+
+        filter_network(full, consistency_step_vector)
+        filter_network(bounded, consistency_step_vector, limit=limit)
+        assert (full.alive <= bounded.alive).all()

@@ -1,0 +1,172 @@
+"""Unit tests for the simulated MP-1: costs, virtualization, memory, X-Net."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MachineError, VirtualizationError
+from repro.maspar import MP1, CostModel, grid_shape, xnet_reduce_or, xnet_shift
+
+
+@pytest.fixture
+def small_machine():
+    return MP1(n_virtual=64, cost=CostModel(n_physical=16384))
+
+
+class TestAccounting:
+    def test_cycles_start_at_zero(self, small_machine):
+        assert small_machine.cycles == 0
+
+    def test_elementwise_charges_cycles(self, small_machine):
+        small_machine.elementwise(lambda a: a + 1, np.zeros(64))
+        assert small_machine.cycles > 0
+        assert small_machine.ops.elementwise == 1
+
+    def test_wider_ops_cost_more(self):
+        cost = CostModel()
+        assert cost.alu_cycles(32) == 8  # 4-bit slices
+        assert cost.alu_cycles(4) == 1
+        assert cost.alu_cycles(64) == 16
+
+    def test_scan_cost_is_logarithmic(self):
+        cost = CostModel()
+        assert cost.scan_cycles(1024) == 10 * cost.scan_cycles_per_stage
+        assert cost.scan_cycles(2048) == 11 * cost.scan_cycles_per_stage
+
+    def test_ops_counted_by_kind(self, small_machine):
+        seg = np.zeros(64, dtype=np.int64)
+        small_machine.scan_or(np.zeros(64, dtype=bool), seg)
+        small_machine.broadcast(42)
+        small_machine.reduce_or(np.zeros(64, dtype=bool))
+        assert small_machine.ops.scan == 1
+        assert small_machine.ops.broadcast == 1
+        assert small_machine.ops.reduce == 1
+        assert small_machine.ops.total() == 3
+
+    def test_simulated_seconds(self):
+        machine = MP1(n_virtual=16)
+        machine.elementwise(lambda: None)
+        assert machine.simulated_seconds == machine.cycles / machine.cost.clock_hz
+
+
+class TestVirtualization:
+    def test_within_physical_no_multiplier(self):
+        machine = MP1(n_virtual=16384)
+        assert machine.vfactor == 1
+
+    def test_factor_is_ceiling(self):
+        machine = MP1(n_virtual=16385)
+        assert machine.vfactor == 2
+        machine = MP1(n_virtual=40000)  # q^2 * 10^4, the paper's 10-word case
+        assert machine.vfactor == 3
+
+    def test_virtualized_ops_cost_proportionally(self):
+        base = MP1(n_virtual=16384)
+        tripled = MP1(n_virtual=40000)
+        base.elementwise(lambda: None)
+        tripled.elementwise(lambda: None)
+        assert tripled.cycles == 3 * base.cycles
+
+    def test_absurd_virtualization_rejected(self):
+        with pytest.raises(VirtualizationError):
+            MP1(n_virtual=16384 * 5000)
+
+    def test_zero_pes_rejected(self):
+        with pytest.raises(MachineError):
+            MP1(n_virtual=0)
+
+
+class TestMemory:
+    def test_alloc_shapes(self, small_machine):
+        arr = small_machine.alloc(dtype=bool, shape_tail=(3, 3))
+        assert arr.shape == (64, 3, 3)
+
+    def test_memory_limit_enforced(self):
+        machine = MP1(n_virtual=16384)
+        with pytest.raises(MachineError, match="memory exhausted"):
+            machine.alloc(dtype=np.int64, shape_tail=(4096,))  # 32 KB per PE
+
+    def test_virtualization_multiplies_memory(self):
+        machine = MP1(n_virtual=16384 * 4)
+        # 3000 B per virtual PE = 12000 B per physical PE (factor 4);
+        # a second allocation would exceed the 16 KB local store.
+        machine.alloc(dtype=np.int8, shape_tail=(3000,))
+        with pytest.raises(MachineError):
+            machine.alloc(dtype=np.int8, shape_tail=(3000,))
+
+    def test_proc_id(self, small_machine):
+        assert list(small_machine.proc_id()[:3]) == [0, 1, 2]
+
+
+class TestRouter:
+    def test_fetch(self, small_machine):
+        src = np.arange(10)
+        out = small_machine.router_fetch(src, np.array([3, 3, 9]))
+        assert list(out) == [3, 3, 9]
+        assert small_machine.ops.router == 1
+
+    def test_fetch_bounds_checked(self, small_machine):
+        with pytest.raises(MachineError, match="out of range"):
+            small_machine.router_fetch(np.arange(4), np.array([4]))
+
+    def test_send(self, small_machine):
+        out = small_machine.router_send(
+            4, np.array([1, 2]), np.array([10, 20], dtype=np.int64)
+        )
+        assert list(out) == [0, 10, 20, 0]
+
+    def test_send_masked(self, small_machine):
+        out = small_machine.router_send(
+            4,
+            np.array([1, 2]),
+            np.array([10, 20], dtype=np.int64),
+            mask=np.array([True, False]),
+        )
+        assert list(out) == [0, 10, 0, 0]
+
+    def test_reduce_add(self, small_machine):
+        assert small_machine.reduce_add(np.arange(5)) == 10
+
+
+class TestXNet:
+    def test_grid_shape_square(self):
+        assert grid_shape(16384) == (128, 128)
+        assert grid_shape(64) == (8, 8)
+
+    def test_shift_right(self):
+        machine = MP1(n_virtual=16)
+        values = np.arange(16)
+        out = xnet_shift(machine, values, 0, 1)
+        grid = out.reshape(4, 4)
+        assert list(grid[0]) == [0, 0, 1, 2]
+
+    def test_shift_down_up_round_trip_interior(self):
+        machine = MP1(n_virtual=16)
+        values = np.arange(16.0)
+        down = xnet_shift(machine, values, 1, 0)
+        back = xnet_shift(machine, down, -1, 0)
+        grid = back.reshape(4, 4)
+        np.testing.assert_array_equal(grid[:3], np.arange(16.0).reshape(4, 4)[:3])
+
+    def test_long_moves_rejected(self):
+        machine = MP1(n_virtual=16)
+        with pytest.raises(MachineError, match="immediate neighbours"):
+            xnet_shift(machine, np.arange(16), 2, 0)
+
+    @pytest.mark.parametrize("hot", [0, 7, 15, None])
+    def test_xnet_reduce_or(self, hot):
+        machine = MP1(n_virtual=16)
+        bits = np.zeros(16, dtype=bool)
+        if hot is not None:
+            bits[hot] = True
+        assert xnet_reduce_or(machine, bits) is (hot is not None)
+        # Diameter hops on a 4 x 4 grid: 3 + 3.
+        assert machine.ops.router == 6
+
+    def test_xnet_reduce_slower_than_router_at_scale(self):
+        a, b = MP1(n_virtual=16384), MP1(n_virtual=16384)
+        bits = np.zeros(16384, dtype=bool)
+        a.reduce_or(bits)
+        xnet_reduce_or(b, bits)
+        assert a.cycles < b.cycles

@@ -1,0 +1,139 @@
+"""Unit + property tests for the segmented scan primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.maspar import (
+    segment_reduce_add,
+    segment_reduce_and,
+    segment_reduce_max,
+    segment_reduce_or,
+    segment_starts,
+    segmented_scan_add,
+    segmented_scan_and,
+    segmented_scan_or,
+)
+
+
+def reference_scan(values, seg_id, op, init):
+    """Obvious per-element loop to test the vectorized scans against."""
+    out = []
+    acc = init
+    prev = None
+    for v, s in zip(values, seg_id):
+        if s != prev:
+            acc = init
+            prev = s
+        acc = op(acc, v)
+        out.append(acc)
+    return out
+
+
+segments = st.lists(st.integers(1, 5), min_size=0, max_size=6).map(
+    lambda lengths: np.repeat(np.arange(len(lengths)), lengths)
+)
+
+
+@st.composite
+def seg_and_bits(draw):
+    seg_id = draw(segments)
+    bits = draw(
+        st.lists(st.booleans(), min_size=len(seg_id), max_size=len(seg_id))
+    )
+    return seg_id, np.array(bits, dtype=bool)
+
+
+@st.composite
+def seg_and_ints(draw):
+    seg_id = draw(segments)
+    values = draw(
+        st.lists(st.integers(-50, 50), min_size=len(seg_id), max_size=len(seg_id))
+    )
+    return seg_id, np.array(values, dtype=np.int64)
+
+
+class TestScans:
+    @settings(max_examples=200, deadline=None)
+    @given(data=seg_and_bits())
+    def test_scan_or_matches_reference(self, data):
+        seg_id, bits = data
+        expected = reference_scan(bits, seg_id, lambda a, b: a or b, False)
+        assert list(segmented_scan_or(bits, seg_id)) == expected
+
+    @settings(max_examples=200, deadline=None)
+    @given(data=seg_and_bits())
+    def test_scan_and_matches_reference(self, data):
+        seg_id, bits = data
+        expected = reference_scan(bits, seg_id, lambda a, b: a and b, True)
+        assert list(segmented_scan_and(bits, seg_id)) == expected
+
+    @settings(max_examples=200, deadline=None)
+    @given(data=seg_and_ints())
+    def test_scan_add_matches_reference(self, data):
+        seg_id, values = data
+        expected = reference_scan(values, seg_id, lambda a, b: a + b, 0)
+        assert list(segmented_scan_add(values, seg_id)) == expected
+
+    def test_single_segment(self):
+        bits = np.array([0, 1, 0], dtype=bool)
+        seg = np.zeros(3, dtype=np.int64)
+        assert list(segmented_scan_or(bits, seg)) == [False, True, True]
+
+    def test_empty(self):
+        empty = np.array([], dtype=bool)
+        seg = np.array([], dtype=np.int64)
+        assert len(segmented_scan_or(empty, seg)) == 0
+        assert len(segment_reduce_or(empty, seg)) == 0
+
+    def test_decreasing_segments_rejected(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            segmented_scan_or(np.array([True, True]), np.array([1, 0]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            segmented_scan_or(np.array([True]), np.array([0, 0]))
+
+
+class TestReduces:
+    @settings(max_examples=200, deadline=None)
+    @given(data=seg_and_bits())
+    def test_reduce_or(self, data):
+        seg_id, bits = data
+        expected = [
+            any(bits[seg_id == s]) for s in seg_id
+        ]
+        assert list(segment_reduce_or(bits, seg_id)) == expected
+
+    @settings(max_examples=200, deadline=None)
+    @given(data=seg_and_bits())
+    def test_reduce_and(self, data):
+        seg_id, bits = data
+        expected = [all(bits[seg_id == s]) for s in seg_id]
+        assert list(segment_reduce_and(bits, seg_id)) == expected
+
+    @settings(max_examples=200, deadline=None)
+    @given(data=seg_and_ints())
+    def test_reduce_add(self, data):
+        seg_id, values = data
+        expected = [int(values[seg_id == s].sum()) for s in seg_id]
+        assert list(segment_reduce_add(values, seg_id)) == expected
+
+    @settings(max_examples=100, deadline=None)
+    @given(data=seg_and_ints())
+    def test_reduce_max(self, data):
+        seg_id, values = data
+        expected = [int(values[seg_id == s].max()) for s in seg_id]
+        assert list(segment_reduce_max(values, seg_id)) == expected
+
+
+class TestSegmentStarts:
+    def test_basic(self):
+        seg = np.array([0, 0, 1, 1, 1, 2])
+        assert list(segment_starts(seg)) == [True, False, True, False, False, True]
+
+    def test_empty(self):
+        assert len(segment_starts(np.array([], dtype=np.int64))) == 0

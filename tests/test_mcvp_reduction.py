@@ -1,0 +1,163 @@
+"""The MCVP -> filtering reduction must compute circuit values exactly.
+
+This makes the paper's footnote-3 claim executable: CDG filtering can
+simulate monotone circuit evaluation (hence filtering is P-hard and
+inherently sequential in the worst case), and the number of filtering
+iterations tracks circuit depth.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.network.synthetic import SyntheticNetwork
+from repro.reductions import (
+    Gate,
+    GateKind,
+    MonotoneCircuit,
+    and_chain,
+    circuit_to_network,
+    evaluate_by_filtering,
+    random_circuit,
+)
+
+
+class TestCircuits:
+    def test_and_gate(self):
+        circuit = MonotoneCircuit(
+            [Gate(GateKind.INPUT), Gate(GateKind.INPUT), Gate(GateKind.AND, (0, 1))]
+        )
+        assert circuit.output_value([True, True])
+        assert not circuit.output_value([True, False])
+
+    def test_or_gate(self):
+        circuit = MonotoneCircuit(
+            [Gate(GateKind.INPUT), Gate(GateKind.INPUT), Gate(GateKind.OR, (0, 1))]
+        )
+        assert circuit.output_value([False, True])
+        assert not circuit.output_value([False, False])
+
+    def test_depth(self):
+        assert and_chain(5).depth() == 5
+
+    def test_forward_reference_rejected(self):
+        with pytest.raises(ReproError, match="later gate"):
+            MonotoneCircuit([Gate(GateKind.AND, (0, 1)), Gate(GateKind.INPUT)])
+
+    def test_input_arity_checked(self):
+        with pytest.raises(ReproError):
+            MonotoneCircuit([Gate(GateKind.INPUT, (0,))])
+
+    def test_wrong_input_count(self):
+        circuit = and_chain(2)
+        with pytest.raises(ReproError, match="inputs"):
+            circuit.output_value([True])
+
+
+class TestReduction:
+    def test_and_truth_table(self):
+        circuit = MonotoneCircuit(
+            [Gate(GateKind.INPUT), Gate(GateKind.INPUT), Gate(GateKind.AND, (0, 1))]
+        )
+        for a, b in itertools.product([False, True], repeat=2):
+            assert evaluate_by_filtering(circuit, [a, b]).output == (a and b)
+
+    def test_or_truth_table(self):
+        circuit = MonotoneCircuit(
+            [Gate(GateKind.INPUT), Gate(GateKind.INPUT), Gate(GateKind.OR, (0, 1))]
+        )
+        for a, b in itertools.product([False, True], repeat=2):
+            assert evaluate_by_filtering(circuit, [a, b]).output == (a or b)
+
+    def test_all_gate_values_match_direct_evaluation(self):
+        circuit = MonotoneCircuit(
+            [
+                Gate(GateKind.INPUT),
+                Gate(GateKind.INPUT),
+                Gate(GateKind.INPUT),
+                Gate(GateKind.OR, (0, 1)),
+                Gate(GateKind.AND, (2, 3)),
+                Gate(GateKind.OR, (3, 4)),
+            ]
+        )
+        inputs = [False, True, False]
+        result = evaluate_by_filtering(circuit, inputs)
+        assert result.gate_values == circuit.evaluate(inputs)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 10**6),
+        bits=st.lists(st.booleans(), min_size=4, max_size=4),
+    )
+    def test_random_circuits_match(self, seed, bits):
+        circuit = random_circuit(random.Random(seed), n_inputs=4, n_gates=12)
+        assert evaluate_by_filtering(circuit, bits).output == circuit.output_value(bits)
+
+    def test_duplicated_argument_gates(self):
+        circuit = MonotoneCircuit(
+            [Gate(GateKind.INPUT), Gate(GateKind.AND, (0, 0)), Gate(GateKind.OR, (1, 1))]
+        )
+        assert evaluate_by_filtering(circuit, [True]).output
+        assert not evaluate_by_filtering(circuit, [False]).output
+
+    def test_single_input_circuit(self):
+        circuit = MonotoneCircuit([Gate(GateKind.INPUT)])
+        assert evaluate_by_filtering(circuit, [True]).output
+        assert not evaluate_by_filtering(circuit, [False]).output
+
+
+class TestSequentialCascade:
+    def test_iterations_grow_with_depth(self):
+        """The paper's point: one falsity can cascade a step at a time."""
+        iters = []
+        for depth in (2, 8, 16):
+            result = evaluate_by_filtering(and_chain(depth), [False, True])
+            assert result.output is False
+            iters.append(result.iterations)
+        assert iters[0] < iters[1] < iters[2]
+        # The cascade is (depth)-sequential: roughly one level per pass.
+        assert iters[2] >= 14
+
+    def test_true_chain_needs_no_cascade(self):
+        result = evaluate_by_filtering(and_chain(16), [True, True])
+        assert result.output is True
+        assert result.iterations == 0
+
+
+class TestSyntheticNetwork:
+    def test_construction_shapes(self):
+        net = SyntheticNetwork([2, 3])
+        assert net.nv == 5
+        assert net.n_roles == 2
+        assert net.matrix[0, 1] == False  # same role
+        assert net.matrix[0, 2] == True  # cross role
+
+    def test_bad_domains_rejected(self):
+        with pytest.raises(Exception):
+            SyntheticNetwork([])
+        with pytest.raises(Exception):
+            SyntheticNetwork([2, 0])
+
+    def test_forbid_same_role_rejected(self):
+        net = SyntheticNetwork([2, 2])
+        with pytest.raises(Exception):
+            net.forbid(0, 1)
+
+    def test_require_support_only_from(self):
+        net = SyntheticNetwork([2, 3])
+        target = net.value(0, 0)
+        keep = net.value(1, 1)
+        net.require_support_only_from(target, 1, [keep])
+        sl = net.role_slices[1]
+        assert list(net.matrix[target, sl]) == [False, True, False]
+
+    def test_value_bounds_checked(self):
+        net = SyntheticNetwork([2, 3])
+        with pytest.raises(Exception):
+            net.value(0, 5)

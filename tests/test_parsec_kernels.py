@@ -1,0 +1,121 @@
+"""Unit tests for the PARSEC kernels, below the engine level."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.grammar.builtin import program_grammar
+from repro.maspar import MP1
+from repro.network import ConstraintNetwork
+from repro.parsec import build_layout
+from repro.parsec.kernels import (
+    apply_binary,
+    apply_unary,
+    consistency_step,
+    initialize,
+    read_back,
+)
+
+
+@pytest.fixture
+def setup():
+    grammar = program_grammar()
+    network = ConstraintNetwork(grammar, grammar.tokenize("The program runs"))
+    layout = build_layout(network)
+    machine = MP1(n_virtual=layout.n_pes)
+    state = initialize(machine, layout, network)
+    return grammar, network, layout, machine, state
+
+
+class TestInitialize:
+    def test_submatrix_shape(self, setup):
+        _, _, layout, _, state = setup
+        assert state.submat.shape == (324, 3, 3)
+
+    def test_disabled_pes_hold_zeros(self, setup):
+        _, _, layout, _, state = setup
+        assert not state.submat[~layout.enabled].any()
+
+    def test_enabled_pes_start_all_ones(self, setup):
+        _, _, layout, _, state = setup
+        # Unambiguous words, no padding: every enabled PE is all ones.
+        assert state.submat[layout.enabled].all()
+
+    def test_matches_network_initial_matrix(self, setup):
+        _, network, layout, _, state = setup
+        clone = network.clone()
+        read_back(layout, state, clone)
+        np.testing.assert_array_equal(clone.matrix, network.matrix)
+        np.testing.assert_array_equal(clone.alive, network.alive)
+
+    def test_rv_alive_starts_full(self, setup):
+        _, _, layout, _, state = setup
+        assert state.rv_alive.all()  # no padding slots in the toy grammar
+
+
+class TestApplyUnary:
+    def test_first_unary_constraint_counts(self, setup):
+        grammar, network, layout, machine, state = setup
+        constraint = grammar.unary_constraints[0]  # verbs-are-ungoverned-roots
+        killed = apply_unary(machine, layout, state, constraint, network.canbe_array)
+        assert killed == 8  # Figure 2: runs.governor goes from 9 to 1
+
+    def test_eliminations_zero_rows_and_columns(self, setup):
+        grammar, network, layout, machine, state = setup
+        apply_unary(machine, layout, state, grammar.unary_constraints[0], network.canbe_array)
+        clone = network.clone()
+        read_back(layout, state, clone)
+        dead = np.nonzero(~clone.alive)[0]
+        assert len(dead) == 8
+        assert not clone.matrix[dead, :].any()
+        assert not clone.matrix[:, dead].any()
+
+    def test_idempotent(self, setup):
+        grammar, network, layout, machine, state = setup
+        constraint = grammar.unary_constraints[0]
+        apply_unary(machine, layout, state, constraint, network.canbe_array)
+        assert apply_unary(machine, layout, state, constraint, network.canbe_array) == 0
+
+
+class TestApplyBinary:
+    def test_first_binary_zeroes_one_pair_both_copies(self, setup):
+        grammar, network, layout, machine, state = setup
+        for constraint in grammar.unary_constraints:
+            apply_unary(machine, layout, state, constraint, network.canbe_array)
+        zeroed = apply_binary(
+            machine, layout, state, grammar.binary_constraints[0], network.canbe_array
+        )
+        # Figure 4: SUBJ-1 x ROOT-nil dies; the matrix is stored twice
+        # (both arc directions), so 2 entries go.
+        assert zeroed == 2
+
+    def test_consistency_removes_unsupported(self, setup):
+        grammar, network, layout, machine, state = setup
+        for constraint in grammar.unary_constraints:
+            apply_unary(machine, layout, state, constraint, network.canbe_array)
+        apply_binary(machine, layout, state, grammar.binary_constraints[0], network.canbe_array)
+        killed = consistency_step(machine, layout, state)
+        assert killed == 1  # Figure 5: SUBJ-1 eliminated
+
+    def test_consistency_quiescent_on_fresh_network(self, setup):
+        _, _, layout, machine, state = setup
+        assert consistency_step(machine, layout, state) == 0
+
+
+class TestCostAccounting:
+    def test_operations_charge_cycles(self, setup):
+        grammar, network, layout, machine, state = setup
+        before = machine.cycles
+        apply_unary(machine, layout, state, grammar.unary_constraints[0], network.canbe_array)
+        after_unary = machine.cycles
+        consistency_step(machine, layout, state)
+        assert after_unary > before
+        assert machine.cycles > after_unary
+
+    def test_consistency_uses_two_scans_per_slot(self, setup):
+        _, _, layout, machine, state = setup
+        scans_before = machine.ops.scan
+        consistency_step(machine, layout, state)
+        # scanOr + scanAnd per label slot (Figure 12).
+        assert machine.ops.scan - scans_before == 2 * layout.n_slots

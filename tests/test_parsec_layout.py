@@ -1,0 +1,147 @@
+"""PE-allocation tests against paper Figures 9-13."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.network import ConstraintNetwork
+from repro.parsec import build_layout, virtualization_units
+from repro.parsec.layout import PELayout
+
+
+@pytest.fixture
+def layout(toy_grammar) -> PELayout:
+    net = ConstraintNetwork(toy_grammar, toy_grammar.tokenize("The program runs"))
+    return build_layout(net)
+
+
+class TestFigure11:
+    def test_324_pes_total(self, layout):
+        """"324 PEs total" for The program runs (q=2, n=3)."""
+        assert layout.n_pes == 324
+        assert layout.n_pes == (2 * 3) ** 2 * 3**2  # (qn)^2 * n^2
+
+    def test_pes_per_word_and_role(self, layout):
+        """"PEs number 0 thru 107" belong to The; 0-53 to its governor."""
+        # Column role 0 = (The, governor) owns PEs 0..53.
+        assert set(layout.col_role[:54]) == {0}
+        # Column roles of word "The" (roles 0 and 1) own PEs 0..107.
+        assert set(layout.col_role[:108]) == {0, 1}
+        assert layout.col_role[108] == 2  # program's governor starts at 108
+
+    def test_self_arc_pes_disabled(self, layout):
+        """"processors 0, 1, and 2 are disabled because they represent an
+        arc from a role to itself"."""
+        assert not layout.enabled[0:3].any()
+        # And in general: disabled exactly when row role == column role.
+        np.testing.assert_array_equal(
+            layout.enabled, layout.row_role != layout.col_role
+        )
+        # 1/R of all PEs are disabled.
+        assert int((~layout.enabled).sum()) == layout.n_pes // layout.n_roles
+
+    def test_processor_9_assignment(self, layout):
+        """Paper: PE 9's column role values belong to The (id < 107), role
+        governor, modifiee nil; its row role values belong to program's
+        needs."""
+        assert layout.col_role[9] == 0  # The, governor
+        assert layout.col_mod_idx[9] == 0  # nil comes first
+        assert layout.mod_value[0, 0] == 0  # nil
+        assert layout.role_pos[layout.row_role[9]] == 2  # program
+        assert layout.role_kind[layout.row_role[9]] == 1  # needs
+
+    def test_pe_index_round_trip(self, layout):
+        for pe in (0, 9, 107, 108, 323):
+            again = layout.pe_index(
+                int(layout.col_role[pe]),
+                int(layout.col_mod_idx[pe]),
+                int(layout.row_role[pe]),
+                int(layout.row_mod_idx[pe]),
+            )
+            assert again == pe
+
+
+class TestFigure12Segments:
+    def test_fine_segments_span_n_pes(self, layout):
+        """scanOr segments: one per (col role, col mod, row role), n PEs."""
+        _, counts = np.unique(layout.fine_seg, return_counts=True)
+        assert (counts == 3).all()
+        assert len(counts) == 6 * 3 * 6
+
+    def test_coarse_segments_span_rn_pes(self, layout):
+        """scanAnd segments: one per column role value group, R*n PEs."""
+        _, counts = np.unique(layout.coarse_seg, return_counts=True)
+        assert (counts == 18).all()
+        assert len(counts) == 6 * 3
+
+    def test_segments_are_contiguous(self, layout):
+        assert (np.diff(layout.fine_seg) >= 0).all()
+        assert (np.diff(layout.coarse_seg) >= 0).all()
+
+    def test_fine_nests_in_coarse(self, layout):
+        # Every fine segment lies inside exactly one coarse segment.
+        for fine in np.unique(layout.fine_seg):
+            mask = layout.fine_seg == fine
+            assert len(np.unique(layout.coarse_seg[mask])) == 1
+
+
+class TestFigure13Submatrix:
+    def test_slots_are_labels_of_the_role(self, layout, toy_grammar):
+        """Each PE processes an l x l label submatrix (l = 3 here)."""
+        assert layout.n_slots == 3
+        governor = toy_grammar.symbols.roles.code("governor")
+        gov_labels = {
+            toy_grammar.symbols.labels.name(code)
+            for code in layout.slot_lab[0]
+        }
+        assert gov_labels == {"SUBJ", "ROOT", "DET"}
+        assert layout.role_kind[0] == governor
+
+    def test_rv_id_matches_network_enumeration(self, toy_grammar):
+        net = ConstraintNetwork(toy_grammar, toy_grammar.tokenize("The program runs"))
+        layout = build_layout(net)
+        for role in range(layout.n_roles):
+            for mod_idx in range(layout.n_mods):
+                for s in range(layout.n_slots):
+                    rv = layout.rv_id[role, mod_idx, s]
+                    if rv < 0:
+                        continue
+                    value = net.role_values[rv]
+                    assert value.lab == layout.slot_lab[role, s]
+                    assert value.cat == layout.slot_cat[role, s]
+                    assert value.mod == layout.mod_value[role, mod_idx]
+                    assert net.role_index[rv] == role
+
+    def test_rv_id_covers_network(self, toy_grammar):
+        net = ConstraintNetwork(toy_grammar, toy_grammar.tokenize("The program runs"))
+        layout = build_layout(net)
+        ids = layout.rv_id[layout.rv_id >= 0]
+        assert sorted(ids) == list(range(net.nv))
+
+
+class TestPaddingWithAmbiguity:
+    def test_english_layout_pads_slots(self):
+        from repro.grammar.builtin.english import english_grammar
+
+        grammar = english_grammar()
+        net = ConstraintNetwork(grammar, grammar.tokenize("the saw runs"))
+        layout = build_layout(net)
+        # "saw" is noun|verb: governor slots = SUBJ, OBJ, POBJ + ROOT = 4.
+        assert layout.n_slots == 4
+        # Padded slots carry no role value.
+        assert (layout.rv_id[~layout.slot_valid.repeat(layout.n_mods, 0).reshape(
+            layout.n_roles, layout.n_mods, layout.n_slots
+        )] == -1).all()
+
+
+class TestVirtualizationUnits:
+    def test_paper_step_points(self):
+        assert virtualization_units(3) == 1
+        assert virtualization_units(7) == 1
+        assert virtualization_units(8) == 1  # 4 * 8^4 = 16384 exactly
+        assert virtualization_units(9) == 2
+        assert virtualization_units(10) == 3  # the paper's 0.45 s point
+
+    def test_layout_agrees_with_formula(self, layout):
+        assert layout.virtualization_units == virtualization_units(3)

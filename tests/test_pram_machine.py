@@ -1,0 +1,143 @@
+"""Unit tests for the CRCW P-RAM simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MachineError
+from repro.pram import CRCWPram
+
+
+class TestBasics:
+    def test_alloc_and_host_io(self):
+        pram = CRCWPram()
+        pram.alloc("a", (4,))
+        pram.host_write("a", np.array([1, 2, 3, 4]))
+        assert list(pram.host_read("a")) == [1, 2, 3, 4]
+
+    def test_double_alloc_rejected(self):
+        pram = CRCWPram()
+        pram.alloc("a", (1,))
+        with pytest.raises(MachineError, match="already"):
+            pram.alloc("a", (1,))
+
+    def test_step_counts(self):
+        pram = CRCWPram()
+        pram.alloc("a", (8,))
+        pram.step(8, lambda ctx: ctx.write("a", ctx.pid, ctx.pid))
+        pram.step(4, lambda ctx: None)
+        assert pram.stats.steps == 2
+        assert pram.stats.peak_processors == 8
+        assert pram.stats.total_work == 12
+
+    def test_zero_processors_rejected(self):
+        pram = CRCWPram()
+        with pytest.raises(MachineError):
+            pram.step(0, lambda ctx: None)
+
+    def test_read_unallocated_rejected(self):
+        pram = CRCWPram()
+        with pytest.raises(MachineError, match="unallocated"):
+            pram.step(1, lambda ctx: ctx.read("nope", 0))
+
+    def test_write_unallocated_rejected(self):
+        pram = CRCWPram()
+        with pytest.raises(MachineError, match="unallocated"):
+            pram.step(1, lambda ctx: ctx.write("nope", 0, 1))
+
+
+class TestSynchronousSemantics:
+    def test_reads_see_prestep_state(self):
+        """The classic parallel swap: a[i] <- a[i ^ 1] works in one step."""
+        pram = CRCWPram()
+        pram.alloc("a", (4,))
+        pram.host_write("a", np.array([10, 20, 30, 40]))
+
+        def swap(ctx):
+            ctx.write("a", ctx.pid, ctx.read("a", ctx.pid ^ 1))
+
+        pram.step(4, swap)
+        assert list(pram.host_read("a")) == [20, 10, 40, 30]
+
+    def test_writes_not_visible_within_step(self):
+        pram = CRCWPram()
+        pram.alloc("a", (2,))
+
+        seen = []
+
+        def program(ctx):
+            if ctx.pid == 0:
+                ctx.write("a", 1, 99)
+            else:
+                seen.append(ctx.read("a", 1))
+
+        pram.step(2, program)
+        assert seen == [0]
+        assert pram.host_read("a")[1] == 99
+
+
+class TestWritePolicies:
+    def test_common_accepts_agreeing_writers(self):
+        pram = CRCWPram(policy="common")
+        pram.alloc("flag", (1,))
+        pram.step(16, lambda ctx: ctx.write("flag", 0, 1))
+        assert pram.host_read("flag")[0] == 1
+
+    def test_common_rejects_conflicting_writers(self):
+        pram = CRCWPram(policy="common")
+        pram.alloc("c", (1,))
+        with pytest.raises(MachineError, match="COMMON"):
+            pram.step(2, lambda ctx: ctx.write("c", 0, ctx.pid))
+
+    def test_arbitrary_picks_one_writer(self):
+        pram = CRCWPram(policy="arbitrary", seed=7)
+        pram.alloc("c", (1,))
+        pram.step(4, lambda ctx: ctx.write("c", 0, ctx.pid * 10))
+        assert pram.host_read("c")[0] in (0, 10, 20, 30)
+
+    def test_arbitrary_is_reproducible(self):
+        outcomes = []
+        for _ in range(2):
+            pram = CRCWPram(policy="arbitrary", seed=123)
+            pram.alloc("c", (1,))
+            pram.step(8, lambda ctx: ctx.write("c", 0, ctx.pid))
+            outcomes.append(int(pram.host_read("c")[0]))
+        assert outcomes[0] == outcomes[1]
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(MachineError, match="policy"):
+            CRCWPram(policy="priority-ish")
+
+
+class TestConstantTimeIdioms:
+    def test_parallel_or_in_one_step(self):
+        """The paper's O(1) OR: every 1-holder writes 1 to the result cell."""
+        pram = CRCWPram(policy="common")
+        bits = np.array([0, 0, 1, 0, 1, 0, 0, 0])
+        pram.alloc("bits", (8,))
+        pram.alloc("result", (1,))
+        pram.host_write("bits", bits)
+
+        def par_or(ctx):
+            if ctx.read("bits", ctx.pid):
+                ctx.write("result", 0, 1)
+
+        pram.step(8, par_or)
+        assert pram.stats.steps == 1
+        assert pram.host_read("result")[0] == 1
+
+    def test_parallel_and_in_one_step(self):
+        """AND via De Morgan: any 0-holder clears the (preset) result."""
+        pram = CRCWPram(policy="common")
+        bits = np.array([1, 1, 0, 1])
+        pram.alloc("bits", (4,))
+        pram.alloc("result", (1,), fill=1)
+        pram.host_write("bits", bits)
+
+        def par_and(ctx):
+            if not ctx.read("bits", ctx.pid):
+                ctx.write("result", 0, 0)
+
+        pram.step(4, par_and)
+        assert pram.host_read("result")[0] == 0

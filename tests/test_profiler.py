@@ -1,0 +1,67 @@
+"""Tests for the per-constraint elimination profiler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SerialEngine
+from repro.analysis import profile_parse
+from repro.grammar.builtin import english_grammar, program_grammar
+
+
+class TestProfileToyGrammar:
+    @pytest.fixture(scope="class")
+    def profile(self):
+        return profile_parse(program_grammar(), "The program runs")
+
+    def test_totals_are_conserved(self, profile):
+        killed = sum(r.killed_total for r in profile.records) + profile.killed_by_filtering
+        assert profile.initial_role_values - killed == profile.surviving_role_values
+        assert profile.initial_role_values == 54
+        assert profile.surviving_role_values == 6
+
+    def test_unary_eliminations_match_figures(self, profile):
+        """Figures 1 -> 3: unary constraints remove 44 of 54 role values."""
+        unary_killed = sum(r.killed_total for r in profile.records if r.arity == 1)
+        assert unary_killed == 44
+
+    def test_each_binary_constraint_removes_one(self, profile):
+        """Figures 4 -> 6: each binary constraint settles one more role."""
+        binary = [r for r in profile.records if r.arity == 2]
+        assert [r.killed_total for r in binary] == [1, 1, 1, 1]
+        # Binary constraints kill via the consistency sweep, not directly.
+        assert all(r.killed_direct == 0 for r in binary)
+
+    def test_settled_after_all_constraints(self, profile):
+        assert profile.settled_after() == 10
+        assert profile.idle_constraints() == []
+
+    def test_result_attached(self, profile):
+        assert profile.result is not None
+        assert profile.result.locally_consistent
+
+    def test_rows_shape(self, profile):
+        rows = profile.as_rows()
+        assert len(rows) == 11  # 10 constraints + filtering line
+        assert rows[-1][0] == "(final filtering)"
+
+
+class TestProfileEnglish:
+    def test_some_constraints_idle_on_simple_sentences(self):
+        """The paper: parses often settle after a portion of constraints."""
+        profile = profile_parse(english_grammar(), "dogs bark")
+        assert profile.idle_constraints(), "a 2-word sentence cannot need every constraint"
+        assert profile.settled_after() < len(profile.records)
+
+    def test_serial_engine_profiles_identically(self):
+        vector = profile_parse(program_grammar(), "The program runs")
+        serial = profile_parse(program_grammar(), "The program runs", engine=SerialEngine())
+        assert [r.killed_total for r in vector.records] == [
+            r.killed_total for r in serial.records
+        ]
+
+    def test_rejected_sentence_profile(self):
+        profile = profile_parse(english_grammar(), "dog the runs")
+        assert profile.result is not None
+        assert not profile.result.locally_consistent
+        assert profile.surviving_role_values < profile.initial_role_values

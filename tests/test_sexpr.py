@@ -1,0 +1,125 @@
+"""Unit tests for the s-expression tokenizer and reader."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SexprSyntaxError
+from repro.sexpr import Atom, SList, parse_all, parse_one, tokenize
+from repro.sexpr.nodes import sexpr_to_str
+from repro.sexpr.tokenizer import tokenize_all
+
+
+class TestTokenizer:
+    def test_simple_tokens(self):
+        tokens = tokenize_all("(eq x 3)")
+        assert [t.kind for t in tokens] == ["(", "symbol", "symbol", "int", ")"]
+        assert tokens[3].as_int() == 3
+
+    def test_negative_integer(self):
+        tokens = tokenize_all("-42")
+        assert tokens[0].kind == "int"
+        assert tokens[0].as_int() == -42
+
+    def test_plus_prefixed_integer(self):
+        assert tokenize_all("+7")[0].as_int() == 7
+
+    def test_lone_sign_is_a_symbol(self):
+        assert tokenize_all("-")[0].kind == "symbol"
+
+    def test_symbols_keep_case(self):
+        tokens = tokenize_all("SUBJ governor Root")
+        assert [t.text for t in tokens] == ["SUBJ", "governor", "Root"]
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize_all("(a\n  bcd)")
+        bcd = [t for t in tokens if t.text == "bcd"][0]
+        assert (bcd.line, bcd.column) == (2, 3)
+
+    def test_comments_are_skipped(self):
+        tokens = tokenize_all("; header\n(a ; inline\n b)")
+        assert [t.text for t in tokens] == ["(", "a", "b", ")"]
+
+    def test_quote_is_ignored(self):
+        tokens = tokenize_all("'SUBJ")
+        assert [t.text for t in tokens] == ["SUBJ"]
+
+    def test_string_literals_rejected(self):
+        with pytest.raises(SexprSyntaxError):
+            tokenize_all('(eq x "noun")')
+
+    def test_as_int_on_symbol_raises(self):
+        with pytest.raises(SexprSyntaxError):
+            tokenize_all("abc")[0].as_int()
+
+    def test_empty_input(self):
+        assert tokenize_all("") == []
+
+    def test_tokenize_is_lazy(self):
+        stream = tokenize("(a b)")
+        assert next(stream).kind == "("
+
+
+class TestReader:
+    def test_parse_atom(self):
+        node = parse_one("SUBJ")
+        assert isinstance(node, Atom)
+        assert node.symbol() == "SUBJ"
+
+    def test_parse_integer_atom(self):
+        node = parse_one("17")
+        assert isinstance(node, Atom)
+        assert node.value == 17
+
+    def test_parse_nested_list(self):
+        node = parse_one("(if (eq (lab x) SUBJ) (gt (pos x) 1))")
+        assert isinstance(node, SList)
+        assert node.head_symbol == "if"
+        assert len(node) == 3
+        inner = node[1]
+        assert isinstance(inner, SList)
+        assert inner.head_symbol == "eq"
+
+    def test_head_symbol_is_lowercased(self):
+        node = parse_one("(IF a b)")
+        assert isinstance(node, SList)
+        assert node.head_symbol == "if"
+
+    def test_empty_list(self):
+        node = parse_one("()")
+        assert isinstance(node, SList)
+        assert len(node) == 0
+        assert node.head_symbol is None
+
+    def test_unbalanced_open_raises(self):
+        with pytest.raises(SexprSyntaxError, match="missing"):
+            parse_one("(a (b c)")
+
+    def test_unbalanced_close_raises(self):
+        with pytest.raises(SexprSyntaxError, match="unbalanced"):
+            parse_one(")")
+
+    def test_trailing_content_raises(self):
+        with pytest.raises(SexprSyntaxError, match="trailing"):
+            parse_one("(a) (b)")
+
+    def test_empty_source_raises(self):
+        with pytest.raises(SexprSyntaxError):
+            parse_one("   ; just a comment")
+
+    def test_parse_all_multiple_forms(self):
+        nodes = parse_all("(a) b (c d)")
+        assert len(nodes) == 3
+
+    def test_parse_all_empty(self):
+        assert parse_all("") == []
+
+    def test_round_trip(self):
+        source = "(if (and (eq (lab x) SUBJ) (lt (pos x) 3)) (eq (mod x) nil))"
+        assert sexpr_to_str(parse_one(source)) == source
+
+    def test_positions_recorded(self):
+        node = parse_one("\n  (a)")
+        assert isinstance(node, SList)
+        assert node.line == 2
+        assert node.column == 3

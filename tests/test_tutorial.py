@@ -1,0 +1,32 @@
+"""Execute every Python block in docs/tutorial.md — the tutorial cannot rot."""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+TUTORIAL = pathlib.Path(__file__).parent.parent / "docs" / "tutorial.md"
+
+
+def python_blocks(text: str) -> list[str]:
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+def test_tutorial_blocks_execute_in_order(capsys):
+    blocks = python_blocks(TUTORIAL.read_text())
+    assert len(blocks) >= 8, "tutorial structure changed — update this test"
+    namespace: dict = {}
+    for index, block in enumerate(blocks):
+        try:
+            exec(compile(block, f"tutorial-block-{index}", "exec"), namespace)
+        except Exception as error:  # pragma: no cover - diagnostic aid
+            raise AssertionError(f"tutorial block {index} failed: {error}\n{block}") from error
+    # The walk-through must have produced a working grammar.
+    assert "grammar" in namespace
+    assert namespace["grammar"].k == 7
+
+
+def test_tutorial_mentions_the_tooling():
+    text = TUTORIAL.read_text()
+    for needle in ("TraceRecorder", "profile_parse", "dump_grammar", "MasParEngine"):
+        assert needle in text

@@ -1,0 +1,75 @@
+"""Unit tests for the workload generators."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.grammar.builtin.english import english_grammar
+from repro.workloads import (
+    corpus,
+    random_sentence,
+    scrambled_sentence,
+    sentence_of_length,
+    toy_sentence,
+)
+
+
+class TestSentenceOfLength:
+    @pytest.mark.parametrize("n", range(1, 25))
+    def test_exact_length(self, n):
+        assert len(sentence_of_length(n)) == n
+
+    def test_deterministic(self):
+        assert sentence_of_length(10) == sentence_of_length(10)
+
+    def test_all_words_in_lexicon(self):
+        lexicon = english_grammar().lexicon
+        for n in range(1, 25):
+            for word in sentence_of_length(n):
+                assert word in lexicon, word
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            sentence_of_length(0)
+        with pytest.raises(ValueError):
+            sentence_of_length(-3)
+
+
+class TestToySentence:
+    @pytest.mark.parametrize("n", range(1, 15))
+    def test_exact_length(self, n):
+        assert len(toy_sentence(n)) == n
+
+    def test_three_words_is_the_paper_sentence(self):
+        assert toy_sentence(3) == ["the", "program", "runs"]
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            toy_sentence(0)
+
+
+class TestRandomSentences:
+    def test_seeded_reproducibility(self):
+        a = random_sentence(random.Random(5))
+        b = random_sentence(random.Random(5))
+        assert a == b
+
+    def test_scramble_preserves_multiset(self):
+        rng_a, rng_b = random.Random(9), random.Random(9)
+        plain = random_sentence(rng_a)
+        # scrambled_sentence draws the same sentence then shuffles it.
+        shuffled = scrambled_sentence(rng_b)
+        assert sorted(plain) == sorted(shuffled)
+
+    def test_corpus_size_and_determinism(self):
+        assert len(corpus(seed=1, size=7)) == 7
+        assert corpus(seed=1, size=7) == corpus(seed=1, size=7)
+        assert corpus(seed=1, size=7) != corpus(seed=2, size=7)
+
+    def test_corpus_words_in_lexicon(self):
+        lexicon = english_grammar().lexicon
+        for words in corpus(seed=3, size=10):
+            for word in words:
+                assert word in lexicon
