@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import PRAMEngine, SerialEngine, VectorEngine
+from repro import ParserSession, PRAMEngine, SerialEngine, VectorEngine
 from repro.grammar.builtin import program_grammar
 from repro.grammar.builtin.english import english_grammar
 from repro.network import ConstraintNetwork
@@ -42,6 +42,16 @@ def test_parse_english_sentence(benchmark, engine, n):
     grammar = english_grammar()
     words = sentence_of_length(n)
     benchmark.pedantic(lambda: engine.parse(grammar, words), rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="micro-session")
+@pytest.mark.parametrize("n", [5, 10])
+def test_parse_english_warm_session(benchmark, n):
+    """The amortized path: templates and masks cached across calls."""
+    session = ParserSession(english_grammar(), engine="vector")
+    words = sentence_of_length(n)
+    session.parse(words)  # warm the template cache
+    benchmark.pedantic(lambda: session.parse(words), rounds=3, iterations=10)
 
 
 @pytest.mark.benchmark(group="micro-components")

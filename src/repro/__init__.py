@@ -7,13 +7,18 @@ paper runs on (a CRCW P-RAM and the MasPar MP-1 SIMD array).
 
 Quickstart::
 
-    from repro import VectorEngine, extract_parses
+    from repro import ParserSession, extract_parses
     from repro.grammar.builtin import program_grammar
 
-    grammar = program_grammar()
-    result = VectorEngine().parse(grammar, "The program runs")
+    session = ParserSession(program_grammar(), engine="vector")
+    result = session.parse("The program runs")
     for parse in extract_parses(result.network):
-        print(parse.describe(grammar.symbols))
+        print(parse.describe(session.grammar.symbols))
+
+A :class:`ParserSession` compiles the grammar once and caches network
+templates per sentence shape, so batches (``session.parse_many``)
+amortize everything but propagation itself.  The one-shot form
+``VectorEngine().parse(grammar, words)`` still works.
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured record.
@@ -28,6 +33,9 @@ from repro.engines import (
     SerialEngine,
     VectorEngine,
     all_engines,
+    available_engines,
+    create_engine,
+    register_engine,
 )
 from repro.errors import (
     ConstraintError,
@@ -43,9 +51,10 @@ from repro.grammar import CDGGrammar, GrammarBuilder, Sentence, load_grammar, lo
 from repro.mesh.engine import MeshEngine
 from repro.network import ConstraintNetwork, RoleValue
 from repro.parsec.parser import MasParEngine
+from repro.pipeline import CompiledGrammar, NetworkTemplate, ParserSession, compile_grammar
 from repro.search import PrecedenceGraph, accepts, count_parses, extract_parses
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -69,6 +78,14 @@ __all__ = [
     "MasParEngine",
     "MeshEngine",
     "all_engines",
+    "available_engines",
+    "create_engine",
+    "register_engine",
+    # pipeline
+    "ParserSession",
+    "CompiledGrammar",
+    "compile_grammar",
+    "NetworkTemplate",
     "PrecedenceGraph",
     "extract_parses",
     "count_parses",

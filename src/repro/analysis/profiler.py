@@ -14,9 +14,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.engines.base import ParserEngine, ParseResult
-from repro.engines.vector import VectorEngine
 from repro.grammar.grammar import CDGGrammar, Sentence
 from repro.network.network import ConstraintNetwork
+from repro.pipeline.session import ParserSession
 
 
 @dataclass
@@ -73,10 +73,18 @@ class ParseProfile:
 def profile_parse(
     grammar: CDGGrammar,
     sentence: Sentence | str | list[str],
-    engine: ParserEngine | None = None,
+    engine: ParserEngine | ParserSession | str | None = None,
 ) -> ParseProfile:
-    """Parse *sentence* and attribute every elimination to a constraint."""
-    engine = engine or VectorEngine()
+    """Parse *sentence* and attribute every elimination to a constraint.
+
+    *engine* may be a registry name, an engine instance, or an existing
+    :class:`~repro.pipeline.session.ParserSession` (whose caches are
+    then reused); by default a one-shot vector session is built.
+    """
+    if isinstance(engine, ParserSession):
+        session = engine
+    else:
+        session = ParserSession(grammar, engine=engine or "vector", template_cache_size=1)
     profile = ParseProfile(sentence=())
     records = {c.name: ConstraintRecord(c.name, c.arity) for c in grammar.constraints}
     order = [c.name for c in grammar.constraints]
@@ -99,7 +107,7 @@ def profile_parse(
                 profile.killed_by_filtering += killed
         state["alive"] = alive
 
-    result = engine.parse(grammar, sentence, trace=trace)
+    result = session.parse(sentence, trace=trace)
     profile.records = [records[name] for name in order]
     profile.surviving_role_values = int(result.network.alive.sum())
     profile.result = result

@@ -19,14 +19,9 @@ import argparse
 import sys
 from typing import Callable, Sequence
 
-from repro import (
-    MasParEngine,
-    PRAMEngine,
-    SerialEngine,
-    VectorEngine,
-    extract_parses,
-)
+from repro import ParserSession, extract_parses
 from repro.analysis import format_seconds, format_table
+from repro.engines.registry import available_engines
 from repro.errors import ReproError
 from repro.grammar import CDGGrammar, load_grammar_file
 from repro.grammar.builtin import (
@@ -51,15 +46,6 @@ BUILTIN_GRAMMARS: dict[str, Callable[[], CDGGrammar]] = {
     "free-order": free_order_grammar,
 }
 
-ENGINES = {
-    "serial": SerialEngine,
-    "serial-exhaustive": lambda: SerialEngine(exhaustive=True),
-    "vector": VectorEngine,
-    "pram": PRAMEngine,
-    "maspar": MasParEngine,
-}
-
-
 def _resolve_grammar(name: str) -> CDGGrammar:
     if name in BUILTIN_GRAMMARS:
         return BUILTIN_GRAMMARS[name]()
@@ -72,11 +58,11 @@ def _resolve_grammar(name: str) -> CDGGrammar:
 
 def _cmd_parse(args: argparse.Namespace, out) -> int:
     grammar = _resolve_grammar(args.grammar)
-    engine = ENGINES[args.engine]()
+    session = ParserSession(grammar, engine=args.engine, filter_limit=args.filter_limit)
     words = list(args.words)
     if len(words) == 1 and " " in words[0]:
         words = words[0].split()
-    result = engine.parse(grammar, words, filter_limit=args.filter_limit)
+    result = session.parse(words)
 
     if args.network:
         print(result.network.describe(), file=out)
@@ -98,7 +84,7 @@ def _cmd_parse(args: argparse.Namespace, out) -> int:
     if args.profile:
         from repro.analysis import profile_parse
 
-        profile = profile_parse(grammar, words, engine=ENGINES[args.engine]())
+        profile = profile_parse(grammar, words, engine=session)
         print(file=out)
         print(
             format_table(
@@ -164,11 +150,10 @@ def _cmd_timing(args: argparse.Namespace, out) -> int:
     from repro.parsec import step_function_seconds, virtualization_units
     from repro.workloads import toy_sentence
 
-    engine = MasParEngine()
-    grammar = program_grammar()
+    session = ParserSession(program_grammar(), engine="maspar")
     rows = []
     for n in range(2, args.max_n + 1):
-        result = engine.parse(grammar, toy_sentence(n))
+        result = session.parse(toy_sentence(n))
         rows.append(
             [
                 n,
@@ -191,10 +176,9 @@ def _cmd_timing(args: argparse.Namespace, out) -> int:
 
 def _cmd_figures(args: argparse.Namespace, out) -> int:
     states: list[tuple[str, str]] = []
-    engine = SerialEngine()
     grammar = program_grammar()
-    result = engine.parse(
-        grammar,
+    session = ParserSession(grammar, engine="serial")
+    result = session.parse(
         "The program runs",
         trace=lambda event, net: states.append((event, net.describe())),
     )
@@ -224,7 +208,7 @@ def _cmd_explain(args: argparse.Namespace, out) -> int:
     if len(words) == 1 and " " in words[0]:
         words = words[0].split()
     recorder = TraceRecorder()
-    result = ENGINES[args.engine]().parse(grammar, words, trace=recorder)
+    result = ParserSession(grammar, engine=args.engine).parse(words, trace=recorder)
     print(recorder.explain(skip_quiet=not args.all_phases), file=out)
     print(file=out)
     print(f"locally consistent: {result.locally_consistent}", file=out)
@@ -242,7 +226,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_parse = sub.add_parser("parse", help="parse a sentence")
     p_parse.add_argument("words", nargs="+", help="the sentence (words or one quoted string)")
     p_parse.add_argument("--grammar", "-g", default="english")
-    p_parse.add_argument("--engine", "-e", default="vector", choices=sorted(ENGINES))
+    p_parse.add_argument("--engine", "-e", default="vector", choices=available_engines())
     p_parse.add_argument("--max-parses", type=int, default=5)
     p_parse.add_argument("--filter-limit", type=int, default=None)
     p_parse.add_argument("--network", action="store_true", help="print the settled CN")
@@ -273,7 +257,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_explain.add_argument("words", nargs="+")
     p_explain.add_argument("--grammar", "-g", default="english")
-    p_explain.add_argument("--engine", "-e", default="vector", choices=sorted(ENGINES))
+    p_explain.add_argument("--engine", "-e", default="vector", choices=available_engines())
     p_explain.add_argument(
         "--all-phases", action="store_true", help="include phases that eliminated nothing"
     )

@@ -8,6 +8,7 @@ cycles).
 
 from repro.engines.base import EngineStats, ParserEngine, ParseResult, TraceHook
 from repro.engines.pram import PRAMEngine
+from repro.engines.registry import available_engines, create_engine, register_engine
 from repro.engines.serial import SerialEngine
 from repro.engines.vector import VectorEngine
 
@@ -19,16 +20,19 @@ __all__ = [
     "SerialEngine",
     "VectorEngine",
     "PRAMEngine",
+    "available_engines",
+    "create_engine",
+    "register_engine",
+    "all_engines",
 ]
 
 
 def all_engines() -> list[ParserEngine]:
-    """One instance of every engine, including the machine-simulated ones.
+    """One instance of every distinct engine, via the registry.
 
-    Imported lazily because those engines live above packages that
-    themselves build on the engines package.
+    (``serial-exhaustive`` is skipped: it settles networks identically
+    to ``serial`` and only differs in the work it counts.)
     """
-    from repro.mesh.engine import MeshEngine
-    from repro.parsec.parser import MasParEngine
-
-    return [SerialEngine(), VectorEngine(), PRAMEngine(), MasParEngine(), MeshEngine()]
+    return [
+        create_engine(name) for name in available_engines() if name != "serial-exhaustive"
+    ]

@@ -15,12 +15,14 @@ equivalence tests rely on this.
 from __future__ import annotations
 
 import abc
-import time
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.grammar.grammar import CDGGrammar, Sentence
 from repro.network.network import ConstraintNetwork
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.pipeline.compiled import CompiledGrammar
 
 #: Test/debug hook: called with (event, network) after each phase.  Events:
 #: "built", "unary:<name>", "unary-done", "binary:<name>",
@@ -86,10 +88,17 @@ class ParserEngine(abc.ABC):
         self,
         network: ConstraintNetwork,
         *,
+        compiled: "CompiledGrammar | None" = None,
         filter_limit: int | None = None,
         trace: TraceHook | None = None,
     ) -> EngineStats:
-        """Propagate all constraints over *network* in place."""
+        """Propagate all constraints over *network* in place.
+
+        Args:
+            compiled: the grammar's compiled artifacts; resolved from
+                ``network.grammar`` (cached per grammar object) when
+                omitted.
+        """
 
     def parse(
         self,
@@ -99,19 +108,16 @@ class ParserEngine(abc.ABC):
         filter_limit: int | None = None,
         trace: TraceHook | None = None,
     ) -> ParseResult:
-        """Build the CN for *sentence* and run this engine over it."""
-        if not isinstance(sentence, Sentence):
-            sentence = grammar.tokenize(sentence)
-        network = ConstraintNetwork(grammar, sentence)
-        if trace:
-            trace("built", network)
-        started = time.perf_counter()
-        stats = self.run(network, filter_limit=filter_limit, trace=trace)
-        stats.wall_seconds = time.perf_counter() - started
-        stats.engine = self.name
-        return ParseResult(
-            network=network,
-            locally_consistent=network.all_domains_nonempty(),
-            ambiguous=network.is_ambiguous(),
-            stats=stats,
-        )
+        """Build the CN for *sentence* and run this engine over it.
+
+        .. deprecated:: 1.1
+            Thin wrapper over the session path, kept so existing
+            callers and benchmarks run unmodified.  It builds a
+            throwaway :class:`~repro.pipeline.session.ParserSession`
+            per call, so nothing amortizes; batch callers should hold a
+            session and use ``parse`` / ``parse_many`` on it.
+        """
+        from repro.pipeline.session import ParserSession
+
+        session = ParserSession(grammar, engine=self, template_cache_size=1)
+        return session.parse(sentence, filter_limit=filter_limit, trace=trace)

@@ -24,6 +24,7 @@ import numpy as np
 from repro.constraints.scalar import EvalEnv
 from repro.engines.base import EngineStats, ParserEngine, TraceHook
 from repro.network.network import ConstraintNetwork
+from repro.pipeline.compiled import CompiledGrammar, compile_grammar
 from repro.pram.machine import CRCWPram
 
 
@@ -42,14 +43,15 @@ class PRAMEngine(ParserEngine):
         self,
         network: ConstraintNetwork,
         *,
+        compiled: CompiledGrammar | None = None,
         filter_limit: int | None = None,
         trace: TraceHook | None = None,
     ) -> EngineStats:
+        compiled = compiled or compile_grammar(network.grammar)
         stats = EngineStats()
         nv = network.nv
         n_roles = network.n_roles
         pram = CRCWPram(policy=self.policy)
-        grammar = network.grammar
         role_values = network.role_values
         role_index = network.role_index
         canbe = network.canbe_sets
@@ -76,7 +78,7 @@ class PRAMEngine(ParserEngine):
                 trace(event, network)
 
         # -- unary constraints: one step each, O(n^2) processors ----------
-        for constraint in grammar.unary_constraints:
+        for constraint in compiled.unary:
             permits = constraint.scalar
 
             def unary_program(ctx, permits=permits):
@@ -92,7 +94,7 @@ class PRAMEngine(ParserEngine):
         sync("unary-done")
 
         # -- binary constraints: one step each, O(n^4) processors ----------
-        for constraint in grammar.binary_constraints:
+        for constraint in compiled.binary:
             permits = constraint.scalar
 
             def binary_program(ctx, permits=permits):

@@ -19,6 +19,7 @@ import numpy as np
 from repro.constraints.scalar import EvalEnv
 from repro.engines.base import EngineStats, ParserEngine, TraceHook
 from repro.network.network import ConstraintNetwork
+from repro.pipeline.compiled import CompiledGrammar, compile_grammar
 from repro.propagation.consistency import consistency_step_serial
 from repro.propagation.filtering import filter_network
 
@@ -46,14 +47,16 @@ class SerialEngine(ParserEngine):
         self,
         network: ConstraintNetwork,
         *,
+        compiled: CompiledGrammar | None = None,
         filter_limit: int | None = None,
         trace: TraceHook | None = None,
     ) -> EngineStats:
+        compiled = compiled or compile_grammar(network.grammar)
         stats = EngineStats(processors=1)
         env = EvalEnv(x=None, y=None, canbe=network.canbe_sets)  # type: ignore[arg-type]
 
         # -- unary propagation ------------------------------------------
-        for constraint in network.grammar.unary_constraints:
+        for constraint in compiled.unary:
             permits = constraint.scalar
             dead = []
             for index in np.nonzero(network.alive)[0]:
@@ -69,7 +72,7 @@ class SerialEngine(ParserEngine):
             trace("unary-done", network)
 
         # -- binary propagation, one consistency sweep per constraint ----
-        for constraint in network.grammar.binary_constraints:
+        for constraint in compiled.binary:
             permits = constraint.scalar
             candidates = (
                 np.arange(network.nv) if self.exhaustive else np.nonzero(network.alive)[0]

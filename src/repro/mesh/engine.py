@@ -29,6 +29,7 @@ from repro.constraints import VectorEnv
 from repro.engines.base import EngineStats, ParserEngine, TraceHook
 from repro.mesh.machine import MeshMachine
 from repro.network.network import ConstraintNetwork
+from repro.pipeline.compiled import CompiledGrammar, compile_grammar
 from repro.propagation.filtering import filter_network
 
 #: ALU-op charge per compiled-constraint evaluation (as in the PARSEC kernels).
@@ -44,9 +45,11 @@ class MeshEngine(ParserEngine):
         self,
         network: ConstraintNetwork,
         *,
+        compiled: CompiledGrammar | None = None,
         filter_limit: int | None = None,
         trace: TraceHook | None = None,
     ) -> EngineStats:
+        compiled = compiled or compile_grammar(network.grammar)
         stats = EngineStats()
         R = network.n_roles
         sizes = [sl.stop - sl.start for sl in network.role_slices]
@@ -99,7 +102,7 @@ class MeshEngine(ParserEngine):
                 trace(event, network)
 
         # -- unary constraints: purely cell-local --------------------------
-        for constraint in network.grammar.unary_constraints:
+        for constraint in compiled.unary:
             permitted = constraint.vector(row_env)  # (R, 1, D) broadcast over roles
             permitted = np.broadcast_to(permitted, (R, R, D))
 
@@ -126,7 +129,7 @@ class MeshEngine(ParserEngine):
         # -- binary constraints + consistency ------------------------------
         pair_env = VectorEnv(x=row_fields, y=col_fields, canbe=network.canbe_array)
         swap_env = VectorEnv(x=col_fields, y=row_fields, canbe=network.canbe_array)
-        for constraint in network.grammar.binary_constraints:
+        for constraint in compiled.binary:
             permitted = constraint.vector(pair_env) & constraint.vector(swap_env)
 
             def apply_binary(blocks, permitted=permitted):

@@ -32,13 +32,16 @@ figures exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import NetworkError
-from repro.constraints.symbols import NIL_MOD
 from repro.grammar.grammar import CDGGrammar, Sentence
-from repro.network.rolevalue import RoleValue, enumerate_role_values
+from repro.network.rolevalue import RoleValue
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.pipeline.template import NetworkTemplate
 
 
 @dataclass(frozen=True)
@@ -55,64 +58,33 @@ class RoleRef:
 class ConstraintNetwork:
     """A CN for one sentence under one grammar.
 
+    The shape-dependent half of construction (role-value enumeration,
+    field arrays, the O(NV^2) base masks) lives in
+    :class:`repro.pipeline.template.NetworkTemplate`; ``__init__``
+    builds a throwaway template and binds it, while
+    :class:`~repro.pipeline.session.ParserSession` reuses cached
+    templates so repeated shapes skip that work entirely.  Both paths
+    produce bit-identical networks.
+
     Attributes:
         grammar: the grammar the network was built from.
         sentence: the tokenized input.
+        template: the :class:`NetworkTemplate` this network was bound
+            from (shared, immutable).
         role_values: all role values, in global-index order.
         alive: bool vector of length NV — the current domains.
         matrix: packed bool arc matrices of shape (NV, NV); symmetric.
     """
 
+    #: Set by NetworkTemplate.fill; declared for type checkers.
+    template: "NetworkTemplate"
+    role_values: tuple[RoleValue, ...]
+    role_slices: tuple[slice, ...]
+
     def __init__(self, grammar: CDGGrammar, sentence: Sentence):
-        self.grammar = grammar
-        self.sentence = sentence
-        n = len(sentence)
-        q = grammar.n_roles
-        self.n_words = n
-        self.n_roles_per_word = q
-        self.n_roles = n * q
+        from repro.pipeline.template import NetworkTemplate
 
-        role_values: list[RoleValue] = []
-        slices: list[slice] = []
-        for pos in range(1, n + 1):
-            cats = sentence.category_sets[pos - 1]
-            for role in range(q):
-                start = len(role_values)
-                role_values.extend(
-                    enumerate_role_values(pos, role, cats, grammar.allowed_labels, n)
-                )
-                slices.append(slice(start, len(role_values)))
-        if not role_values:
-            raise NetworkError("constraint network has no role values")
-
-        self.role_values: tuple[RoleValue, ...] = tuple(role_values)
-        self.role_slices: tuple[slice, ...] = tuple(slices)
-        nv = len(role_values)
-        self.nv = nv
-
-        # Field arrays (the vector backend's inputs).
-        self.pos = np.fromiter((rv.pos for rv in role_values), dtype=np.int32, count=nv)
-        self.role_kind = np.fromiter((rv.role for rv in role_values), dtype=np.int32, count=nv)
-        self.cat = np.fromiter((rv.cat for rv in role_values), dtype=np.int32, count=nv)
-        self.lab = np.fromiter((rv.lab for rv in role_values), dtype=np.int32, count=nv)
-        self.mod = np.fromiter((rv.mod for rv in role_values), dtype=np.int32, count=nv)
-        #: Global role index (0..n_roles-1) of each role value.
-        self.role_index = (self.pos - 1) * q + self.role_kind
-
-        self.alive = np.ones(nv, dtype=bool)
-
-        # Packed arc matrices: start all-ones across distinct roles
-        # ("initially, all entries in the matrices are set to 1").
-        same_role = self.role_index[:, None] == self.role_index[None, :]
-        self.matrix = ~same_role
-        # Category coherence for lexically ambiguous words.
-        same_word = self.pos[:, None] == self.pos[None, :]
-        cat_clash = same_word & (self.cat[:, None] != self.cat[None, :])
-        self.matrix &= ~cat_clash
-
-        #: Sentence category table for constraint evaluation.
-        self.canbe_array = sentence.canbe_array(len(grammar.symbols.categories))
-        self.canbe_sets = sentence.canbe_sets()
+        NetworkTemplate.build(grammar, sentence.category_sets).fill(self, sentence)
 
     # -- copying -----------------------------------------------------------
 
@@ -175,15 +147,30 @@ class ConstraintNetwork:
         sl = self.role_slices[role_index]
         return int(self.alive[sl].sum())
 
+    def domain_sizes(self) -> np.ndarray:
+        """Alive count of every role in one ``reduceat`` pass.
+
+        Role slices tile ``[0, NV)`` contiguously, so summing ``alive``
+        at the starts of the non-empty slices yields exactly the
+        per-role counts; structurally empty roles stay at zero.
+        """
+        counts = np.zeros(self.n_roles, dtype=np.int64)
+        template = self.template
+        if template.nonempty_roles.size:
+            counts[template.nonempty_roles] = np.add.reduceat(
+                self.alive, template.nonempty_starts, dtype=np.int64
+            )
+        return counts
+
     def all_domains_nonempty(self) -> bool:
-        return all(self.domain_size(r) > 0 for r in range(self.n_roles))
+        return bool(self.domain_sizes().all())
 
     def empty_roles(self) -> list[RoleRef]:
-        return [self.role_ref(r) for r in range(self.n_roles) if self.domain_size(r) == 0]
+        return [self.role_ref(int(r)) for r in np.nonzero(self.domain_sizes() == 0)[0]]
 
     def is_ambiguous(self) -> bool:
         """True when some role still holds more than one role value."""
-        return any(self.domain_size(r) > 1 for r in range(self.n_roles))
+        return bool((self.domain_sizes() > 1).any())
 
     def alive_count(self) -> int:
         return int(self.alive.sum())
@@ -207,6 +194,19 @@ class ConstraintNetwork:
         onehot[np.arange(self.nv), self.role_index] = 1
         return onehot
 
+    def support_segments(self) -> tuple[np.ndarray, np.ndarray]:
+        """(role ids, slice starts) of the non-empty roles, for reduceat.
+
+        Shared with :func:`repro.propagation.consistency.unsupported_vector`;
+        precomputed on the template.
+        """
+        template = self.template
+        return template.nonempty_roles, template.nonempty_starts
+
+    def scratch_matrix(self) -> np.ndarray:
+        """A reusable (NV, NV) bool buffer (template-owned, not state)."""
+        return self.template.scratch_matrix()
+
     # -- mutation helpers ----------------------------------------------------------
 
     def kill(self, indices: np.ndarray) -> None:
@@ -217,23 +217,28 @@ class ConstraintNetwork:
         self.matrix[indices, :] = False
         self.matrix[:, indices] = False
 
-    def apply_pair_mask(self, permitted: np.ndarray) -> int:
+    def apply_pair_mask(self, permitted: np.ndarray, *, presymmetrized: bool = False) -> int:
         """AND a (NV, NV) permitted mask into the packed matrices.
 
         The mask is applied in both orientations, since a binary
-        constraint must hold however the pair is bound to (x, y).
+        constraint must hold however the pair is bound to (x, y);
+        callers holding an already-symmetrized mask (the template's
+        cached ``permitted & permitted.T``) pass ``presymmetrized=True``
+        to skip the transpose AND.
 
         Returns:
-            Number of matrix entries newly zeroed.
+            Number of matrix entries newly zeroed, counted from the
+            mask delta (entries currently one that the mask forbids) in
+            a single pass rather than summing the matrix twice.
         """
         if permitted.shape != (self.nv, self.nv):
             raise NetworkError(
                 f"pair mask shape {permitted.shape} does not match NV={self.nv}"
             )
-        both = permitted & permitted.T
-        before = int(self.matrix.sum())
+        both = permitted if presymmetrized else permitted & permitted.T
+        newly_zeroed = int(np.count_nonzero(self.matrix & ~both))
         self.matrix &= both
-        return before - int(self.matrix.sum())
+        return newly_zeroed
 
     # -- rendering -------------------------------------------------------------------
 

@@ -14,10 +14,11 @@ router, or broadcast by the ACU — design decision 2: no shared memory.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Protocol
 
 import numpy as np
 
-from repro.constraints import Constraint, VectorEnv
+from repro.constraints import VectorEnv
 from repro.maspar.machine import MP1
 from repro.network.network import ConstraintNetwork
 from repro.parsec.layout import PELayout
@@ -25,6 +26,18 @@ from repro.parsec.layout import PELayout
 #: Rough instruction count charged per compiled-constraint evaluation —
 #: the paper's constraints are short straight-line predicate programs.
 CONSTRAINT_OPS = 24
+
+
+class ConstraintLike(Protocol):
+    """What the kernels need of a constraint: a name and a vector form.
+
+    Satisfied both by :class:`repro.constraints.Constraint` and by the
+    pipeline's :class:`repro.pipeline.compiled.CompiledConstraint`.
+    """
+
+    name: str
+
+    def vector(self, env: VectorEnv) -> np.ndarray: ...
 
 
 @dataclass
@@ -155,7 +168,7 @@ def _propagate_eliminations(
     return count
 
 
-def apply_unary(machine: MP1, layout: PELayout, state: ParsecState, constraint: Constraint, canbe: np.ndarray) -> int:
+def apply_unary(machine: MP1, layout: PELayout, state: ParsecState, constraint: "ConstraintLike", canbe: np.ndarray) -> int:
     """Broadcast one unary constraint; each PE tests its column role values.
 
     Returns the number of role values eliminated.
@@ -184,7 +197,7 @@ def apply_unary(machine: MP1, layout: PELayout, state: ParsecState, constraint: 
     return _propagate_eliminations(machine, layout, state, eliminated)
 
 
-def apply_binary(machine: MP1, layout: PELayout, state: ParsecState, constraint: Constraint, canbe: np.ndarray) -> int:
+def apply_binary(machine: MP1, layout: PELayout, state: ParsecState, constraint: "ConstraintLike", canbe: np.ndarray) -> int:
     """Broadcast one binary constraint; each PE tests its S x S pairs.
 
     Each pair is tested in both orientations (x=row, y=col and the

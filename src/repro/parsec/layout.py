@@ -39,6 +39,7 @@ and for the cross-engine equivalence tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -134,6 +135,40 @@ def build_layout(network: ConstraintNetwork) -> PELayout:
             # Network order within a role: slot-major, modifiee-minor.
             rv_id[role_index, :, s] = start + s * n_mods + np.arange(n_mods)
 
+    coords = _coordinate_arrays(R, n_mods)
+
+    return PELayout(
+        n_words=n,
+        n_roles=R,
+        n_mods=n_mods,
+        n_slots=S,
+        n_pes=R * R * n_mods * n_mods,
+        role_pos=role_pos,
+        role_kind=role_kind,
+        mod_value=mod_value,
+        slot_cat=slot_cat,
+        slot_lab=slot_lab,
+        slot_valid=slot_valid,
+        rv_id=rv_id,
+        col_role=coords[0],
+        col_mod_idx=coords[1],
+        row_role=coords[2],
+        row_mod_idx=coords[3],
+        enabled=coords[4],
+        fine_seg=coords[5],
+        coarse_seg=coords[6],
+    )
+
+
+@lru_cache(maxsize=32)
+def _coordinate_arrays(R: int, n_mods: int) -> tuple[np.ndarray, ...]:
+    """The V = R^2 * n_mods^2 per-PE coordinate block, cached per (R, n_mods).
+
+    These arrays are pure functions of the grid shape — every sentence of
+    the same length under the same role count reuses them, which matters
+    because V grows as q^2 n^4.  The cached arrays are shared between
+    layouts, so they are frozen; kernels only ever read them.
+    """
     V = R * R * n_mods * n_mods
     pe = np.arange(V, dtype=np.int64)
     row_mod_idx = pe % n_mods
@@ -145,24 +180,15 @@ def build_layout(network: ConstraintNetwork) -> PELayout:
     fine_seg = (col_role * n_mods + col_mod_idx) * R + row_role
     coarse_seg = col_role * n_mods + col_mod_idx
 
-    return PELayout(
-        n_words=n,
-        n_roles=R,
-        n_mods=n_mods,
-        n_slots=S,
-        n_pes=V,
-        role_pos=role_pos,
-        role_kind=role_kind,
-        mod_value=mod_value,
-        slot_cat=slot_cat,
-        slot_lab=slot_lab,
-        slot_valid=slot_valid,
-        rv_id=rv_id,
-        col_role=col_role.astype(np.int32),
-        col_mod_idx=col_mod_idx.astype(np.int32),
-        row_role=row_role.astype(np.int32),
-        row_mod_idx=row_mod_idx.astype(np.int32),
-        enabled=enabled,
-        fine_seg=fine_seg,
-        coarse_seg=coarse_seg,
+    arrays = (
+        col_role.astype(np.int32),
+        col_mod_idx.astype(np.int32),
+        row_role.astype(np.int32),
+        row_mod_idx.astype(np.int32),
+        enabled,
+        fine_seg,
+        coarse_seg,
     )
+    for array in arrays:
+        array.setflags(write=False)
+    return arrays

@@ -22,6 +22,7 @@ from repro.maspar.machine import MP1
 from repro.network.network import ConstraintNetwork
 from repro.parsec import kernels
 from repro.parsec.layout import build_layout
+from repro.pipeline.compiled import CompiledGrammar, compile_grammar
 from repro.propagation.filtering import filter_network
 
 
@@ -38,9 +39,11 @@ class MasParEngine(ParserEngine):
         self,
         network: ConstraintNetwork,
         *,
+        compiled: CompiledGrammar | None = None,
         filter_limit: int | None = None,
         trace: TraceHook | None = None,
     ) -> EngineStats:
+        compiled = compiled or compile_grammar(network.grammar)
         stats = EngineStats()
         layout = build_layout(network)
         machine = MP1(n_virtual=layout.n_pes, cost=self.cost)
@@ -54,7 +57,7 @@ class MasParEngine(ParserEngine):
 
         cycles_before_constraints = machine.cycles
 
-        for constraint in network.grammar.unary_constraints:
+        for constraint in compiled.unary:
             killed = kernels.apply_unary(machine, layout, state, constraint, canbe)
             stats.unary_checks += layout.n_pes * layout.n_slots
             stats.role_values_killed += killed
@@ -62,7 +65,7 @@ class MasParEngine(ParserEngine):
         sync("unary-done")
 
         per_constraint_cycles = []
-        for constraint in network.grammar.binary_constraints:
+        for constraint in compiled.binary:
             start_cycles = machine.cycles
             zeroed = kernels.apply_binary(machine, layout, state, constraint, canbe)
             stats.pair_checks += layout.n_pes * layout.n_slots**2

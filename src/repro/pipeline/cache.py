@@ -1,0 +1,72 @@
+"""A small bounded LRU cache with introspection counters.
+
+``functools.lru_cache`` caches *functions*; the pipeline needs an
+*object* cache whose keys are sentence shapes and whose values are
+:class:`~repro.pipeline.template.NetworkTemplate` instances, with
+explicit bounds (templates hold O(NV^2) arrays, so eviction is what
+keeps a long-running :class:`~repro.pipeline.session.ParserSession`
+memory-bounded) and hit/miss counters for the cache-efficiency tests
+and benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Hashable, TypeVar
+
+V = TypeVar("V")
+
+
+class LRUCache(Generic[V]):
+    """Least-recently-used mapping bounded to *maxsize* entries.
+
+    Not thread-safe; sessions are single-threaded by contract.
+    """
+
+    def __init__(self, maxsize: int):
+        if maxsize < 1:
+            raise ValueError(f"LRU cache needs maxsize >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._data: OrderedDict[Hashable, V] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def get(self, key: Hashable) -> V | None:
+        """The cached value, refreshed to most-recently-used; else None."""
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: V) -> None:
+        """Insert (or refresh) *key*, evicting the LRU entry when full."""
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def info(self) -> dict[str, int]:
+        """Counters for cache-efficiency reporting."""
+        return {
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

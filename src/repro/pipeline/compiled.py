@@ -1,0 +1,120 @@
+"""The compile layer: per-grammar artifacts, materialized once.
+
+The paper's amortization argument is that the constraint program is
+fixed while sentences stream through the PE array.  The repository used
+to re-derive the per-grammar pieces lazily on every parse path
+(``grammar.unary_constraints`` filters the constraint list each access;
+the scalar/vector compilers hide behind ``cached_property``).
+:func:`compile_grammar` materializes all of it once per grammar object:
+
+* constraints pre-partitioned into unary and binary, in grammar order
+  (the propagation order every engine follows);
+* the scalar closure and the vector evaluator of every constraint,
+  forced eagerly so the first parse pays no compile cost;
+* the label/category/role tables frozen into tuples.
+
+A :class:`CompiledConstraint` exposes the same ``name`` / ``vector`` /
+``scalar`` surface the engines and the PARSEC kernels already consume,
+so compiled artifacts drop into the existing kernels unchanged.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass, field
+
+from repro.constraints.constraint import Constraint
+from repro.constraints.scalar import ScalarFn
+from repro.constraints.vector import VectorFn
+from repro.grammar.grammar import CDGGrammar
+
+
+@dataclass(frozen=True)
+class CompiledConstraint:
+    """One constraint with both evaluators materialized.
+
+    ``vector`` and ``scalar`` are the compiled functions themselves
+    (not properties), so per-PE programs can close over them directly.
+    """
+
+    name: str
+    arity: int
+    index: int  # position in the grammar's constraint list
+    constraint: Constraint
+    scalar: ScalarFn = field(repr=False)
+    vector: VectorFn = field(repr=False)
+
+    @property
+    def source(self) -> str:
+        return self.constraint.source
+
+
+@dataclass(frozen=True)
+class CompiledGrammar:
+    """Everything per-grammar the execute layer needs, frozen.
+
+    Attributes:
+        grammar: the source grammar (kept for symbol tables/lexicon).
+        unary: unary constraints in propagation order.
+        binary: binary constraints in propagation order.
+        labels / categories / roles: frozen name tables.
+    """
+
+    grammar: CDGGrammar
+    unary: tuple[CompiledConstraint, ...]
+    binary: tuple[CompiledConstraint, ...]
+    labels: tuple[str, ...]
+    categories: tuple[str, ...]
+    roles: tuple[str, ...]
+
+    @property
+    def n_roles(self) -> int:
+        return len(self.roles)
+
+    @property
+    def k(self) -> int:
+        """Total constraint count — the paper's running-time factor."""
+        return len(self.unary) + len(self.binary)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CompiledGrammar({self.grammar.name!r}: "
+            f"{len(self.unary)} unary + {len(self.binary)} binary)"
+        )
+
+
+#: One compiled form per live grammar object; entries die with the grammar.
+_COMPILED: "weakref.WeakKeyDictionary[CDGGrammar, CompiledGrammar]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def compile_grammar(grammar: CDGGrammar) -> CompiledGrammar:
+    """The compiled form of *grammar*, cached per grammar object."""
+    cached = _COMPILED.get(grammar)
+    if cached is not None:
+        return cached
+
+    unary: list[CompiledConstraint] = []
+    binary: list[CompiledConstraint] = []
+    for index, constraint in enumerate(grammar.constraints):
+        compiled = CompiledConstraint(
+            name=constraint.name,
+            arity=constraint.arity,
+            index=index,
+            constraint=constraint,
+            scalar=constraint.scalar,
+            vector=constraint.vector,
+        )
+        (unary if constraint.is_unary else binary).append(compiled)
+
+    result = CompiledGrammar(
+        grammar=grammar,
+        unary=tuple(unary),
+        binary=tuple(binary),
+        labels=grammar.labels,
+        categories=grammar.categories,
+        roles=grammar.roles,
+    )
+    _COMPILED[grammar] = result
+    return result

@@ -1,0 +1,156 @@
+"""The execute layer: a batched parsing front end.
+
+A :class:`ParserSession` owns everything that amortizes across
+sentences under one grammar — the compiled constraint program, the
+bounded LRU of network templates (keyed by sentence shape), and the
+engine instance — and exposes ``parse`` / ``parse_many``.  This is the
+paper's serving shape: the constraint program is fixed, sentences
+stream through.
+
+The naive path (:meth:`repro.engines.base.ParserEngine.parse`) remains
+as a thin wrapper that builds a throwaway session per call, so one-shot
+callers keep working while batch callers get the amortization::
+
+    session = ParserSession(english_grammar(), engine="vector")
+    results = session.parse_many(["the dog runs", "dogs bark"])
+
+Sessions are not thread-safe: templates share scratch buffers across
+the sentences they bind.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Sequence
+
+from repro.engines.base import ParseResult, ParserEngine, TraceHook
+from repro.engines.registry import create_engine
+from repro.grammar.grammar import CDGGrammar, Sentence
+from repro.network.network import ConstraintNetwork
+from repro.pipeline.cache import LRUCache
+from repro.pipeline.compiled import CompiledGrammar, compile_grammar
+from repro.pipeline.template import NetworkTemplate
+
+#: Sentinel distinguishing "not passed" from an explicit None.
+_UNSET = object()
+
+#: Default bound on cached templates.  Each template holds O(NV^2)
+#: arrays plus (once the vector engine touches it) one mask per binary
+#: constraint, so the bound is what keeps long-running sessions flat.
+DEFAULT_TEMPLATE_CACHE = 16
+
+
+class ParserSession:
+    """Compile-once, bind-cheap, execute-many CDG parsing.
+
+    Args:
+        grammar: the grammar all sentences are parsed under.
+        engine: an engine name from the registry (``"serial"``,
+            ``"vector"``, ``"pram"``, ``"maspar"``, ``"mesh"``, ...)
+            or a :class:`~repro.engines.base.ParserEngine` instance.
+        filter_limit: session-default filtering bound (design decision
+            5); individual calls may override it.
+        template_cache_size: bound on the per-shape template LRU.
+    """
+
+    def __init__(
+        self,
+        grammar: CDGGrammar,
+        engine: "str | ParserEngine" = "vector",
+        *,
+        filter_limit: int | None = None,
+        template_cache_size: int = DEFAULT_TEMPLATE_CACHE,
+    ):
+        self.grammar = grammar
+        self.compiled: CompiledGrammar = compile_grammar(grammar)
+        self.engine: ParserEngine = create_engine(engine)
+        self.filter_limit = filter_limit
+        self._templates: LRUCache[NetworkTemplate] = LRUCache(template_cache_size)
+
+    # -- bind --------------------------------------------------------------
+
+    def tokenize(self, sentence: "Sentence | str | Sequence[str]") -> Sentence:
+        if isinstance(sentence, Sentence):
+            return sentence
+        return self.grammar.tokenize(sentence)
+
+    def template_for(self, sentence: "Sentence | str | Sequence[str]") -> NetworkTemplate:
+        """The (cached) template for *sentence*'s shape."""
+        sent = self.tokenize(sentence)
+        key = sent.category_sets
+        template = self._templates.get(key)
+        if template is None:
+            template = NetworkTemplate.build(self.grammar, sent.category_sets)
+            self._templates.put(key, template)
+        return template
+
+    def network(self, sentence: "Sentence | str | Sequence[str]") -> ConstraintNetwork:
+        """A fresh, unpropagated network for *sentence* (cached shape)."""
+        sent = self.tokenize(sentence)
+        return self.template_for(sent).bind(sent)
+
+    # -- execute -----------------------------------------------------------
+
+    def parse(
+        self,
+        sentence: "Sentence | str | Sequence[str]",
+        *,
+        filter_limit: "int | None | object" = _UNSET,
+        trace: TraceHook | None = None,
+    ) -> ParseResult:
+        """Parse one sentence through the session's caches."""
+        sent = self.tokenize(sentence)
+        network = self.template_for(sent).bind(sent)
+        if trace:
+            trace("built", network)
+        limit = self.filter_limit if filter_limit is _UNSET else filter_limit
+        started = time.perf_counter()
+        stats = self.engine.run(
+            network, compiled=self.compiled, filter_limit=limit, trace=trace
+        )
+        stats.wall_seconds = time.perf_counter() - started
+        stats.engine = self.engine.name
+        return ParseResult(
+            network=network,
+            locally_consistent=network.all_domains_nonempty(),
+            ambiguous=network.is_ambiguous(),
+            stats=stats,
+        )
+
+    def parse_many(
+        self,
+        sentences: Iterable["Sentence | str | Sequence[str]"],
+        *,
+        filter_limit: "int | None | object" = _UNSET,
+        trace: TraceHook | None = None,
+    ) -> list[ParseResult]:
+        """Parse a batch; results are index-aligned with the input.
+
+        Equivalent to ``[session.parse(s) for s in sentences]`` — the
+        equality is a test invariant — but stated as the batch entry
+        point so callers express the amortizable workload directly.
+        """
+        return [
+            self.parse(sentence, filter_limit=filter_limit, trace=trace)
+            for sentence in sentences
+        ]
+
+    # -- introspection -----------------------------------------------------
+
+    def cache_info(self) -> dict[str, int]:
+        """Template-cache counters (hits/misses/evictions/size)."""
+        return self._templates.info()
+
+    def cached_bytes(self) -> int:
+        """Approximate bytes held by the cached templates."""
+        return sum(t.nbytes() for t in self._templates._data.values())
+
+    def clear_caches(self) -> None:
+        self._templates.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        info = self.cache_info()
+        return (
+            f"ParserSession({self.grammar.name!r}, engine={self.engine.name!r}, "
+            f"templates={info['size']}/{info['maxsize']})"
+        )

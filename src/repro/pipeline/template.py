@@ -1,0 +1,262 @@
+"""The bind layer: per-sentence-shape network templates.
+
+Everything :class:`~repro.network.network.ConstraintNetwork` used to
+compute in ``__init__`` depends only on the *shape* of the sentence —
+its length and per-position category sets — never on the surface words:
+the role-value enumeration, the field arrays, the O(NV^2) same-role and
+category-clash base masks, and the category tables.  A
+:class:`NetworkTemplate` computes all of that once per
+``(grammar, n, category-signature)`` and stamps out networks with
+:meth:`bind`, which only allocates the two genuinely per-sentence
+arrays (a fresh ``alive`` vector and a copy of the base matrix).
+
+Templates are what :class:`~repro.pipeline.session.ParserSession`
+caches behind its bounded LRU; they also own the lazily-computed
+artifacts the execute layer shares across every network bound from the
+same shape:
+
+* the symmetrized vector-evaluation masks of every constraint (a pure
+  function of the field arrays — the single biggest per-parse cost);
+* the consistency-maintenance segment tables (role starts for
+  ``reduceat``);
+* an ``(NV, NV)`` scratch buffer reused by consistency maintenance.
+
+Shared arrays are frozen (``writeable=False``) so an engine bug that
+tried to mutate template state across sentences fails loudly instead of
+corrupting later parses.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import NetworkError
+from repro.grammar.grammar import CDGGrammar, Sentence
+from repro.network.rolevalue import RoleValue, enumerate_role_values
+from repro.pipeline.compiled import CompiledGrammar
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.network.network import ConstraintNetwork
+
+#: Cache key of a sentence shape under one grammar.
+ShapeKey = tuple[frozenset[int], ...]
+
+
+def _frozen(array: np.ndarray) -> np.ndarray:
+    array.setflags(write=False)
+    return array
+
+
+class VectorMasks:
+    """Per-template constraint evaluations for the vector execute path.
+
+    ``unary[i]`` is the permitted ``(NV,)`` vector of the i-th unary
+    constraint; ``binary_both[i]`` the orientation-symmetrized
+    ``(NV, NV)`` permitted mask of the i-th binary constraint (already
+    ``permitted & permitted.T``, ready to AND into a packed matrix).
+    """
+
+    __slots__ = ("unary", "binary_both")
+
+    def __init__(self, unary: tuple[np.ndarray, ...], binary_both: tuple[np.ndarray, ...]):
+        self.unary = unary
+        self.binary_both = binary_both
+
+
+class NetworkTemplate:
+    """The cacheable per-shape half of a constraint network."""
+
+    def __init__(self, grammar: CDGGrammar, category_sets: ShapeKey):
+        self.grammar = grammar
+        self.category_sets: ShapeKey = tuple(category_sets)
+        n = len(self.category_sets)
+        q = grammar.n_roles
+        self.n_words = n
+        self.n_roles_per_word = q
+        self.n_roles = n * q
+
+        role_values: list[RoleValue] = []
+        slices: list[slice] = []
+        for pos in range(1, n + 1):
+            cats = self.category_sets[pos - 1]
+            for role in range(q):
+                start = len(role_values)
+                role_values.extend(
+                    enumerate_role_values(pos, role, cats, grammar.allowed_labels, n)
+                )
+                slices.append(slice(start, len(role_values)))
+        if not role_values:
+            raise NetworkError("constraint network has no role values")
+
+        self.role_values: tuple[RoleValue, ...] = tuple(role_values)
+        self.role_slices: tuple[slice, ...] = tuple(slices)
+        nv = len(role_values)
+        self.nv = nv
+
+        # Field arrays (the vector backend's inputs), shared read-only
+        # by every network bound from this template.
+        self.pos = _frozen(np.fromiter((rv.pos for rv in role_values), dtype=np.int32, count=nv))
+        self.role_kind = _frozen(
+            np.fromiter((rv.role for rv in role_values), dtype=np.int32, count=nv)
+        )
+        self.cat = _frozen(np.fromiter((rv.cat for rv in role_values), dtype=np.int32, count=nv))
+        self.lab = _frozen(np.fromiter((rv.lab for rv in role_values), dtype=np.int32, count=nv))
+        self.mod = _frozen(np.fromiter((rv.mod for rv in role_values), dtype=np.int32, count=nv))
+        self.role_index = _frozen((self.pos - 1) * q + self.role_kind)
+
+        # The O(NV^2) base mask: all-ones across distinct roles
+        # ("initially, all entries in the matrices are set to 1"),
+        # minus category coherence for lexically ambiguous words.
+        same_role = self.role_index[:, None] == self.role_index[None, :]
+        base = ~same_role
+        same_word = self.pos[:, None] == self.pos[None, :]
+        cat_clash = same_word & (self.cat[:, None] != self.cat[None, :])
+        base &= ~cat_clash
+        self.base_matrix = _frozen(base)
+
+        # Category tables for constraint evaluation (word-independent:
+        # they are a function of the category sets alone).
+        canbe = np.zeros((n + 1, len(grammar.symbols.categories)), dtype=bool)
+        for position, cats in enumerate(self.category_sets, start=1):
+            for code in cats:
+                canbe[position, code] = True
+        self.canbe_array = _frozen(canbe)
+        self.canbe_sets: tuple[frozenset[int], ...] = (frozenset(),) + self.category_sets
+
+        # Segment tables for reduceat-based domain counts and support
+        # checks.  Roles with structurally empty domains (no admissible
+        # label for any category) get no segment; consumers must treat
+        # them as never supported / always empty.
+        lengths = np.fromiter(
+            (sl.stop - sl.start for sl in self.role_slices), dtype=np.intp, count=self.n_roles
+        )
+        starts = np.fromiter(
+            (sl.start for sl in self.role_slices), dtype=np.intp, count=self.n_roles
+        )
+        nonempty = lengths > 0
+        self.nonempty_roles = _frozen(np.nonzero(nonempty)[0])
+        self.nonempty_starts = _frozen(starts[nonempty])
+        self.has_empty_roles = bool((~nonempty).any())
+
+        # Lazy artifacts.
+        self._masks: VectorMasks | None = None
+        self._masks_for: CompiledGrammar | None = None
+        self._scratch: np.ndarray | None = None
+
+    # -- cache key ---------------------------------------------------------
+
+    @classmethod
+    def build(cls, grammar: CDGGrammar, category_sets: ShapeKey) -> "NetworkTemplate":
+        return cls(grammar, category_sets)
+
+    @property
+    def key(self) -> ShapeKey:
+        """The per-grammar cache key: the sentence's category signature."""
+        return self.category_sets
+
+    # -- binding -----------------------------------------------------------
+
+    def bind(self, sentence: Sentence) -> "ConstraintNetwork":
+        """Stamp out a fresh network for *sentence* from this template."""
+        from repro.network.network import ConstraintNetwork
+
+        network = object.__new__(ConstraintNetwork)
+        self.fill(network, sentence)
+        return network
+
+    def fill(self, network: "ConstraintNetwork", sentence: Sentence) -> None:
+        """Populate *network* in place (the shared ``__init__`` body)."""
+        if sentence.category_sets != self.category_sets:
+            raise NetworkError(
+                "sentence shape does not match template "
+                f"(n={len(sentence)} vs template n={self.n_words})"
+            )
+        network.grammar = self.grammar
+        network.sentence = sentence
+        network.template = self
+        network.n_words = self.n_words
+        network.n_roles_per_word = self.n_roles_per_word
+        network.n_roles = self.n_roles
+        network.role_values = self.role_values
+        network.role_slices = self.role_slices
+        network.nv = self.nv
+        network.pos = self.pos
+        network.role_kind = self.role_kind
+        network.cat = self.cat
+        network.lab = self.lab
+        network.mod = self.mod
+        network.role_index = self.role_index
+        network.canbe_array = self.canbe_array
+        network.canbe_sets = self.canbe_sets
+        # The only genuinely per-sentence state: fresh domains and a
+        # writable copy of the base mask.
+        network.alive = np.ones(self.nv, dtype=bool)
+        network.matrix = self.base_matrix.copy()
+
+    # -- shared execute-layer artifacts ------------------------------------
+
+    def vector_masks(self, compiled: CompiledGrammar) -> VectorMasks:
+        """Constraint evaluations over this template's field arrays.
+
+        Pure functions of (fields, category table) — i.e. of the
+        template — so they are computed once and replayed for every
+        sentence of this shape.  The first call per template pays the
+        full evaluation cost; this is exactly the work the naive
+        per-call parse path repeats for every sentence.
+        """
+        if self._masks is not None and self._masks_for is compiled:
+            return self._masks
+        from repro.constraints.vector import VectorEnv
+
+        fields = {
+            "pos": self.pos,
+            "role": self.role_kind,
+            "cat": self.cat,
+            "lab": self.lab,
+            "mod": self.mod,
+        }
+        unary_env = VectorEnv(x=fields, y=None, canbe=self.canbe_array)
+        pair_env = VectorEnv(
+            x={k: v[:, None] for k, v in fields.items()},
+            y={k: v[None, :] for k, v in fields.items()},
+            canbe=self.canbe_array,
+        )
+        unary = tuple(_frozen(cc.vector(unary_env)) for cc in compiled.unary)
+        binary: list[np.ndarray] = []
+        for cc in compiled.binary:
+            permitted = cc.vector(pair_env)
+            binary.append(_frozen(permitted & permitted.T))
+        self._masks = VectorMasks(unary=unary, binary_both=tuple(binary))
+        self._masks_for = compiled
+        return self._masks
+
+    def scratch_matrix(self) -> np.ndarray:
+        """A reusable ``(NV, NV)`` bool buffer for consistency sweeps.
+
+        Shared by every network bound from this template; safe because
+        sessions (and engines) are single-threaded by contract and the
+        buffer never carries state between calls.
+        """
+        if self._scratch is None:
+            self._scratch = np.empty((self.nv, self.nv), dtype=bool)
+        return self._scratch
+
+    def nbytes(self) -> int:
+        """Approximate resident size, for cache-accounting tests."""
+        total = self.base_matrix.nbytes + self.canbe_array.nbytes
+        for arr in (self.pos, self.role_kind, self.cat, self.lab, self.mod, self.role_index):
+            total += arr.nbytes
+        if self._scratch is not None:
+            total += self._scratch.nbytes
+        if self._masks is not None:
+            total += sum(m.nbytes for m in self._masks.unary)
+            total += sum(m.nbytes for m in self._masks.binary_both)
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NetworkTemplate({self.grammar.name!r}, n={self.n_words}, "
+            f"NV={self.nv}, masks={'yes' if self._masks else 'no'})"
+        )

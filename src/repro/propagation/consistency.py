@@ -9,9 +9,12 @@ their rows/columns zeroed everywhere.
 
 Two implementations with identical semantics:
 
-* :func:`unsupported_vector` — one numpy pass: the OR-then-AND is a
-  masked matrix product against the role one-hot matrix (this is exactly
-  the computation the MasPar does with ``scanOr``/``scanAnd``);
+* :func:`unsupported_vector` — one numpy pass: role slices tile the
+  global index space contiguously, so the OR along each arc-matrix row
+  is a segmented ``logical_or.reduceat`` at the role starts, and the
+  AND across arcs an ``all`` over the resulting (NV, n_roles) table —
+  the same OR-then-AND dataflow the MasPar performs with
+  ``scanOr``/``scanAnd``, without materializing support *counts*;
 * :func:`unsupported_serial` — explicit loops over arcs and rows, used by
   the faithful sequential engine and for cross-checking.
 
@@ -30,14 +33,19 @@ from repro.network.network import ConstraintNetwork
 def unsupported_vector(net: ConstraintNetwork) -> np.ndarray:
     """Global indices of alive role values that currently lack support."""
     alive = net.alive
-    # support[a, j] = number of alive partners of a in role j.
-    support = (net.matrix & alive[None, :]) @ net.role_onehot().astype(np.int32)
-    # a must be supported in every role except its own.
-    needed = np.ones((net.nv, net.n_roles), dtype=bool)
-    needed[np.arange(net.nv), net.role_index] = False
-    ok = (support > 0) | ~needed
-    supported = ok.all(axis=1)
-    return np.nonzero(alive & ~supported)[0]
+    roles, starts = net.support_segments()
+    if len(roles) < net.n_roles:
+        # A role with a structurally empty domain supports nothing:
+        # every alive role value is unsupported.
+        return np.nonzero(alive)[0]
+    # has[a, j] = does a keep an alive partner in role j?  One segmented
+    # OR over the alive-masked matrix; the scratch buffer is reused
+    # across sweeps (and, via the template, across sentences).
+    masked = np.logical_and(net.matrix, alive[None, :], out=net.scratch_matrix())
+    has = np.logical_or.reduceat(masked, starts, axis=1)
+    # a's own role is exempt ("every *other* role").
+    has[np.arange(net.nv), net.role_index] = True
+    return np.nonzero(alive & ~has.all(axis=1))[0]
 
 
 def unsupported_serial(net: ConstraintNetwork) -> list[int]:
