@@ -38,6 +38,7 @@ from repro.engines import (
     register_engine,
 )
 from repro.errors import (
+    ConcurrentSessionUse,
     ConstraintError,
     ExtractionError,
     GrammarError,
@@ -53,8 +54,16 @@ from repro.network import ConstraintNetwork, RoleValue
 from repro.parsec.parser import MasParEngine
 from repro.pipeline import CompiledGrammar, NetworkTemplate, ParserSession, compile_grammar
 from repro.search import PrecedenceGraph, accepts, count_parses, extract_parses
+from repro.serve import (
+    DeadlineExceeded,
+    ParseService,
+    ServeError,
+    ServiceMetrics,
+    ServiceOverloaded,
+    ServiceUnavailable,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -90,6 +99,14 @@ __all__ = [
     "extract_parses",
     "count_parses",
     "accepts",
+    # serving
+    "ParseService",
+    "ServiceMetrics",
+    "ServeError",
+    "ServiceOverloaded",
+    "DeadlineExceeded",
+    "ServiceUnavailable",
+    "ConcurrentSessionUse",
     # errors
     "ReproError",
     "SexprSyntaxError",

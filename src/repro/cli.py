@@ -11,15 +11,23 @@ Commands:
     Print the simulated-MasPar parse-time step function (RES-T2).
 ``figures``
     Re-derive the paper's worked example (Figures 1-7) on the terminal.
+``serve-bench``
+    Drive a :class:`~repro.serve.ParseService` under synthetic load and
+    print its throughput plus a full metrics snapshot.
+
+``--engine`` values are validated against the live registry (not a
+frozen argparse choice list), so engines registered at runtime work and
+an unknown name reports the registered ones.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Callable, Sequence
 
-from repro import ParserSession, extract_parses
+from repro import ParserSession, __version__, extract_parses
 from repro.analysis import format_seconds, format_table
 from repro.engines.registry import available_engines
 from repro.errors import ReproError
@@ -200,6 +208,51 @@ def _cmd_figures(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace, out) -> int:
+    from repro.serve import ParseService
+    from repro.workloads import sentence_of_length
+
+    grammar = _resolve_grammar(args.grammar)
+    # A shape-interleaved arrival stream: the adversarial case for the
+    # template cache, and exactly what shape-batching reorders.
+    sentences = [
+        sentence_of_length(3 + (i % args.shapes)) for i in range(args.requests)
+    ]
+    service = ParseService(
+        grammar,
+        engine=args.engine,
+        workers=args.workers,
+        max_queue=max(args.requests, 1),
+        max_batch_size=args.batch_size,
+        max_linger=args.linger_ms / 1000.0,
+        admission="block",
+    )
+    with service:
+        start = time.perf_counter()
+        futures = [service.submit(words) for words in sentences]
+        results = [future.result() for future in futures]
+        service.drain()
+        elapsed = time.perf_counter() - start
+
+    accepted = sum(1 for r in results if r.locally_consistent)
+    print(
+        f"{len(results)} requests ({args.shapes} shapes) on {args.workers} worker(s): "
+        f"{elapsed:.3f}s = {len(results) / elapsed:.1f} req/s "
+        f"({accepted} locally consistent)",
+        file=out,
+    )
+    print(file=out)
+    snapshot = service.snapshot()
+    print(service.metrics.render(snapshot), file=out)
+    cache = snapshot["service"]["template_cache"]
+    print(
+        f"template cache over {snapshot['service']['workers']} worker(s): "
+        f"{cache['hits']} hits / {cache['misses']} misses",
+        file=out,
+    )
+    return 0
+
+
 def _cmd_explain(args: argparse.Namespace, out) -> int:
     from repro.debugging import TraceRecorder
 
@@ -221,12 +274,19 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="PARSEC: parallel CDG parsing (Helzerman & Harper, ICPP 1992)",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    # Engine names are validated at dispatch time by the registry (so
+    # runtime-registered engines work); the help text lists built-ins.
+    engine_help = f"engine name; registered: {', '.join(available_engines())}"
 
     p_parse = sub.add_parser("parse", help="parse a sentence")
     p_parse.add_argument("words", nargs="+", help="the sentence (words or one quoted string)")
     p_parse.add_argument("--grammar", "-g", default="english")
-    p_parse.add_argument("--engine", "-e", default="vector", choices=available_engines())
+    p_parse.add_argument("--engine", "-e", default="vector", help=engine_help)
     p_parse.add_argument("--max-parses", type=int, default=5)
     p_parse.add_argument("--filter-limit", type=int, default=None)
     p_parse.add_argument("--network", action="store_true", help="print the settled CN")
@@ -252,12 +312,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_figures = sub.add_parser("figures", help="replay the paper's worked example")
     p_figures.set_defaults(func=_cmd_figures)
 
+    p_serve = sub.add_parser(
+        "serve-bench",
+        help="run a ParseService under synthetic load and print its metrics",
+    )
+    p_serve.add_argument("--grammar", "-g", default="english",
+                         help="grammar whose lexicon covers the workload generator "
+                              "(english / english-extended)")
+    p_serve.add_argument("--engine", "-e", default="vector", help=engine_help)
+    p_serve.add_argument("--workers", "-w", type=int, default=2)
+    p_serve.add_argument("--requests", "-n", type=int, default=64)
+    p_serve.add_argument("--shapes", type=int, default=4,
+                         help="distinct sentence shapes interleaved in the load")
+    p_serve.add_argument("--batch-size", type=int, default=16,
+                         help="dynamic batcher flush size")
+    p_serve.add_argument("--linger-ms", type=float, default=2.0,
+                         help="dynamic batcher max linger (milliseconds)")
+    p_serve.set_defaults(func=_cmd_serve_bench)
+
     p_explain = sub.add_parser(
         "explain", help="trace a parse and show what each constraint eliminated"
     )
     p_explain.add_argument("words", nargs="+")
     p_explain.add_argument("--grammar", "-g", default="english")
-    p_explain.add_argument("--engine", "-e", default="vector", choices=available_engines())
+    p_explain.add_argument("--engine", "-e", default="vector", help=engine_help)
     p_explain.add_argument(
         "--all-phases", action="store_true", help="include phases that eliminated nothing"
     )

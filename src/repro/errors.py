@@ -51,6 +51,17 @@ class NetworkError(ReproError):
     """Invalid operation on a constraint network (e.g. mismatched shapes)."""
 
 
+class ConcurrentSessionUse(ReproError):
+    """Two threads entered one :class:`ParserSession` simultaneously.
+
+    Sessions are single-threaded by contract (cached templates share
+    scratch buffers across the sentences they bind, so interleaved
+    parses would corrupt each other's state).  For concurrent callers
+    use :class:`repro.serve.ParseService`, which gives every worker
+    thread a private session.
+    """
+
+
 class MachineError(ReproError):
     """Invalid operation on a simulated machine (PRAM or MasPar)."""
 

@@ -20,12 +20,18 @@ V = TypeVar("V")
 class LRUCache(Generic[V]):
     """Least-recently-used mapping bounded to *maxsize* entries.
 
+    ``maxsize=0`` disables caching entirely: nothing is ever stored,
+    every ``get`` is a miss — the cold-path baseline the service
+    benchmarks compare against.  The hit/miss/eviction counters are
+    public so :meth:`ParseService.snapshot` can aggregate them across
+    worker sessions.
+
     Not thread-safe; sessions are single-threaded by contract.
     """
 
     def __init__(self, maxsize: int):
-        if maxsize < 1:
-            raise ValueError(f"LRU cache needs maxsize >= 1, got {maxsize}")
+        if maxsize < 0:
+            raise ValueError(f"LRU cache needs maxsize >= 0, got {maxsize}")
         self.maxsize = maxsize
         self._data: OrderedDict[Hashable, V] = OrderedDict()
         self.hits = 0
@@ -51,6 +57,8 @@ class LRUCache(Generic[V]):
 
     def put(self, key: Hashable, value: V) -> None:
         """Insert (or refresh) *key*, evicting the LRU entry when full."""
+        if self.maxsize == 0:
+            return
         if key in self._data:
             self._data.move_to_end(key)
         self._data[key] = value

@@ -15,16 +15,22 @@ callers keep working while batch callers get the amortization::
     results = session.parse_many(["the dog runs", "dogs bark"])
 
 Sessions are not thread-safe: templates share scratch buffers across
-the sentences they bind.
+the sentences they bind.  ``parse`` holds a non-blocking re-entrancy
+guard and raises :class:`~repro.errors.ConcurrentSessionUse` if a
+second thread enters while a parse is running — concurrent callers
+should use :class:`repro.serve.ParseService`, which owns one session
+per worker thread.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Iterable, Sequence
 
 from repro.engines.base import ParseResult, ParserEngine, TraceHook
 from repro.engines.registry import create_engine
+from repro.errors import ConcurrentSessionUse
 from repro.grammar.grammar import CDGGrammar, Sentence
 from repro.network.network import ConstraintNetwork
 from repro.pipeline.cache import LRUCache
@@ -66,6 +72,7 @@ class ParserSession:
         self.engine: ParserEngine = create_engine(engine)
         self.filter_limit = filter_limit
         self._templates: LRUCache[NetworkTemplate] = LRUCache(template_cache_size)
+        self._parse_guard = threading.Lock()
 
     # -- bind --------------------------------------------------------------
 
@@ -98,24 +105,38 @@ class ParserSession:
         filter_limit: "int | None | object" = _UNSET,
         trace: TraceHook | None = None,
     ) -> ParseResult:
-        """Parse one sentence through the session's caches."""
-        sent = self.tokenize(sentence)
-        network = self.template_for(sent).bind(sent)
-        if trace:
-            trace("built", network)
-        limit = self.filter_limit if filter_limit is _UNSET else filter_limit
-        started = time.perf_counter()
-        stats = self.engine.run(
-            network, compiled=self.compiled, filter_limit=limit, trace=trace
-        )
-        stats.wall_seconds = time.perf_counter() - started
-        stats.engine = self.engine.name
-        return ParseResult(
-            network=network,
-            locally_consistent=network.all_domains_nonempty(),
-            ambiguous=network.is_ambiguous(),
-            stats=stats,
-        )
+        """Parse one sentence through the session's caches.
+
+        Raises:
+            ConcurrentSessionUse: if another thread is already inside
+                ``parse`` on this session (cheap non-blocking check).
+        """
+        if not self._parse_guard.acquire(blocking=False):
+            raise ConcurrentSessionUse(
+                "ParserSession.parse entered while another parse is running; "
+                "sessions are single-threaded — use repro.serve.ParseService "
+                "to parse from multiple threads"
+            )
+        try:
+            sent = self.tokenize(sentence)
+            network = self.template_for(sent).bind(sent)
+            if trace:
+                trace("built", network)
+            limit = self.filter_limit if filter_limit is _UNSET else filter_limit
+            started = time.perf_counter()
+            stats = self.engine.run(
+                network, compiled=self.compiled, filter_limit=limit, trace=trace
+            )
+            stats.wall_seconds = time.perf_counter() - started
+            stats.engine = self.engine.name
+            return ParseResult(
+                network=network,
+                locally_consistent=network.all_domains_nonempty(),
+                ambiguous=network.is_ambiguous(),
+                stats=stats,
+            )
+        finally:
+            self._parse_guard.release()
 
     def parse_many(
         self,

@@ -1,0 +1,37 @@
+"""Typed errors raised by the serving layer.
+
+All derive from :class:`ServeError` (itself a
+:class:`~repro.errors.ReproError`), so service callers can catch the
+whole family or discriminate the three ways a request can fail without
+ever being parsed:
+
+* :class:`ServiceOverloaded` — admission control refused it (bounded
+  queue full, ``admission="reject"``);
+* :class:`DeadlineExceeded` — it was accepted but its deadline passed
+  while still queued, so it was cancelled instead of dispatched;
+* :class:`ServiceUnavailable` — the service was not running (not yet
+  started, draining, or shut down).
+
+Errors that happen *during* a dispatched parse are not wrapped: the
+engine's own exception is delivered through the request future.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+class ServeError(ReproError):
+    """Base class for all serving-layer errors."""
+
+
+class ServiceOverloaded(ServeError):
+    """Admission control rejected a request: the bounded queue is full."""
+
+
+class DeadlineExceeded(ServeError):
+    """A queued request's deadline passed before it could be dispatched."""
+
+
+class ServiceUnavailable(ServeError):
+    """The service is not accepting requests (not started / draining / stopped)."""

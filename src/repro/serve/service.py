@@ -1,0 +1,383 @@
+"""The parse service: concurrent producers, shape-coherent dispatch.
+
+:class:`ParseService` is the serving layer the ROADMAP's north star
+asks for — the single-caller :class:`~repro.pipeline.session.ParserSession`
+turned into a system that many threads can throw sentences at::
+
+    from repro.serve import ParseService
+    from repro.grammar.builtin import english_grammar
+
+    with ParseService(english_grammar(), engine="vector", workers=2) as svc:
+        future = svc.submit("the dog sees the cat", timeout=0.5)
+        result = future.result()          # a ParseResult
+        print(svc.metrics.render())
+
+Architecture (one bounded queue, one mutex, three condition variables)::
+
+    producers ── submit() ──▶ admission ──▶ ShapeBatcher ──▶ N workers
+                  (reject/block when full)   (size-or-linger   (one private
+                                              single-shape      ParserSession
+                                              batches)          each)
+
+* **Admission control** — the queue is bounded by ``max_queue``; when
+  full, ``admission="reject"`` raises :class:`ServiceOverloaded`,
+  ``admission="block"`` makes ``submit`` wait for space.
+* **Deadlines** — per-request (or service-default) timeouts; a request
+  whose deadline passes while queued is completed with
+  :class:`DeadlineExceeded` and never dispatched.  Cancelling the
+  returned future before dispatch likewise prevents dispatch.
+* **Shape-batched scheduling** — requests are grouped by the sentence's
+  category signature (the exact :class:`NetworkTemplate` cache key), so
+  every dispatched batch binds against one cached template.  Under a
+  shape-interleaved load with more live shapes than the bounded
+  template LRU, this is the difference between thrashing (every parse
+  rebuilds a template) and near-perfect cache locality — see
+  ``benchmarks/bench_service.py``.
+* **Lifecycle** — ``start()`` spawns the workers, ``drain()`` stops
+  admission and waits for queued + in-flight work, ``shutdown()``
+  drains (when ``wait=True``) and joins the workers.  The context
+  manager form does start/shutdown automatically.
+* **Metrics** — a :class:`ServiceMetrics` instance updated on every
+  transition; ``snapshot()`` adds service state and the workers'
+  aggregated template-cache counters.
+
+Correctness invariant (enforced by the end-to-end tests): for the same
+sentences, service results are bit-identical to
+``ParserSession.parse_many`` on one session with the same grammar,
+engine, and filter limit — scheduling changes *when* work runs, never
+what it computes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from concurrent.futures import Future
+from typing import Iterable, Sequence
+
+from repro.engines.base import ParseResult, ParserEngine
+from repro.grammar.grammar import CDGGrammar, Sentence
+from repro.pipeline.session import DEFAULT_TEMPLATE_CACHE, ParserSession
+from repro.serve.batcher import ParseRequest, ShapeBatcher
+from repro.serve.errors import DeadlineExceeded, ServiceOverloaded, ServiceUnavailable
+from repro.serve.metrics import ServiceMetrics
+from repro.serve.worker import Worker
+
+#: Sentinel distinguishing "not passed" from an explicit None.
+_UNSET = object()
+
+_service_ids = itertools.count(1)
+
+
+class ParseService:
+    """A concurrent, shape-batching front end over a pool of sessions.
+
+    Args:
+        grammar: the grammar all requests are parsed under.
+        engine: an engine *name* from the registry — each worker builds
+            its own instance.  A :class:`ParserEngine` instance is only
+            accepted with ``workers=1`` (engines, like sessions, are
+            not shared across threads).
+        workers: worker threads, each owning a private
+            :class:`ParserSession`.
+        max_queue: bound on queued (not yet dispatched) requests.
+        admission: ``"reject"`` (raise :class:`ServiceOverloaded` when
+            full) or ``"block"`` (make ``submit`` wait for space).
+        max_batch_size / max_linger: the dynamic batcher's flush rules
+            (see :class:`ShapeBatcher`).
+        default_timeout: deadline in seconds applied to requests that
+            do not pass their own ``timeout``; ``None`` = no deadline.
+        filter_limit / template_cache_size: forwarded to every worker's
+            session.
+        clock: monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        grammar: CDGGrammar,
+        engine: "str | ParserEngine" = "vector",
+        *,
+        workers: int = 2,
+        max_queue: int = 256,
+        admission: str = "reject",
+        max_batch_size: int = 16,
+        max_linger: float = 0.002,
+        default_timeout: float | None = None,
+        filter_limit: int | None = None,
+        template_cache_size: int = DEFAULT_TEMPLATE_CACHE,
+        clock=time.monotonic,
+    ):
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if admission not in ("reject", "block"):
+            raise ValueError(f"admission must be 'reject' or 'block', got {admission!r}")
+        if isinstance(engine, ParserEngine) and workers > 1:
+            raise ValueError(
+                "an engine instance cannot be shared across workers; "
+                "pass an engine name (each worker then builds its own)"
+            )
+        self.grammar = grammar
+        self.n_workers = workers
+        self.max_queue = max_queue
+        self.admission = admission
+        self.default_timeout = default_timeout
+        self.metrics = ServiceMetrics()
+        self._engine_spec = engine
+        self._filter_limit = filter_limit
+        self._template_cache_size = template_cache_size
+        self._clock = clock
+        self._batcher = ShapeBatcher(max_batch_size=max_batch_size, max_linger=max_linger)
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)  # workers: new work queued
+        self._space = threading.Condition(self._lock)  # producers: queue has room
+        self._idle = threading.Condition(self._lock)  # drain: queue empty, nothing in flight
+        self._state = "new"  # new -> running -> draining -> stopped
+        self._in_flight = 0
+        self._workers: list[Worker] = []
+        self._name = f"parse-service-{next(_service_ids)}"
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "ParseService":
+        """Spawn the worker pool and begin accepting requests."""
+        with self._lock:
+            if self._state != "new":
+                raise ServiceUnavailable(
+                    f"service is {self._state}; a ParseService starts exactly once"
+                )
+            self._state = "running"
+        for index in range(self.n_workers):
+            # A string spec makes each session build its own engine
+            # instance via the registry; an instance spec (workers=1
+            # only) passes through.
+            session = ParserSession(
+                self.grammar,
+                engine=self._engine_spec,
+                filter_limit=self._filter_limit,
+                template_cache_size=self._template_cache_size,
+            )
+            worker = Worker(f"{self._name}-w{index}", self, session)
+            self._workers.append(worker)
+            worker.start()
+        return self
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Stop admission, then wait for queued + in-flight work.
+
+        Queued requests are force-flushed (linger/size rules waived)
+        but deadlines still apply: an expired request drains as
+        :class:`DeadlineExceeded`, not as a parse.  Returns ``True``
+        when the service went idle, ``False`` on timeout.
+        """
+        deadline = None if timeout is None else self._clock() + timeout
+        with self._lock:
+            if self._state == "running":
+                self._state = "draining"
+            self._work.notify_all()
+            self._space.notify_all()
+            while len(self._batcher) > 0 or self._in_flight > 0:
+                remaining = None if deadline is None else deadline - self._clock()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._idle.wait(remaining)
+        return True
+
+    def shutdown(self, wait: bool = True, timeout: float | None = None) -> None:
+        """Stop the service and join the workers.
+
+        With ``wait=True`` (the default) all accepted work drains
+        first.  With ``wait=False`` queued requests are abandoned —
+        their futures fail with :class:`ServiceUnavailable` — and the
+        workers exit after their current batch.
+        """
+        if wait:
+            self.drain(timeout)
+        with self._lock:
+            self._state = "stopped"
+            leftovers = self._batcher.clear()
+            self.metrics.queue_depth.set(0)
+            self._work.notify_all()
+            self._space.notify_all()
+            self._idle.notify_all()
+        for request in leftovers:
+            self.metrics.cancelled.inc()
+            if not request.future.cancelled():
+                request.future.set_exception(
+                    ServiceUnavailable("service shut down before this request was dispatched")
+                )
+        for worker in self._workers:
+            worker.join(timeout)
+
+    def __enter__(self) -> "ParseService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(wait=True)
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    # -- the producer API --------------------------------------------------
+
+    def submit(
+        self,
+        sentence: "Sentence | str | Sequence[str]",
+        *,
+        timeout: "float | None | object" = _UNSET,
+    ) -> "Future[ParseResult]":
+        """Queue *sentence*; returns a future resolving to a ParseResult.
+
+        Raises :class:`ServiceOverloaded` (queue full, reject mode) or
+        :class:`ServiceUnavailable` (service not running).  The future
+        fails with :class:`DeadlineExceeded` if the request's deadline
+        passes before dispatch; ``future.cancel()`` before dispatch
+        prevents the parse entirely.
+        """
+        sent = sentence if isinstance(sentence, Sentence) else self.grammar.tokenize(sentence)
+        limit = self.default_timeout if timeout is _UNSET else timeout
+        now = self._clock()
+        request = ParseRequest(
+            sentence=sent,
+            key=sent.category_sets,
+            enqueued=now,
+            deadline=None if limit is None else now + limit,
+        )
+        with self._lock:
+            self.metrics.submitted.inc()
+            if self._state != "running":
+                self.metrics.rejected.inc()
+                raise ServiceUnavailable(f"service is {self._state}, not accepting requests")
+            if len(self._batcher) >= self.max_queue:
+                if self.admission == "reject":
+                    self.metrics.rejected.inc()
+                    raise ServiceOverloaded(
+                        f"queue full ({len(self._batcher)}/{self.max_queue} requests); "
+                        "retry later, raise max_queue, or use admission='block'"
+                    )
+                while len(self._batcher) >= self.max_queue and self._state == "running":
+                    self._space.wait()
+                if self._state != "running":
+                    self.metrics.rejected.inc()
+                    raise ServiceUnavailable(f"service is {self._state}, not accepting requests")
+            self._batcher.add(request)
+            self.metrics.accepted.inc()
+            self.metrics.queue_depth.set(len(self._batcher))
+            self._work.notify()
+        return request.future
+
+    def parse(
+        self,
+        sentence: "Sentence | str | Sequence[str]",
+        *,
+        timeout: "float | None | object" = _UNSET,
+    ) -> ParseResult:
+        """Blocking convenience: ``submit(...).result()``."""
+        return self.submit(sentence, timeout=timeout).result()
+
+    def parse_many(
+        self, sentences: Iterable["Sentence | str | Sequence[str]"]
+    ) -> list[ParseResult]:
+        """Submit a batch and gather results, index-aligned with input.
+
+        Bit-identical to ``ParserSession.parse_many`` on the same
+        sentences (the end-to-end test invariant); with ``admission=
+        "reject"`` a batch larger than ``max_queue`` may overflow —
+        size the queue or use blocking admission for bulk loads.
+        """
+        futures = [self.submit(sentence) for sentence in sentences]
+        return [future.result() for future in futures]
+
+    # -- introspection -----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Metrics snapshot plus service state and template-cache totals."""
+        snap = self.metrics.snapshot()
+        caches = [worker.session.cache_info() for worker in self._workers]
+        snap["service"] = {
+            "state": self._state,
+            "workers": len(self._workers),
+            "queued": len(self._batcher),
+            "in_flight": self._in_flight,
+            "template_cache": {
+                field: sum(info[field] for info in caches)
+                for field in ("hits", "misses", "evictions", "size")
+            } if caches else {},
+        }
+        return snap
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ParseService({self.grammar.name!r}, state={self._state!r}, "
+            f"workers={self.n_workers}, queued={len(self._batcher)})"
+        )
+
+    # -- the worker side (package-private) ---------------------------------
+
+    def _next_batch(self) -> "list[ParseRequest] | None":
+        """Block until a shape-coherent batch is ready; None = exit.
+
+        Expiry always runs before dispatch, so a request whose deadline
+        passed while queued is *never* part of a returned batch.
+        """
+        while True:
+            expired: list[ParseRequest] = []
+            batch: list[ParseRequest] | None = None
+            with self._lock:
+                now = self._clock()
+                expired = self._batcher.expire(now)
+                if expired:
+                    self._queue_shrunk()
+                else:
+                    batch = self._batcher.pop_ready(now, force=self._state != "running")
+                    if batch is not None:
+                        self._in_flight += len(batch)
+                        self._queue_shrunk()
+                        self.metrics.batch_size.observe(len(batch))
+                        for request in batch:
+                            self.metrics.queue_wait_seconds.observe(now - request.enqueued)
+                    elif self._state == "stopped" and len(self._batcher) == 0:
+                        return None
+                    else:
+                        wait = self._batcher.next_event(now)
+                        # Clamp: a due-but-unready event (sub-resolution
+                        # linger remainder) must not busy-spin.
+                        self._work.wait(None if wait is None else max(wait, 1e-4))
+                        continue
+            if expired:
+                self._finish_expired(expired)
+                continue
+            return batch
+
+    def _finish_expired(self, requests: "list[ParseRequest]") -> None:
+        """Complete dead requests outside the lock (futures run callbacks)."""
+        for request in requests:
+            if request.future.cancelled():
+                self.metrics.cancelled.inc()
+            elif request.future.set_running_or_notify_cancel():
+                request.future.set_exception(
+                    DeadlineExceeded(
+                        "request deadline passed while queued "
+                        f"(waited {self._clock() - request.enqueued:.3f}s); never dispatched"
+                    )
+                )
+                self.metrics.expired.inc()
+            else:  # cancelled in the gap between the two checks
+                self.metrics.cancelled.inc()
+
+    def _queue_shrunk(self) -> None:
+        """Under the lock: refresh the gauge, wake producers and drain."""
+        depth = len(self._batcher)
+        self.metrics.queue_depth.set(depth)
+        self._space.notify_all()
+        if depth == 0 and self._in_flight == 0:
+            self._idle.notify_all()
+
+    def _batch_done(self, n: int) -> None:
+        with self._lock:
+            self._in_flight -= n
+            if self._in_flight == 0 and len(self._batcher) == 0:
+                self._idle.notify_all()

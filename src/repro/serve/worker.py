@@ -1,0 +1,80 @@
+"""Worker threads: each owns a private :class:`ParserSession`.
+
+Sessions are single-threaded by contract (they share scratch buffers
+across the sentences they bind, and guard against concurrent entry with
+:class:`~repro.errors.ConcurrentSessionUse`).  The service therefore
+never shares a session: every worker constructs its own at start-up and
+is the only thread that ever parses through it.  Concurrency safety is
+a property of the *service*, not the session.
+
+The loop is pull-based: a worker blocks in
+``ParseService._next_batch()`` until the batcher releases a
+shape-coherent batch (or the service stops, which returns ``None``),
+executes the batch request by request — every sentence after the first
+is a template-cache hit, since batches are single-shape — and resolves
+each request's future with the :class:`ParseResult` or the engine's
+exception.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING
+
+from repro.pipeline.session import ParserSession
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.serve.batcher import ParseRequest
+    from repro.serve.service import ParseService
+
+
+class Worker:
+    """One service worker: a thread, a session, and the execute loop."""
+
+    def __init__(self, name: str, service: "ParseService", session: ParserSession):
+        self.name = name
+        self.session = session
+        self._service = service
+        self._thread = threading.Thread(target=self._loop, name=name, daemon=True)
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def join(self, timeout: float | None = None) -> None:
+        self._thread.join(timeout)
+
+    @property
+    def alive(self) -> bool:
+        return self._thread.is_alive()
+
+    # -- the loop ----------------------------------------------------------
+
+    def _loop(self) -> None:
+        while True:
+            batch = self._service._next_batch()
+            if batch is None:
+                return
+            try:
+                self._execute(batch)
+            finally:
+                self._service._batch_done(len(batch))
+
+    def _execute(self, batch: "list[ParseRequest]") -> None:
+        metrics = self._service.metrics
+        clock = self._service._clock
+        for request in batch:
+            # A future cancelled after queueing but before dispatch is
+            # honoured here: set_running_or_notify_cancel() refuses to
+            # start it and we never parse the sentence.
+            if not request.future.set_running_or_notify_cancel():
+                metrics.cancelled.inc()
+                continue
+            try:
+                result = self.session.parse(request.sentence)
+            except BaseException as error:  # noqa: BLE001 - delivered via future
+                request.future.set_exception(error)
+                metrics.failed.inc()
+            else:
+                request.future.set_result(result)
+                metrics.completed.inc()
+                metrics.latency_seconds.observe(clock() - request.enqueued)

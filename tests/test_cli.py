@@ -107,6 +107,51 @@ class TestConllAndExplain:
         assert "[unary:verbs-are-ungoverned-roots] eliminated 8:" in text
 
 
+class TestVersionAndEngineValidation:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
+
+    def test_unknown_engine_lists_registered_engines(self, capsys):
+        code, _ = run_cli(["parse", "the dog runs", "-e", "warp-drive"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown engine 'warp-drive'" in err
+        # The message must enumerate what *is* registered.
+        for name in ("serial", "vector", "pram", "maspar", "mesh"):
+            assert name in err
+
+    def test_runtime_registered_engine_is_accepted(self):
+        """Validation is against the live registry, not a frozen list."""
+        from repro import register_engine
+        from repro.engines.vector import VectorEngine
+
+        register_engine("cli-test-engine", VectorEngine)
+        try:
+            code, text = run_cli(["parse", "the dog runs", "-e", "cli-test-engine"])
+            assert code == 0 and "parses (1)" in text
+        finally:
+            from repro.engines import registry
+
+            registry._REGISTRY.pop("cli-test-engine", None)
+
+
+class TestServeBench:
+    def test_serve_bench_prints_metrics_snapshot(self):
+        code, text = run_cli(
+            ["serve-bench", "-n", "12", "-w", "2", "--shapes", "2", "--linger-ms", "1"]
+        )
+        assert code == 0
+        assert "12 requests" in text and "req/s" in text
+        assert "Service metrics" in text
+        assert "submitted" in text and "queue_wait_seconds" in text
+        assert "template cache over 2 worker(s)" in text
+
+
 class TestOtherCommands:
     def test_grammars_lists_all(self):
         code, text = run_cli(["grammars"])

@@ -122,6 +122,50 @@ class TestLRUBounds:
         session.clear_caches()
         assert session.cache_info()["size"] == 0
 
+    def test_eviction_order_is_lru_not_fifo(self):
+        cache: LRUCache[int] = LRUCache(3)
+        for key in ("a", "b", "c"):
+            cache.put(key, 1)
+        cache.get("a")  # access order is now b < c < a
+        cache.put("b", 2)  # refresh b: c is now least recent
+        cache.put("d", 4)
+        assert "c" not in cache
+        assert all(key in cache for key in ("a", "b", "d"))
+
+    def test_maxsize_one_keeps_only_newest(self):
+        cache: LRUCache[int] = LRUCache(1)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert "a" not in cache and cache.get("b") == 2
+        assert cache.info()["evictions"] == 1
+
+    def test_maxsize_zero_disables_caching(self):
+        cache: LRUCache[int] = LRUCache(0)
+        cache.put("a", 1)
+        assert len(cache) == 0
+        assert cache.get("a") is None
+        info = cache.info()
+        assert info["misses"] == 1 and info["hits"] == 0 and info["evictions"] == 0
+        # A session with caching disabled still parses correctly.
+        session = ParserSession(english_grammar(), engine="vector", template_cache_size=0)
+        for _ in range(2):
+            assert session.parse(["the", "dog", "runs"]).locally_consistent
+        assert session.cache_info() == {
+            "size": 0, "maxsize": 0, "hits": 0, "misses": 2, "evictions": 0,
+        }
+
+    def test_negative_maxsize_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+
+    def test_counters_for_service_metrics_reuse(self):
+        """hits/misses/evictions are public — the service snapshot sums them."""
+        cache: LRUCache[int] = LRUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        assert (cache.hits, cache.misses, cache.evictions) == (1, 1, 0)
+
 
 class TestSessionEquivalence:
     @pytest.mark.parametrize("engine", ["serial", "vector", "pram"])

@@ -1,0 +1,402 @@
+"""The serving layer: batcher determinism, admission, deadlines, e2e.
+
+The load-bearing invariants:
+
+* the batcher is deterministic — it owns no clock and no lock, so every
+  flush rule is tested with explicit fake times and zero sleeps;
+* overload and deadline failures are *typed* and the metrics counters
+  account for every submitted request
+  (``submitted == accepted + rejected`` and, once idle,
+  ``accepted == completed + failed + expired + cancelled``);
+* a deadline-expired request is never dispatched;
+* ``drain`` completes all accepted work;
+* service results are bit-identical to ``ParserSession.parse_many`` on
+  the same sentences — scheduling never changes what is computed;
+* one :class:`ParserSession` entered by two threads raises
+  :class:`ConcurrentSessionUse` instead of corrupting state.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+
+import pytest
+
+from repro import ConcurrentSessionUse, ParserSession
+from repro.engines.base import EngineStats, ParserEngine
+from repro.grammar.builtin import english_grammar
+from repro.serve import (
+    DeadlineExceeded,
+    ParseRequest,
+    ParseService,
+    ServiceMetrics,
+    ServiceOverloaded,
+    ServiceUnavailable,
+    ShapeBatcher,
+)
+from repro.workloads import sentence_of_length
+from tests.test_pipeline import DETERMINISTIC_STATS, assert_same_network
+
+WAIT = 10.0  # generous upper bound for every blocking wait in this file
+
+
+def make_request(key="shape-a", enqueued=0.0, deadline=None) -> ParseRequest:
+    """A batcher-level request; the sentence payload is irrelevant there."""
+    return ParseRequest(sentence=None, key=key, enqueued=enqueued, deadline=deadline)
+
+
+class GateEngine(ParserEngine):
+    """An engine that parks inside ``run`` until released (test control)."""
+
+    name = "gate-test"
+
+    def __init__(self):
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+    def run(self, network, *, compiled=None, filter_limit=None, trace=None):
+        self.entered.set()
+        assert self.release.wait(WAIT), "GateEngine never released"
+        return EngineStats(engine=self.name)
+
+
+class TestShapeBatcher:
+    def test_flush_on_max_batch_size(self):
+        batcher = ShapeBatcher(max_batch_size=3, max_linger=60.0)
+        for i in range(3):
+            batcher.add(make_request(enqueued=float(i)))
+        batch = batcher.pop_ready(now=2.0)  # linger nowhere near elapsed
+        assert batch is not None and len(batch) == 3
+        assert len(batcher) == 0
+
+    def test_flush_on_linger_with_fake_clock(self):
+        batcher = ShapeBatcher(max_batch_size=100, max_linger=0.5)
+        batcher.add(make_request(enqueued=10.0))
+        assert batcher.pop_ready(now=10.4) is None  # not lingered yet
+        assert batcher.next_event(now=10.4) == pytest.approx(0.1)
+        batch = batcher.pop_ready(now=10.5)
+        assert batch is not None and len(batch) == 1
+
+    def test_batches_are_single_shape_and_oldest_group_first(self):
+        batcher = ShapeBatcher(max_batch_size=10, max_linger=0.0)
+        batcher.add(make_request(key="b", enqueued=1.0))
+        batcher.add(make_request(key="a", enqueued=0.0))
+        batcher.add(make_request(key="b", enqueued=2.0))
+        first = batcher.pop_ready(now=5.0)
+        assert [r.key for r in first] == ["a"]  # oldest head wins
+        second = batcher.pop_ready(now=5.0)
+        assert [r.key for r in second] == ["b", "b"]
+        assert batcher.pop_ready(now=5.0) is None
+
+    def test_max_batch_size_caps_and_remainder_stays(self):
+        batcher = ShapeBatcher(max_batch_size=2, max_linger=0.0)
+        for i in range(5):
+            batcher.add(make_request(enqueued=float(i)))
+        sizes = []
+        while (batch := batcher.pop_ready(now=100.0)) is not None:
+            sizes.append(len(batch))
+        assert sizes == [2, 2, 1]
+
+    def test_expired_requests_are_removed_never_dispatched(self):
+        batcher = ShapeBatcher(max_batch_size=10, max_linger=0.0)
+        batcher.add(make_request(enqueued=0.0, deadline=1.0))
+        batcher.add(make_request(enqueued=0.0, deadline=5.0))
+        expired = batcher.expire(now=2.0)
+        assert len(expired) == 1 and expired[0].deadline == 1.0
+        batch = batcher.pop_ready(now=2.0)
+        assert [r.deadline for r in batch] == [5.0]
+
+    def test_cancelled_future_is_swept_by_expire(self):
+        batcher = ShapeBatcher()
+        request = make_request()
+        request.future.cancel()
+        batcher.add(request)
+        assert [r for r in batcher.expire(now=0.0)] == [request]
+        assert len(batcher) == 0
+
+    def test_next_event_covers_deadlines_and_empty(self):
+        batcher = ShapeBatcher(max_batch_size=10, max_linger=5.0)
+        assert batcher.next_event(now=0.0) is None
+        batcher.add(make_request(enqueued=0.0, deadline=2.0))
+        # Deadline (t=2) precedes the linger flush (t=5).
+        assert batcher.next_event(now=0.0) == pytest.approx(2.0)
+        assert batcher.next_event(now=3.0) == 0.0  # overdue clamps to now
+
+    def test_force_flush_ignores_rules(self):
+        batcher = ShapeBatcher(max_batch_size=100, max_linger=60.0)
+        batcher.add(make_request())
+        assert batcher.pop_ready(now=0.0) is None
+        assert len(batcher.pop_ready(now=0.0, force=True)) == 1
+
+    def test_clear_returns_everything(self):
+        batcher = ShapeBatcher()
+        for key in ("a", "b", "a"):
+            batcher.add(make_request(key=key))
+        assert len(batcher.clear()) == 3
+        assert len(batcher) == 0 and batcher.n_shapes == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShapeBatcher(max_batch_size=0)
+        with pytest.raises(ValueError):
+            ShapeBatcher(max_linger=-1.0)
+
+
+class TestServiceMetrics:
+    def test_histogram_summary_and_quantiles(self):
+        metrics = ServiceMetrics()
+        for ms in (1, 1, 2, 3, 100):
+            metrics.latency_seconds.observe(ms / 1000.0)
+        summary = metrics.latency_seconds.summary()
+        assert summary["count"] == 5
+        assert summary["min"] == pytest.approx(0.001)
+        assert summary["max"] == pytest.approx(0.1)
+        assert summary["p50"] <= summary["p90"] <= summary["p99"] <= summary["max"]
+
+    def test_snapshot_shape_and_render(self):
+        metrics = ServiceMetrics()
+        metrics.submitted.inc(3)
+        metrics.accepted.inc(2)
+        metrics.rejected.inc()
+        metrics.batch_size.observe(2)
+        snap = metrics.snapshot()
+        assert snap["counters"]["submitted"] == 3
+        assert snap["counters"]["rejected"] == 1
+        assert snap["gauges"]["queue_depth"] == 0
+        text = metrics.render(snap)
+        assert "submitted" in text and "queue_wait_seconds" in text
+
+
+class TestServiceEndToEnd:
+    def test_results_bit_identical_to_parse_many(self):
+        grammar = english_grammar()
+        sentences = [
+            ["the", "dog", "runs"],
+            ["dogs", "bark"],
+            ["the", "cat", "sleeps"],  # same shape as "the dog runs"
+            ["the", "dog", "sees", "the", "cat"],
+            ["the", "old", "dog", "runs"],
+        ] * 3
+        with ParseService(grammar, engine="vector", workers=2, max_linger=0.001) as service:
+            served = service.parse_many(sentences)
+        baseline = ParserSession(grammar, engine="vector").parse_many(sentences)
+        for warm, cold in zip(served, baseline):
+            assert_same_network(warm.network, cold.network)
+            assert warm.locally_consistent == cold.locally_consistent
+            assert warm.ambiguous == cold.ambiguous
+            for stat in DETERMINISTIC_STATS:
+                assert getattr(warm.stats, stat) == getattr(cold.stats, stat), stat
+
+    def test_parse_and_submit_paths_agree(self):
+        with ParseService(english_grammar(), workers=1) as service:
+            direct = service.parse(["the", "dog", "runs"])
+            future = service.submit("the dog runs")
+            assert isinstance(future, Future)
+            assert_same_network(direct.network, future.result(WAIT).network)
+
+    def test_lifecycle_and_unavailable_errors(self):
+        service = ParseService(english_grammar(), workers=1)
+        with pytest.raises(ServiceUnavailable):  # not started
+            service.submit("dogs bark")
+        service.start()
+        with pytest.raises(ServiceUnavailable):  # double start
+            service.start()
+        service.parse("dogs bark")
+        service.shutdown()
+        with pytest.raises(ServiceUnavailable):  # stopped
+            service.submit("dogs bark")
+        assert service.state == "stopped"
+        assert all(not worker.alive for worker in service._workers)
+
+    def test_constructor_validation(self):
+        grammar = english_grammar()
+        with pytest.raises(ValueError):
+            ParseService(grammar, workers=0)
+        with pytest.raises(ValueError):
+            ParseService(grammar, max_queue=0)
+        with pytest.raises(ValueError):
+            ParseService(grammar, admission="maybe")
+        with pytest.raises(ValueError):  # engine instance shared across threads
+            ParseService(grammar, engine=GateEngine(), workers=2)
+
+
+class TestOverloadAndDeadlines:
+    def overloaded_service(self):
+        """A 1-worker service wedged on its first request, queue full."""
+        engine = GateEngine()
+        service = ParseService(
+            english_grammar(),
+            engine=engine,
+            workers=1,
+            max_queue=2,
+            max_batch_size=1,
+            max_linger=0.0,
+        ).start()
+        blocked = service.submit("the dog runs")
+        assert engine.entered.wait(WAIT)  # worker is now inside run()
+        queued = [service.submit("the dog runs") for _ in range(2)]
+        return service, engine, blocked, queued
+
+    def test_overload_rejects_with_typed_error_and_full_accounting(self):
+        service, engine, blocked, queued = self.overloaded_service()
+        try:
+            with pytest.raises(ServiceOverloaded, match="queue full"):
+                service.submit("the dog runs")
+        finally:
+            engine.release.set()
+        assert service.drain(WAIT)
+        for future in [blocked, *queued]:
+            assert future.result(WAIT).stats.engine == "gate-test"
+        counters = service.snapshot()["counters"]
+        assert counters["submitted"] == 4
+        assert counters["rejected"] == 1
+        assert counters["accepted"] == 3
+        assert counters["submitted"] == counters["accepted"] + counters["rejected"]
+        assert counters["accepted"] == (
+            counters["completed"] + counters["failed"]
+            + counters["expired"] + counters["cancelled"]
+        )
+        service.shutdown()
+
+    def test_block_admission_waits_for_space(self):
+        engine = GateEngine()
+        service = ParseService(
+            english_grammar(),
+            engine=engine,
+            workers=1,
+            max_queue=1,
+            max_batch_size=1,
+            max_linger=0.0,
+            admission="block",
+        ).start()
+        service.submit("the dog runs")
+        assert engine.entered.wait(WAIT)
+        service.submit("the dog runs")  # fills the queue
+        unblocked = threading.Event()
+        futures = []
+
+        def producer():
+            futures.append(service.submit("the dog runs"))
+            unblocked.set()
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        assert not unblocked.wait(0.05)  # genuinely blocked on admission
+        engine.release.set()  # worker frees queue slots
+        assert unblocked.wait(WAIT)
+        thread.join(WAIT)
+        assert service.drain(WAIT)
+        assert futures[0].result(WAIT) is not None
+        assert service.snapshot()["counters"]["completed"] == 3
+        service.shutdown()
+
+    def test_expired_requests_fail_typed_and_are_never_dispatched(self):
+        with ParseService(
+            english_grammar(), workers=1, max_linger=0.0, default_timeout=None
+        ) as service:
+            futures = [service.submit("the dog runs", timeout=0.0) for _ in range(3)]
+            service.drain(WAIT)
+            for future in futures:
+                with pytest.raises(DeadlineExceeded):
+                    future.result(WAIT)
+            counters = service.snapshot()["counters"]
+            assert counters["expired"] == 3
+            assert counters["completed"] == 0  # never dispatched
+            assert counters["submitted"] == counters["accepted"] + counters["rejected"]
+            assert counters["accepted"] == (
+                counters["completed"] + counters["failed"]
+                + counters["expired"] + counters["cancelled"]
+            )
+
+    def test_cancelled_future_is_never_parsed(self):
+        service, engine, blocked, queued = self.overloaded_service()
+        try:
+            assert queued[0].cancel()  # still queued behind the wedged worker
+        finally:
+            engine.release.set()
+        assert service.drain(WAIT)
+        assert queued[0].cancelled()
+        counters = service.snapshot()["counters"]
+        assert counters["cancelled"] == 1
+        assert counters["completed"] == 2
+        service.shutdown()
+
+    def test_drain_completes_in_flight_and_queued_work(self):
+        service, engine, blocked, queued = self.overloaded_service()
+        drained = threading.Event()
+
+        def drainer():
+            assert service.drain(WAIT)
+            drained.set()
+
+        thread = threading.Thread(target=drainer, daemon=True)
+        thread.start()
+        assert not drained.wait(0.05)  # worker still wedged: drain must wait
+        engine.release.set()
+        assert drained.wait(WAIT)
+        thread.join(WAIT)
+        assert all(future.done() for future in [blocked, *queued])
+        snap = service.snapshot()
+        assert snap["gauges"]["queue_depth"] == 0
+        assert snap["service"]["in_flight"] == 0
+        with pytest.raises(ServiceUnavailable):  # draining stopped admission
+            service.submit("the dog runs")
+        service.shutdown()
+
+    def test_abrupt_shutdown_abandons_queue_with_typed_error(self):
+        service, engine, blocked, queued = self.overloaded_service()
+        service.shutdown(wait=False)
+        engine.release.set()
+        for future in queued:
+            with pytest.raises(ServiceUnavailable):
+                future.result(WAIT)
+        counters = service.snapshot()["counters"]
+        assert counters["cancelled"] == 2
+        assert counters["submitted"] == counters["accepted"] + counters["rejected"]
+
+
+class TestBatchingBehaviour:
+    def test_batches_bind_one_template(self):
+        """A shape-interleaved load: per-batch template locality."""
+        grammar = english_grammar()
+        lengths = (3, 4, 5, 6)
+        sentences = [sentence_of_length(lengths[i % 4]) for i in range(32)]
+        with ParseService(
+            grammar, workers=1, max_batch_size=8, max_linger=0.05,
+            template_cache_size=2,  # smaller than the live shape count
+        ) as service:
+            service.parse_many(sentences)
+            snap = service.snapshot()
+        cache = snap["service"]["template_cache"]
+        # Arrival order (round-robin over 4 shapes, cache of 2) would
+        # miss every time; shape batching must recover real hit rate.
+        assert cache["hits"] > cache["misses"]
+        assert snap["histograms"]["batch_size"]["mean"] > 1.0
+
+
+class TestConcurrentSessionGuard:
+    def test_second_thread_gets_typed_error(self):
+        engine = GateEngine()
+        session = ParserSession(english_grammar(), engine=engine)
+        results = []
+        thread = threading.Thread(
+            target=lambda: results.append(session.parse("the dog runs")), daemon=True
+        )
+        thread.start()
+        assert engine.entered.wait(WAIT)  # first parse is mid-flight
+        try:
+            with pytest.raises(ConcurrentSessionUse):
+                session.parse("dogs bark")
+        finally:
+            engine.release.set()
+        thread.join(WAIT)
+        assert results and results[0].stats.engine == "gate-test"
+
+    def test_guard_releases_after_parse_and_after_errors(self):
+        session = ParserSession(english_grammar(), engine="vector")
+        session.parse("the dog runs")
+        with pytest.raises(Exception):
+            session.parse("xyzzy not in lexicon")
+        # Guard must have been released both times.
+        assert session.parse("dogs bark").locally_consistent
