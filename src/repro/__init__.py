@@ -63,7 +63,7 @@ from repro.serve import (
     ServiceUnavailable,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",

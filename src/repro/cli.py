@@ -124,6 +124,10 @@ def _cmd_parse(args: argparse.Namespace, out) -> int:
             rows.append(["parallel steps", stats.parallel_steps])
         if stats.simulated_seconds is not None:
             rows.append(["simulated MP-1 time", format_seconds(stats.simulated_seconds)])
+        if "network_bytes" in stats.extra:
+            rows.append(["bytes/network", stats.extra["network_bytes"]])
+        if "template_cache_bytes" in stats.extra:
+            rows.append(["template cache bytes", stats.extra["template_cache_bytes"]])
         print(file=out)
         print(format_table(["stat", "value"], rows), file=out)
     return 0 if (parses or not args.strict) else 1
@@ -248,6 +252,13 @@ def _cmd_serve_bench(args: argparse.Namespace, out) -> int:
     print(
         f"template cache over {snapshot['service']['workers']} worker(s): "
         f"{cache['hits']} hits / {cache['misses']} misses",
+        file=out,
+    )
+    memory = snapshot["service"]["memory"]
+    print(
+        f"memory: {snapshot['gauges']['network_bytes']} bytes/network, "
+        f"template caches {memory['template_cache_bytes']} bytes "
+        f"({memory['shapes_profiled']} shape(s) profiled)",
         file=out,
     )
     return 0

@@ -15,6 +15,7 @@ equivalence tests rely on this.
 from __future__ import annotations
 
 import abc
+import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
@@ -117,6 +118,13 @@ class ParserEngine(abc.ABC):
             per call, so nothing amortizes; batch callers should hold a
             session and use ``parse`` / ``parse_many`` on it.
         """
+        warnings.warn(
+            "ParserEngine.parse is deprecated since 1.1: it builds a throwaway "
+            "ParserSession per call, so nothing amortizes; hold a "
+            "repro.ParserSession and use its parse/parse_many instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         from repro.pipeline.session import ParserSession
 
         session = ParserSession(grammar, engine=self, template_cache_size=1)

@@ -48,6 +48,8 @@ class PRAMEngine(ParserEngine):
         trace: TraceHook | None = None,
     ) -> EngineStats:
         compiled = compiled or compile_grammar(network.grammar)
+        # The host read-backs write the boolean arrays in place.
+        network.materialize_bool()
         stats = EngineStats()
         nv = network.nv
         n_roles = network.n_roles

@@ -52,6 +52,9 @@ class SerialEngine(ParserEngine):
         trace: TraceHook | None = None,
     ) -> EngineStats:
         compiled = compiled or compile_grammar(network.grammar)
+        # The oracle's faithfulness *is* byte-level mutation: flip the
+        # network to its writable boolean view for the explicit loops.
+        network.materialize_bool()
         stats = EngineStats(processors=1)
         env = EvalEnv(x=None, y=None, canbe=network.canbe_sets)  # type: ignore[arg-type]
 

@@ -8,6 +8,16 @@ the segmented OR-along-rows / AND-across-arcs sweep from
 :mod:`repro.propagation.consistency` — the same dataflow the MasPar
 performs with ``scanOr``/``scanAnd`` (Figures 10 and 12).
 
+By default the engine runs on the **packed execution core**: arc
+matrices, alive vector and the cached binary masks are uint64 bit
+arrays (:mod:`repro.network.bitset`), so binary propagation is one
+word-wide AND with a popcount delta and the consistency sweep touches
+1/8th of the memory of the byte representation — the software analogue
+of the MP-1 pushing single-bit flags through 4-bit PEs.
+``VectorEngine(packed=False)`` (registered as ``"vector-bool"``) keeps
+the byte-per-bool path alive for memory/throughput comparison;
+``benchmarks/bench_memory.py`` measures the two against each other.
+
 The constraint evaluations themselves are pure functions of the
 network's *template* (field arrays + category table), so the engine
 pulls them from :meth:`NetworkTemplate.vector_masks`: the first parse
@@ -17,9 +27,9 @@ shape replays the cached masks.  Through a
 throughput comes from; on the one-shot path the template is fresh each
 call and the cost is identical to direct evaluation.
 
-Results are bit-identical to :class:`repro.engines.serial.SerialEngine`;
-only the wall-clock differs (by orders of magnitude, which is Table
-RES-T3's point).
+Results are bit-identical to :class:`repro.engines.serial.SerialEngine`
+on either core; only the wall-clock differs (by orders of magnitude,
+which is Table RES-T3's point).
 """
 
 from __future__ import annotations
@@ -34,9 +44,21 @@ from repro.propagation.filtering import filter_network
 
 
 class VectorEngine(ParserEngine):
-    """Vectorized (numpy broadcast) implementation."""
+    """Vectorized (numpy broadcast) implementation.
+
+    Args:
+        packed: run on the packed bit matrices (default).  ``False``
+            materializes the boolean view and replays the identical
+            dataflow byte-per-bool — the comparison baseline the
+            memory benchmark needs; results are bit-identical.
+    """
 
     name = "vector"
+
+    def __init__(self, packed: bool = True):
+        self.packed = packed
+        if not packed:
+            self.name = "vector-bool"
 
     def run(
         self,
@@ -47,13 +69,17 @@ class VectorEngine(ParserEngine):
         trace: TraceHook | None = None,
     ) -> EngineStats:
         compiled = compiled or compile_grammar(network.grammar)
-        masks = network.template.vector_masks(compiled)
+        if self.packed:
+            masks = network.template.vector_masks(compiled)
+        else:
+            network.materialize_bool()
+            masks = network.template.vector_masks_bool(compiled)
         stats = EngineStats()
 
         # -- unary propagation: one cached permitted vector per constraint
         for constraint, permitted in zip(compiled.unary, masks.unary):
             dead = np.nonzero(network.alive & ~permitted)[0]
-            stats.unary_checks += int(network.alive.sum())
+            stats.unary_checks += network.alive_count()
             network.kill(dead)
             stats.role_values_killed += len(dead)
             if trace:
@@ -61,10 +87,15 @@ class VectorEngine(ParserEngine):
         if trace:
             trace("unary-done", network)
 
-        # -- binary propagation: one cached (NV, NV) mask per constraint --
-        for constraint, both in zip(compiled.binary, masks.binary_both):
+        # -- binary propagation: one cached mask per constraint ----------
+        for constraint, both in zip(compiled.binary, masks.binary):
             stats.pair_checks += network.nv * network.nv
-            stats.matrix_entries_zeroed += network.apply_pair_mask(both, presymmetrized=True)
+            if self.packed:
+                stats.matrix_entries_zeroed += network.apply_pair_mask_bits(both)
+            else:
+                stats.matrix_entries_zeroed += network.apply_pair_mask(
+                    both, presymmetrized=True
+                )
             if trace:
                 trace(f"binary:{constraint.name}", network)
 

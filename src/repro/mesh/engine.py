@@ -219,6 +219,7 @@ class MeshEngine(ParserEngine):
 
     @staticmethod
     def _read_back(network: ConstraintNetwork, mesh: MeshMachine, sizes: list[int]) -> None:
+        network.materialize_bool()  # the readout writes the boolean view in place
         blocks = mesh.plane("blocks")
         row_alive = mesh.plane("row_alive")
         R = network.n_roles

@@ -1,0 +1,209 @@
+"""Packed-bitset kernels: the word-level substrate of the execution core.
+
+The MP-1 moves *bits*: 4-bit PEs, ``scanAnd``/``scanOr`` over single-bit
+flags, arc matrices that are pure boolean state.  Storing every matrix
+entry as a numpy byte makes the O(n^4) arc matrices 8x larger than the
+information they carry; this module packs them 8-per-byte and gives the
+layers above word-wide bitwise kernels.
+
+Layout
+------
+
+A :class:`BitLayout` maps the global role-value index space ``0..NV-1``
+onto a packed row of ``row_bytes`` bytes:
+
+* each role's contiguous domain slice starts at a fresh **byte**
+  boundary (``ceil(size/8)`` bytes per role), so the segmented
+  OR/popcount reductions that consistency maintenance needs are plain
+  ``reduceat`` calls at byte-granular segment starts — no cross-role
+  masking.  Byte (not 64-bit) alignment matters: real role domains are
+  4-30 values wide, and word-aligned segments would waste most of each
+  word, forfeiting the memory win;
+* the row is padded to a multiple of 8 bytes and stored as explicit
+  little-endian ``uint64`` words (``'<u8'``), so elementwise AND/OR and
+  popcounts run 64 entries per operation while ``reduceat`` runs on the
+  ``uint8`` view of the same memory.  The explicit byte order keeps the
+  bit<->word mapping identical on any host.
+
+Padding and inter-role slack bits are zero in every packed array
+produced here, which is what makes popcount-based delta counting exact:
+``count_ones(before) - count_ones(after)`` counts real matrix entries,
+never garbage bits.
+
+All kernels are allocation-light and operate on C-contiguous arrays;
+2-D inputs are treated as independent rows (axis 0 = global index,
+axis 1 = packed words).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Words are explicit little-endian so uint8 views are host-independent.
+WORD_DTYPE = np.dtype("<u8")
+WORD_BYTES = 8
+WORD_BITS = 64
+
+if hasattr(np, "bitwise_count"):  # numpy >= 2: native popcount
+    def _popcount_u8(view8: np.ndarray) -> np.ndarray:
+        return np.bitwise_count(view8)
+else:  # pragma: no cover - numpy < 2 fallback
+    _POP8 = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
+
+    def _popcount_u8(view8: np.ndarray) -> np.ndarray:
+        return _POP8[view8]
+
+
+def _bytes_view(words: np.ndarray) -> np.ndarray:
+    """The uint8 view of a word array (rows must be C-contiguous)."""
+    return np.ascontiguousarray(words).view(np.uint8)
+
+
+class BitLayout:
+    """The byte-aligned packing of one template's role-value index space.
+
+    Attributes:
+        nv: number of role values (bits carried per packed row).
+        row_bytes: packed row width in bytes (multiple of 8).
+        n_words: ``row_bytes // 8`` — packed row width in uint64 words.
+        pbit: (NV,) packed bit position of each global index.
+        pbyte / pmask8: (NV,) byte offset and in-byte mask of each index.
+        seg_byte_starts: byte offsets of the non-empty role segments, in
+            role order — the ``reduceat`` split points.
+        full_words: frozen (n_words,) row with every *valid* bit set
+            (padding and slack clear) — the packed all-alive vector.
+    """
+
+    __slots__ = (
+        "nv", "row_bytes", "n_words", "pbit", "pbyte", "pmask8",
+        "seg_byte_starts", "full_words",
+    )
+
+    def __init__(self, role_slices: tuple[slice, ...]):
+        nv = role_slices[-1].stop if role_slices else 0
+        pbit = np.empty(nv, dtype=np.intp)
+        seg_starts: list[int] = []
+        cursor = 0  # byte cursor: every role starts at a fresh byte
+        for sl in role_slices:
+            size = sl.stop - sl.start
+            if size:
+                seg_starts.append(cursor)
+                pbit[sl] = cursor * 8 + np.arange(size)
+                cursor += (size + 7) // 8
+        self.nv = nv
+        self.row_bytes = max(WORD_BYTES, -(-cursor // WORD_BYTES) * WORD_BYTES)
+        self.n_words = self.row_bytes // WORD_BYTES
+        self.pbit = pbit
+        self.pbyte = pbit >> 3
+        self.pmask8 = (np.uint8(1) << (pbit & 7).astype(np.uint8)).astype(np.uint8)
+        self.seg_byte_starts = np.asarray(seg_starts, dtype=np.intp)
+        full = pack_rows(np.ones(nv, dtype=bool), self)
+        full.setflags(write=False)
+        self.full_words = full
+
+    def nbytes(self) -> int:
+        """Resident size of the layout tables, for cache accounting."""
+        return (
+            self.pbit.nbytes + self.pbyte.nbytes + self.pmask8.nbytes
+            + self.seg_byte_starts.nbytes + self.full_words.nbytes
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BitLayout(nv={self.nv}, row_bytes={self.row_bytes}, "
+            f"segments={len(self.seg_byte_starts)})"
+        )
+
+
+# -- pack / unpack -----------------------------------------------------------
+
+def pack_rows(bools: np.ndarray, layout: BitLayout) -> np.ndarray:
+    """Pack (..., NV) booleans into (..., n_words) little-endian words."""
+    bools = np.asarray(bools, dtype=bool)
+    padded = np.zeros(bools.shape[:-1] + (layout.row_bytes * 8,), dtype=bool)
+    padded[..., layout.pbit] = bools
+    packed = np.packbits(padded, axis=-1, bitorder="little")
+    return packed.view(WORD_DTYPE)
+
+
+def unpack_rows(words: np.ndarray, layout: BitLayout) -> np.ndarray:
+    """Unpack (..., n_words) words back into (..., NV) booleans."""
+    bits = np.unpackbits(_bytes_view(words), axis=-1, bitorder="little")
+    return bits[..., layout.pbit].astype(bool)
+
+
+def get_bit(row_words: np.ndarray, index: int, layout: BitLayout) -> bool:
+    """One bit of a packed row, without unpacking it."""
+    return bool(_bytes_view(row_words)[..., layout.pbyte[index]] & layout.pmask8[index])
+
+
+# -- counting ----------------------------------------------------------------
+
+def count_ones(words: np.ndarray) -> int:
+    """Total population count of a packed array (any shape)."""
+    return int(_popcount_u8(_bytes_view(words)).sum())
+
+
+def segment_counts(row_words: np.ndarray, layout: BitLayout) -> np.ndarray:
+    """Per-role popcounts of one packed row, for the non-empty roles.
+
+    Byte-aligned segments make this a byte-popcount followed by one
+    ``add.reduceat`` at the segment starts; slack bits are zero by
+    construction so the counts are exact.
+    """
+    per_byte = _popcount_u8(_bytes_view(row_words)).astype(np.int64)
+    return np.add.reduceat(per_byte, layout.seg_byte_starts)
+
+
+# -- segmented OR (the consistency-maintenance row sweep) --------------------
+
+def or_segments(matrix_words: np.ndarray, layout: BitLayout) -> np.ndarray:
+    """OR each packed row within each role segment: (NV, n_segments) uint8.
+
+    A nonzero entry ``[a, j]`` means row *a* keeps at least one set bit
+    in role segment *j* — the OR-along-rows half of the paper's
+    scanOr/scanAnd sweep, one ``bitwise_or.reduceat`` over the byte view.
+    """
+    return np.bitwise_or.reduceat(
+        _bytes_view(matrix_words), layout.seg_byte_starts, axis=-1
+    )
+
+
+# -- mutation kernels --------------------------------------------------------
+
+def member_mask(indices: np.ndarray, layout: BitLayout) -> np.ndarray:
+    """A packed (n_words,) row with exactly the given indices' bits set."""
+    mask8 = np.zeros(layout.row_bytes, dtype=np.uint8)
+    np.bitwise_or.at(mask8, layout.pbyte[indices], layout.pmask8[indices])
+    return mask8.view(WORD_DTYPE)
+
+
+def and_accumulate(target_words: np.ndarray, mask_words: np.ndarray) -> int:
+    """AND *mask* into *target* in place; return the number of bits cleared.
+
+    The delta is exact popcount arithmetic (padding is zero on both
+    sides), replacing the boolean path's ``count_nonzero(M & ~mask)``
+    materialization with two popcounts over 8x less memory.
+    """
+    before = count_ones(target_words)
+    np.bitwise_and(target_words, mask_words, out=target_words)
+    return before - count_ones(target_words)
+
+
+def clear_rows_and_columns(
+    alive_words: np.ndarray,
+    matrix_words: np.ndarray,
+    indices: np.ndarray,
+    layout: BitLayout,
+) -> None:
+    """Kill *indices*: clear their alive bits, matrix rows and columns.
+
+    The numpy analogue of MasPar design decision 4 ("zero the rows or
+    columns ... rather than reducing their dimensions"), as three
+    word-wide operations: one broadcast column-clear AND, one fancy-index
+    row clear, one alive-vector AND.
+    """
+    keep = ~member_mask(indices, layout)
+    alive_words &= keep
+    matrix_words &= keep  # broadcast over rows: clears the columns
+    matrix_words[indices] = 0  # clears the rows

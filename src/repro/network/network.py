@@ -9,15 +9,32 @@ consists of:
 
 * five integer field arrays (``pos``, ``role`` kind, ``cat``, ``lab``,
   ``mod``) of length ``NV`` — the vector backend's evaluation inputs;
-* an ``alive`` bool vector of length ``NV`` — the current domains;
-* one packed bool matrix ``M`` of shape ``(NV, NV)`` holding *every* arc
-  matrix: the block ``M[role_i, role_j]`` is the arc matrix between roles
-  i and j.  Same-role blocks are identically zero and excluded from
-  support checks.
+* a packed ``alive`` bit vector (``alive_bits``, one uint64 row) — the
+  current domains;
+* one bit matrix ``matrix_bits`` of shape ``(NV, n_words)`` packing
+  *every* arc matrix along the second axis: the block between roles i
+  and j is the rows of i's slice restricted to j's byte-aligned bit
+  segment (see :mod:`repro.network.bitset`).  Same-role blocks are
+  identically zero and excluded from support checks.
 
 This packed layout is the numpy analogue of the paper's "zero the rows or
 columns ... rather than reducing their dimensions" (MasPar design
-decision 4): domains never shrink physically, they are masked.
+decision 4): domains never shrink physically, they are masked — and, as
+on the MP-1 itself, the mask is bits, not bytes.
+
+Packed vs boolean views
+-----------------------
+
+The packed arrays are the network's truth.  ``alive`` / ``matrix`` are
+*properties*: in packed mode they return cached, **frozen** boolean
+expansions (an engine bug that writes through them fails loudly instead
+of silently desynchronizing the bits).  Engines that genuinely mutate
+byte-per-bool state — the serial oracle, the PRAM/mesh/MasPar machine
+read-backs — call :meth:`materialize_bool` first, which flips the
+network into boolean mode (writable arrays are then authoritative);
+:meth:`repack` folds the booleans back into bits.  Every query and
+mutation helper dispatches on the mode, so both views satisfy one
+contract.
 
 Category coherence
 ------------------
@@ -38,6 +55,8 @@ import numpy as np
 
 from repro.errors import NetworkError
 from repro.grammar.grammar import CDGGrammar, Sentence
+from repro.network import bitset
+from repro.network.bitset import BitLayout
 from repro.network.rolevalue import RoleValue
 
 if TYPE_CHECKING:  # pragma: no cover - types only
@@ -72,19 +91,94 @@ class ConstraintNetwork:
         template: the :class:`NetworkTemplate` this network was bound
             from (shared, immutable).
         role_values: all role values, in global-index order.
-        alive: bool vector of length NV — the current domains.
-        matrix: packed bool arc matrices of shape (NV, NV); symmetric.
+        bit_layout: the template's :class:`BitLayout`.
+        alive_bits: packed (n_words,) alive vector — the current domains.
+        matrix_bits: packed (NV, n_words) arc matrices; symmetric as a
+            bit relation.
+        alive / matrix: boolean views (properties; see module docstring).
     """
 
     #: Set by NetworkTemplate.fill; declared for type checkers.
     template: "NetworkTemplate"
     role_values: tuple[RoleValue, ...]
     role_slices: tuple[slice, ...]
+    bit_layout: BitLayout
+    alive_bits: np.ndarray
+    matrix_bits: np.ndarray
+
+    #: Mode state (set per instance by NetworkTemplate.fill; class-level
+    #: defaults keep partially-constructed instances safe).
+    _bool_mode: bool = False
+    _alive_cache: "np.ndarray | None" = None
+    _matrix_cache: "np.ndarray | None" = None
 
     def __init__(self, grammar: CDGGrammar, sentence: Sentence):
         from repro.pipeline.template import NetworkTemplate
 
         NetworkTemplate.build(grammar, sentence.category_sets).fill(self, sentence)
+
+    # -- packed/boolean mode -----------------------------------------------
+
+    @property
+    def packed_active(self) -> bool:
+        """True while the packed arrays are authoritative."""
+        return not self._bool_mode
+
+    @property
+    def alive(self) -> np.ndarray:
+        """(NV,) bool domains: frozen expansion (packed) or writable truth."""
+        if self._bool_mode:
+            return self._alive_cache
+        if self._alive_cache is None:
+            view = bitset.unpack_rows(self.alive_bits, self.bit_layout)
+            view.setflags(write=False)
+            self._alive_cache = view
+        return self._alive_cache
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """(NV, NV) bool arc matrices: frozen expansion or writable truth."""
+        if self._bool_mode:
+            return self._matrix_cache
+        if self._matrix_cache is None:
+            view = bitset.unpack_rows(self.matrix_bits, self.bit_layout)
+            view.setflags(write=False)
+            self._matrix_cache = view
+        return self._matrix_cache
+
+    def _invalidate_views(self) -> None:
+        if not self._bool_mode:
+            self._alive_cache = None
+            self._matrix_cache = None
+
+    def materialize_bool(self) -> None:
+        """Switch to boolean mode: writable byte-per-bool state.
+
+        For the engines whose faithfulness *is* byte-level mutation
+        (the serial oracle's explicit loops, the simulated machines'
+        host read-backs).  Idempotent.
+        """
+        if self._bool_mode:
+            return
+        self._alive_cache = bitset.unpack_rows(self.alive_bits, self.bit_layout)
+        self._matrix_cache = bitset.unpack_rows(self.matrix_bits, self.bit_layout)
+        self._bool_mode = True
+
+    def repack(self) -> None:
+        """Fold boolean-mode state back into the packed arrays.  Idempotent."""
+        if not self._bool_mode:
+            return
+        self.alive_bits = bitset.pack_rows(self._alive_cache, self.bit_layout)
+        self.matrix_bits = bitset.pack_rows(self._matrix_cache, self.bit_layout)
+        self._bool_mode = False
+        self._alive_cache = None
+        self._matrix_cache = None
+
+    def state_nbytes(self) -> int:
+        """Bytes held by the per-sentence mutable state, as represented now."""
+        if self._bool_mode:
+            return self._alive_cache.nbytes + self._matrix_cache.nbytes
+        return self.alive_bits.nbytes + self.matrix_bits.nbytes
 
     # -- copying -----------------------------------------------------------
 
@@ -92,8 +186,14 @@ class ConstraintNetwork:
         """Deep copy of the mutable state (alive vector and matrices)."""
         other = object.__new__(ConstraintNetwork)
         other.__dict__.update(self.__dict__)
-        other.alive = self.alive.copy()
-        other.matrix = self.matrix.copy()
+        other.alive_bits = self.alive_bits.copy()
+        other.matrix_bits = self.matrix_bits.copy()
+        if self._bool_mode:
+            other._alive_cache = self._alive_cache.copy()
+            other._matrix_cache = self._matrix_cache.copy()
+        else:
+            other._alive_cache = None
+            other._matrix_cache = None
         return other
 
     # -- field-array views ---------------------------------------------------
@@ -148,17 +248,24 @@ class ConstraintNetwork:
         return int(self.alive[sl].sum())
 
     def domain_sizes(self) -> np.ndarray:
-        """Alive count of every role in one ``reduceat`` pass.
+        """Alive count of every role in one pass.
 
-        Role slices tile ``[0, NV)`` contiguously, so summing ``alive``
-        at the starts of the non-empty slices yields exactly the
-        per-role counts; structurally empty roles stay at zero.
+        Packed mode: byte popcounts reduced at the role segment starts.
+        Boolean mode: role slices tile ``[0, NV)`` contiguously, so
+        summing ``alive`` at the starts of the non-empty slices yields
+        the per-role counts.  Structurally empty roles stay at zero.
         """
         counts = np.zeros(self.n_roles, dtype=np.int64)
         template = self.template
-        if template.nonempty_roles.size:
+        if not template.nonempty_roles.size:
+            return counts
+        if self._bool_mode:
             counts[template.nonempty_roles] = np.add.reduceat(
                 self.alive, template.nonempty_starts, dtype=np.int64
+            )
+        else:
+            counts[template.nonempty_roles] = bitset.segment_counts(
+                self.alive_bits, self.bit_layout
             )
         return counts
 
@@ -173,7 +280,9 @@ class ConstraintNetwork:
         return bool((self.domain_sizes() > 1).any())
 
     def alive_count(self) -> int:
-        return int(self.alive.sum())
+        if self._bool_mode:
+            return int(self._alive_cache.sum())
+        return bitset.count_ones(self.alive_bits)
 
     # -- arc queries -------------------------------------------------------------
 
@@ -186,7 +295,9 @@ class ConstraintNetwork:
 
     def entry(self, a: int, b: int) -> bool:
         """The packed-matrix entry for a pair of global role-value indices."""
-        return bool(self.matrix[a, b])
+        if self._bool_mode:
+            return bool(self._matrix_cache[a, b])
+        return bitset.get_bit(self.matrix_bits[a], b, self.bit_layout)
 
     def role_onehot(self) -> np.ndarray:
         """(NV, n_roles) one-hot membership matrix, used for support sums."""
@@ -207,37 +318,69 @@ class ConstraintNetwork:
         """A reusable (NV, NV) bool buffer (template-owned, not state)."""
         return self.template.scratch_matrix()
 
+    def scratch_bits(self) -> np.ndarray:
+        """A reusable (NV, n_words) packed buffer (template-owned)."""
+        return self.template.scratch_bits()
+
     # -- mutation helpers ----------------------------------------------------------
 
     def kill(self, indices: np.ndarray) -> None:
         """Remove role values and zero their rows/columns (design decision 4)."""
         if len(indices) == 0:
             return
-        self.alive[indices] = False
-        self.matrix[indices, :] = False
-        self.matrix[:, indices] = False
+        if self._bool_mode:
+            self._alive_cache[indices] = False
+            self._matrix_cache[indices, :] = False
+            self._matrix_cache[:, indices] = False
+            return
+        bitset.clear_rows_and_columns(
+            self.alive_bits, self.matrix_bits, indices, self.bit_layout
+        )
+        self._invalidate_views()
 
     def apply_pair_mask(self, permitted: np.ndarray, *, presymmetrized: bool = False) -> int:
         """AND a (NV, NV) permitted mask into the packed matrices.
 
         The mask is applied in both orientations, since a binary
         constraint must hold however the pair is bound to (x, y);
-        callers holding an already-symmetrized mask (the template's
-        cached ``permitted & permitted.T``) pass ``presymmetrized=True``
-        to skip the transpose AND.
+        callers holding an already-symmetrized mask pass
+        ``presymmetrized=True`` to skip the transpose AND.  Packed-mode
+        callers holding a packed mask (the template's cached masks)
+        should use :meth:`apply_pair_mask_bits` directly.
 
         Returns:
             Number of matrix entries newly zeroed, counted from the
-            mask delta (entries currently one that the mask forbids) in
-            a single pass rather than summing the matrix twice.
+            mask delta in a single pass rather than summing the matrix
+            twice.
         """
         if permitted.shape != (self.nv, self.nv):
             raise NetworkError(
                 f"pair mask shape {permitted.shape} does not match NV={self.nv}"
             )
         both = permitted if presymmetrized else permitted & permitted.T
-        newly_zeroed = int(np.count_nonzero(self.matrix & ~both))
-        self.matrix &= both
+        if self._bool_mode:
+            m = self._matrix_cache
+            newly_zeroed = int(np.count_nonzero(m & ~both))
+            m &= both
+            return newly_zeroed
+        return self.apply_pair_mask_bits(bitset.pack_rows(both, self.bit_layout))
+
+    def apply_pair_mask_bits(self, permitted_bits: np.ndarray) -> int:
+        """AND a packed (NV, n_words) permitted mask into the matrices.
+
+        The packed fast path of :meth:`apply_pair_mask`: one word-wide
+        AND, with the newly-zeroed count recovered by popcount delta.
+        Requires packed mode (boolean-mode engines hold boolean masks).
+        """
+        if self._bool_mode:
+            raise NetworkError("apply_pair_mask_bits on a boolean-mode network")
+        if permitted_bits.shape != self.matrix_bits.shape:
+            raise NetworkError(
+                f"packed pair mask shape {permitted_bits.shape} does not match "
+                f"{self.matrix_bits.shape}"
+            )
+        newly_zeroed = bitset.and_accumulate(self.matrix_bits, permitted_bits)
+        self._invalidate_views()
         return newly_zeroed
 
     # -- rendering -------------------------------------------------------------------

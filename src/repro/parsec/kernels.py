@@ -265,6 +265,7 @@ def read_back(layout: PELayout, state: ParsecState, network: ConstraintNetwork) 
     Not a machine operation: the host reads results off the array after
     parsing, so no cycles are charged.
     """
+    network.materialize_bool()  # the readout writes the boolean view in place
     S = layout.n_slots
     valid = layout.rv_id >= 0
     alive = np.zeros(network.nv, dtype=bool)

@@ -34,6 +34,8 @@ import numpy as np
 
 from repro.errors import NetworkError
 from repro.grammar.grammar import CDGGrammar, Sentence
+from repro.network import bitset
+from repro.network.bitset import BitLayout
 from repro.network.rolevalue import RoleValue, enumerate_role_values
 from repro.pipeline.compiled import CompiledGrammar
 
@@ -52,17 +54,28 @@ def _frozen(array: np.ndarray) -> np.ndarray:
 class VectorMasks:
     """Per-template constraint evaluations for the vector execute path.
 
-    ``unary[i]`` is the permitted ``(NV,)`` vector of the i-th unary
-    constraint; ``binary_both[i]`` the orientation-symmetrized
-    ``(NV, NV)`` permitted mask of the i-th binary constraint (already
-    ``permitted & permitted.T``, ready to AND into a packed matrix).
+    ``unary[i]`` is the permitted ``(NV,)`` bool vector of the i-th
+    unary constraint; ``binary[i]`` the orientation-symmetrized
+    permitted mask of the i-th binary constraint (already
+    ``permitted & permitted.T``).  With ``packed=True`` (the cached
+    default) each binary mask is a packed ``(NV, n_words)`` uint64
+    array ready to AND into the network's bit matrices — ~8x smaller
+    per cache entry than the boolean form, which
+    :meth:`NetworkTemplate.vector_masks_bool` materializes lazily for
+    the byte-per-bool comparison engine.
     """
 
-    __slots__ = ("unary", "binary_both")
+    __slots__ = ("unary", "binary", "packed")
 
-    def __init__(self, unary: tuple[np.ndarray, ...], binary_both: tuple[np.ndarray, ...]):
+    def __init__(
+        self,
+        unary: tuple[np.ndarray, ...],
+        binary: tuple[np.ndarray, ...],
+        packed: bool,
+    ):
         self.unary = unary
-        self.binary_both = binary_both
+        self.binary = binary
+        self.packed = packed
 
 
 class NetworkTemplate:
@@ -109,12 +122,16 @@ class NetworkTemplate:
         # The O(NV^2) base mask: all-ones across distinct roles
         # ("initially, all entries in the matrices are set to 1"),
         # minus category coherence for lexically ambiguous words.
+        # Stored packed (the boolean expansion is a lazy property), so a
+        # cached template carries NV * row_bytes, not NV^2, bytes.
         same_role = self.role_index[:, None] == self.role_index[None, :]
         base = ~same_role
         same_word = self.pos[:, None] == self.pos[None, :]
         cat_clash = same_word & (self.cat[:, None] != self.cat[None, :])
         base &= ~cat_clash
-        self.base_matrix = _frozen(base)
+        self.bit_layout = BitLayout(self.role_slices)
+        self.base_bits = _frozen(bitset.pack_rows(base, self.bit_layout))
+        self._base_bool: np.ndarray | None = None
 
         # Category tables for constraint evaluation (word-independent:
         # they are a function of the category sets alone).
@@ -143,7 +160,17 @@ class NetworkTemplate:
         # Lazy artifacts.
         self._masks: VectorMasks | None = None
         self._masks_for: CompiledGrammar | None = None
+        self._masks_bool: VectorMasks | None = None
+        self._masks_bool_for: CompiledGrammar | None = None
         self._scratch: np.ndarray | None = None
+        self._scratch_bits: np.ndarray | None = None
+
+    @property
+    def base_matrix(self) -> np.ndarray:
+        """The boolean expansion of ``base_bits`` (lazy, frozen, cached)."""
+        if self._base_bool is None:
+            self._base_bool = _frozen(bitset.unpack_rows(self.base_bits, self.bit_layout))
+        return self._base_bool
 
     # -- cache key ---------------------------------------------------------
 
@@ -190,10 +217,14 @@ class NetworkTemplate:
         network.role_index = self.role_index
         network.canbe_array = self.canbe_array
         network.canbe_sets = self.canbe_sets
-        # The only genuinely per-sentence state: fresh domains and a
-        # writable copy of the base mask.
-        network.alive = np.ones(self.nv, dtype=bool)
-        network.matrix = self.base_matrix.copy()
+        # The only genuinely per-sentence state: fresh packed domains
+        # and a writable copy of the packed base mask.
+        network.bit_layout = self.bit_layout
+        network.alive_bits = self.bit_layout.full_words.copy()
+        network.matrix_bits = self.base_bits.copy()
+        network._bool_mode = False
+        network._alive_cache = None
+        network._matrix_cache = None
 
     # -- shared execute-layer artifacts ------------------------------------
 
@@ -227,10 +258,27 @@ class NetworkTemplate:
         binary: list[np.ndarray] = []
         for cc in compiled.binary:
             permitted = cc.vector(pair_env)
-            binary.append(_frozen(permitted & permitted.T))
-        self._masks = VectorMasks(unary=unary, binary_both=tuple(binary))
+            binary.append(_frozen(bitset.pack_rows(permitted & permitted.T, self.bit_layout)))
+        self._masks = VectorMasks(unary=unary, binary=tuple(binary), packed=True)
         self._masks_for = compiled
         return self._masks
+
+    def vector_masks_bool(self, compiled: CompiledGrammar) -> VectorMasks:
+        """Boolean expansions of :meth:`vector_masks`, for the byte engine.
+
+        Lazily unpacked from the packed masks (the packed form stays
+        the canonical cache entry); only the boolean comparison path
+        (``VectorEngine(packed=False)``) ever pays for these.
+        """
+        if self._masks_bool is not None and self._masks_bool_for is compiled:
+            return self._masks_bool
+        packed = self.vector_masks(compiled)
+        binary = tuple(
+            _frozen(bitset.unpack_rows(m, self.bit_layout)) for m in packed.binary
+        )
+        self._masks_bool = VectorMasks(unary=packed.unary, binary=binary, packed=False)
+        self._masks_bool_for = compiled
+        return self._masks_bool
 
     def scratch_matrix(self) -> np.ndarray:
         """A reusable ``(NV, NV)`` bool buffer for consistency sweeps.
@@ -243,16 +291,31 @@ class NetworkTemplate:
             self._scratch = np.empty((self.nv, self.nv), dtype=bool)
         return self._scratch
 
+    def scratch_bits(self) -> np.ndarray:
+        """A reusable packed ``(NV, n_words)`` buffer for packed sweeps."""
+        if self._scratch_bits is None:
+            self._scratch_bits = np.empty(
+                (self.nv, self.bit_layout.n_words), dtype=bitset.WORD_DTYPE
+            )
+        return self._scratch_bits
+
     def nbytes(self) -> int:
         """Approximate resident size, for cache-accounting tests."""
-        total = self.base_matrix.nbytes + self.canbe_array.nbytes
+        total = self.base_bits.nbytes + self.canbe_array.nbytes
+        total += self.bit_layout.nbytes()
         for arr in (self.pos, self.role_kind, self.cat, self.lab, self.mod, self.role_index):
             total += arr.nbytes
+        if self._base_bool is not None:
+            total += self._base_bool.nbytes
         if self._scratch is not None:
             total += self._scratch.nbytes
+        if self._scratch_bits is not None:
+            total += self._scratch_bits.nbytes
         if self._masks is not None:
             total += sum(m.nbytes for m in self._masks.unary)
-            total += sum(m.nbytes for m in self._masks.binary_both)
+            total += sum(m.nbytes for m in self._masks.binary)
+        if self._masks_bool is not None:
+            total += sum(m.nbytes for m in self._masks_bool.binary)
         return total
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -9,29 +9,34 @@ their rows/columns zeroed everywhere.
 
 Two implementations with identical semantics:
 
-* :func:`unsupported_vector` — one numpy pass: role slices tile the
-  global index space contiguously, so the OR along each arc-matrix row
-  is a segmented ``logical_or.reduceat`` at the role starts, and the
-  AND across arcs an ``all`` over the resulting (NV, n_roles) table —
-  the same OR-then-AND dataflow the MasPar performs with
-  ``scanOr``/``scanAnd``, without materializing support *counts*;
+* :func:`unsupported_vector` — one numpy pass over whichever view the
+  network currently holds.  On a packed network (the default) the
+  OR along each arc-matrix row is a ``bitwise_or.reduceat`` over the
+  byte view of the bit matrix at the role segment starts, after one
+  word-wide AND with the packed alive vector — the same OR-then-AND
+  dataflow the MasPar performs with ``scanOr``/``scanAnd``, touching
+  1/8th of the memory the boolean sweep reads.  On a boolean-mode
+  network it is the original ``logical_or.reduceat`` over bytes.
 * :func:`unsupported_serial` — explicit loops over arcs and rows, used by
   the faithful sequential engine and for cross-checking.
 
-Both report *all* currently unsupported role values; callers kill them
-simultaneously, which matches the parallel semantics and keeps every
-engine on the same trajectory.
+Both return an ``np.ndarray`` of *all* currently unsupported role
+values (one contract); callers kill them simultaneously, which matches
+the parallel semantics and keeps every engine on the same trajectory.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.network import bitset
 from repro.network.network import ConstraintNetwork
 
 
 def unsupported_vector(net: ConstraintNetwork) -> np.ndarray:
     """Global indices of alive role values that currently lack support."""
+    if getattr(net, "packed_active", False):
+        return _unsupported_packed(net)
     alive = net.alive
     roles, starts = net.support_segments()
     if len(roles) < net.n_roles:
@@ -48,7 +53,24 @@ def unsupported_vector(net: ConstraintNetwork) -> np.ndarray:
     return np.nonzero(alive & ~has.all(axis=1))[0]
 
 
-def unsupported_serial(net: ConstraintNetwork) -> list[int]:
+def _unsupported_packed(net: ConstraintNetwork) -> np.ndarray:
+    """The packed-word sweep behind :func:`unsupported_vector`."""
+    alive = net.alive  # frozen boolean view, for the final index extraction
+    roles, _ = net.support_segments()
+    if len(roles) < net.n_roles:
+        return np.nonzero(alive)[0]
+    # Word-wide alive masking, then the segmented OR on the byte view:
+    # a nonzero byte-OR over role j's segment means a keeps an alive
+    # partner in j.
+    masked = np.bitwise_and(
+        net.matrix_bits, net.alive_bits[None, :], out=net.scratch_bits()
+    )
+    has = bitset.or_segments(masked, net.bit_layout) != 0
+    has[np.arange(net.nv), net.role_index] = True
+    return np.nonzero(alive & ~has.all(axis=1))[0]
+
+
+def unsupported_serial(net: ConstraintNetwork) -> np.ndarray:
     """Loop implementation of :func:`unsupported_vector` (same result)."""
     out: list[int] = []
     alive_by_role = [
@@ -65,7 +87,7 @@ def unsupported_serial(net: ConstraintNetwork) -> list[int]:
             if not any(net.matrix[a, b] for b in alive_by_role[j]):
                 out.append(a)
                 break
-    return out
+    return np.asarray(out, dtype=np.int64)
 
 
 def consistency_step_vector(net: ConstraintNetwork) -> int:
@@ -78,5 +100,5 @@ def consistency_step_vector(net: ConstraintNetwork) -> int:
 def consistency_step_serial(net: ConstraintNetwork) -> int:
     """One sequential consistency-maintenance step (same semantics)."""
     dead = unsupported_serial(net)
-    net.kill(np.asarray(dead, dtype=np.int64))
+    net.kill(dead)
     return len(dead)

@@ -8,6 +8,11 @@ to it) but observes that real grammars settle in "typically fewer than
 10" iterations, which is why the MasPar implementation bounds the
 iteration count (design decision 5).  Both behaviours are available here
 via *limit*.
+
+The driver is representation-agnostic: the *step* callables from
+:mod:`repro.propagation.consistency` dispatch per network on the packed
+bit matrices (word-wide AND + segmented byte OR) or the boolean view,
+so one fixpoint loop serves both execution cores.
 """
 
 from __future__ import annotations

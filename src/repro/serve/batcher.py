@@ -36,6 +36,7 @@ class ParseRequest:
     key: Hashable  # the sentence's category signature (template cache key)
     enqueued: float  # service-clock time of admission
     deadline: float | None = None  # absolute; None = no deadline
+    est_bytes: int = 0  # per-shape network-size estimate (0 = shape not yet seen)
     future: Future = field(default_factory=Future)
 
 

@@ -141,7 +141,13 @@ class ServiceMetrics:
         ``expired``    deadline passed while queued; never dispatched
         ``cancelled``  future cancelled (or abandoned by abrupt shutdown)
     Gauges:
-        ``queue_depth``  requests currently queued (not yet dispatched)
+        ``queue_depth``           requests currently queued (not yet dispatched)
+        ``network_bytes``         resident bytes of the most recently parsed
+                                  network's mutable state (packed core)
+        ``template_cache_bytes``  bytes pinned by the workers' template
+                                  caches, refreshed on ``snapshot()``
+        ``queued_bytes``          estimated bytes of queued work (per-shape
+                                  network-size estimates; admission input)
     Histograms:
         ``batch_size``          requests per dispatched batch
         ``queue_wait_seconds``  admission -> dispatch, per request
@@ -157,6 +163,9 @@ class ServiceMetrics:
         self.expired = Counter()
         self.cancelled = Counter()
         self.queue_depth = Gauge()
+        self.network_bytes = Gauge()
+        self.template_cache_bytes = Gauge()
+        self.queued_bytes = Gauge()
         self.batch_size = Histogram(BATCH_BUCKETS)
         self.queue_wait_seconds = Histogram(LATENCY_BUCKETS)
         self.latency_seconds = Histogram(LATENCY_BUCKETS)
@@ -165,13 +174,14 @@ class ServiceMetrics:
         "submitted", "accepted", "rejected",
         "completed", "failed", "expired", "cancelled",
     )
+    _GAUGES = ("queue_depth", "network_bytes", "template_cache_bytes", "queued_bytes")
     _HISTOGRAMS = ("batch_size", "queue_wait_seconds", "latency_seconds")
 
     def snapshot(self) -> dict:
         """A point-in-time copy of every instrument, as plain dicts."""
         return {
             "counters": {name: getattr(self, name).value for name in self._COUNTERS},
-            "gauges": {"queue_depth": self.queue_depth.value},
+            "gauges": {name: getattr(self, name).value for name in self._GAUGES},
             "histograms": {name: getattr(self, name).summary() for name in self._HISTOGRAMS},
         }
 
@@ -205,5 +215,12 @@ class ServiceMetrics:
             parts.append(
                 f"batches: {batch['count']}  mean size {batch['mean']:.1f}  "
                 f"p50 {batch['p50']:g}  max {batch['max']:g}"
+            )
+        gauges = snap["gauges"]
+        if gauges.get("network_bytes") or gauges.get("template_cache_bytes"):
+            parts.append(
+                f"memory: {gauges.get('network_bytes', 0)} bytes/network  "
+                f"template cache {gauges.get('template_cache_bytes', 0)} bytes  "
+                f"queued est {gauges.get('queued_bytes', 0)} bytes"
             )
         return "\n".join(parts)

@@ -82,6 +82,14 @@ class ParseService:
         workers: worker threads, each owning a private
             :class:`ParserSession`.
         max_queue: bound on queued (not yet dispatched) requests.
+        max_memory_bytes: optional bound on the *estimated* bytes of
+            queued work.  Estimates are per-shape network sizes the
+            workers record after each parse (the packed core makes
+            them small and exact), so admission can reason about
+            memory, not just request count.  A shape never seen
+            estimates as 0, and a request arriving at an empty queue
+            is always admitted — the bound is backpressure, not a
+            hard per-request limit.
         admission: ``"reject"`` (raise :class:`ServiceOverloaded` when
             full) or ``"block"`` (make ``submit`` wait for space).
         max_batch_size / max_linger: the dynamic batcher's flush rules
@@ -100,6 +108,7 @@ class ParseService:
         *,
         workers: int = 2,
         max_queue: int = 256,
+        max_memory_bytes: int | None = None,
         admission: str = "reject",
         max_batch_size: int = 16,
         max_linger: float = 0.002,
@@ -112,6 +121,8 @@ class ParseService:
             raise ValueError(f"need at least one worker, got {workers}")
         if max_queue < 1:
             raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if max_memory_bytes is not None and max_memory_bytes < 1:
+            raise ValueError(f"max_memory_bytes must be >= 1, got {max_memory_bytes}")
         if admission not in ("reject", "block"):
             raise ValueError(f"admission must be 'reject' or 'block', got {admission!r}")
         if isinstance(engine, ParserEngine) and workers > 1:
@@ -122,6 +133,7 @@ class ParseService:
         self.grammar = grammar
         self.n_workers = workers
         self.max_queue = max_queue
+        self.max_memory_bytes = max_memory_bytes
         self.admission = admission
         self.default_timeout = default_timeout
         self.metrics = ServiceMetrics()
@@ -136,6 +148,8 @@ class ParseService:
         self._idle = threading.Condition(self._lock)  # drain: queue empty, nothing in flight
         self._state = "new"  # new -> running -> draining -> stopped
         self._in_flight = 0
+        self._shape_bytes: dict = {}  # shape key -> measured network bytes
+        self._queued_bytes = 0  # sum of est_bytes over queued requests
         self._workers: list[Worker] = []
         self._name = f"parse-service-{next(_service_ids)}"
 
@@ -198,6 +212,8 @@ class ParseService:
         with self._lock:
             self._state = "stopped"
             leftovers = self._batcher.clear()
+            self._queued_bytes = 0
+            self.metrics.queued_bytes.set(0)
             self.metrics.queue_depth.set(0)
             self._work.notify_all()
             self._space.notify_all()
@@ -251,19 +267,22 @@ class ParseService:
             if self._state != "running":
                 self.metrics.rejected.inc()
                 raise ServiceUnavailable(f"service is {self._state}, not accepting requests")
-            if len(self._batcher) >= self.max_queue:
+            request.est_bytes = self._shape_bytes.get(request.key, 0)
+            reason = self._admission_reason(request)
+            if reason is not None:
                 if self.admission == "reject":
                     self.metrics.rejected.inc()
                     raise ServiceOverloaded(
-                        f"queue full ({len(self._batcher)}/{self.max_queue} requests); "
-                        "retry later, raise max_queue, or use admission='block'"
+                        f"{reason}; retry later, raise the bound, or use admission='block'"
                     )
-                while len(self._batcher) >= self.max_queue and self._state == "running":
+                while self._admission_reason(request) and self._state == "running":
                     self._space.wait()
                 if self._state != "running":
                     self.metrics.rejected.inc()
                     raise ServiceUnavailable(f"service is {self._state}, not accepting requests")
             self._batcher.add(request)
+            self._queued_bytes += request.est_bytes
+            self.metrics.queued_bytes.set(self._queued_bytes)
             self.metrics.accepted.inc()
             self.metrics.queue_depth.set(len(self._batcher))
             self._work.notify()
@@ -291,10 +310,42 @@ class ParseService:
         futures = [self.submit(sentence) for sentence in sentences]
         return [future.result() for future in futures]
 
+    def _admission_reason(self, request: ParseRequest) -> "str | None":
+        """Under the lock: why *request* cannot be queued now (None = admit).
+
+        Queue depth is the hard bound; the memory bound additionally
+        holds a request back while the *estimated* bytes of queued work
+        would exceed ``max_memory_bytes``.  An empty queue always
+        admits (a single oversized request must not deadlock), and an
+        unprofiled shape (estimate 0) adds nothing to the sum.
+        """
+        queued = len(self._batcher)
+        if queued >= self.max_queue:
+            return f"queue full ({queued}/{self.max_queue} requests)"
+        if (
+            self.max_memory_bytes is not None
+            and queued > 0
+            and request.est_bytes
+            and self._queued_bytes + request.est_bytes > self.max_memory_bytes
+        ):
+            return (
+                f"queued work estimate {self._queued_bytes + request.est_bytes} bytes "
+                f"exceeds max_memory_bytes={self.max_memory_bytes}"
+            )
+        return None
+
+    def _note_network_bytes(self, key, nbytes: int) -> None:
+        """Record a worker's measured per-shape network size (package-private)."""
+        with self._lock:
+            self._shape_bytes[key] = nbytes
+        self.metrics.network_bytes.set(nbytes)
+
     # -- introspection -----------------------------------------------------
 
     def snapshot(self) -> dict:
-        """Metrics snapshot plus service state and template-cache totals."""
+        """Metrics snapshot plus service state, cache and memory totals."""
+        cache_bytes = sum(worker.session.cached_bytes() for worker in self._workers)
+        self.metrics.template_cache_bytes.set(cache_bytes)
         snap = self.metrics.snapshot()
         caches = [worker.session.cache_info() for worker in self._workers]
         snap["service"] = {
@@ -306,6 +357,12 @@ class ParseService:
                 field: sum(info[field] for info in caches)
                 for field in ("hits", "misses", "evictions", "size")
             } if caches else {},
+            "memory": {
+                "max_memory_bytes": self.max_memory_bytes,
+                "queued_bytes": self._queued_bytes,
+                "template_cache_bytes": cache_bytes,
+                "shapes_profiled": len(self._shape_bytes),
+            },
         }
         return snap
 
@@ -330,11 +387,13 @@ class ParseService:
                 now = self._clock()
                 expired = self._batcher.expire(now)
                 if expired:
+                    self._release_queued(expired)
                     self._queue_shrunk()
                 else:
                     batch = self._batcher.pop_ready(now, force=self._state != "running")
                     if batch is not None:
                         self._in_flight += len(batch)
+                        self._release_queued(batch)
                         self._queue_shrunk()
                         self.metrics.batch_size.observe(len(batch))
                         for request in batch:
@@ -367,6 +426,13 @@ class ParseService:
                 self.metrics.expired.inc()
             else:  # cancelled in the gap between the two checks
                 self.metrics.cancelled.inc()
+
+    def _release_queued(self, requests: "list[ParseRequest]") -> None:
+        """Under the lock: drop dispatched/expired requests' byte estimates."""
+        self._queued_bytes -= sum(r.est_bytes for r in requests)
+        if len(self._batcher) == 0:
+            self._queued_bytes = 0
+        self.metrics.queued_bytes.set(self._queued_bytes)
 
     def _queue_shrunk(self) -> None:
         """Under the lock: refresh the gauge, wake producers and drain."""

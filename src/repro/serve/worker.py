@@ -78,3 +78,9 @@ class Worker:
                 request.future.set_result(result)
                 metrics.completed.inc()
                 metrics.latency_seconds.observe(clock() - request.enqueued)
+                # Feed the per-shape memory profile back into admission:
+                # the session measured the settled network's resident
+                # bytes, keyed by the same shape key batches group on.
+                nbytes = result.stats.extra.get("network_bytes")
+                if nbytes:
+                    self._service._note_network_bytes(request.key, nbytes)

@@ -45,6 +45,11 @@ class TestParseCommand:
         _, text = run_cli(["parse", "the", "dog", "runs", "--stats"])
         assert "pair checks" in text and "wall time" in text
 
+    def test_stats_include_memory_columns(self):
+        _, text = run_cli(["parse", "the", "dog", "runs", "--stats"])
+        assert "bytes/network" in text
+        assert "template cache bytes" in text
+
     def test_maspar_engine_stats_include_simulated_time(self):
         _, text = run_cli(
             ["parse", "The program runs", "-g", "program", "-e", "maspar", "--stats"]
@@ -150,6 +155,14 @@ class TestServeBench:
         assert "Service metrics" in text
         assert "submitted" in text and "queue_wait_seconds" in text
         assert "template cache over 2 worker(s)" in text
+
+    def test_serve_bench_prints_memory_line(self):
+        code, text = run_cli(
+            ["serve-bench", "-n", "8", "-w", "1", "--shapes", "1", "--linger-ms", "1"]
+        )
+        assert code == 0
+        assert "bytes/network" in text
+        assert "shape(s) profiled" in text
 
 
 class TestOtherCommands:

@@ -203,6 +203,11 @@ class TestSessionEquivalence:
         direct = ParserSession(grammar, engine="vector").parse(words)
         assert_same_network(wrapped.network, direct.network)
 
+    def test_engine_parse_wrapper_warns_deprecated(self):
+        grammar = program_grammar()
+        with pytest.warns(DeprecationWarning, match="ParserSession"):
+            VectorEngine().parse(grammar, ["The", "program", "runs"])
+
     def test_session_filter_limit_default_and_override(self):
         session = ParserSession(english_grammar(), engine="vector", filter_limit=0)
         limited = session.parse(["the", "dog", "runs"])

@@ -356,6 +356,104 @@ class TestOverloadAndDeadlines:
         assert counters["submitted"] == counters["accepted"] + counters["rejected"]
 
 
+class TestMemoryAdmission:
+    """The memory-aware half of admission: per-shape byte estimates."""
+
+    def wedged_service(self, *, max_memory_bytes, admission="reject"):
+        """A 1-worker service parked on its first request, shape profiled.
+
+        The worker is inside ``run`` (queue empty), and the test shape's
+        network size has been recorded as 600 bytes, so subsequent
+        submits exercise the memory bound deterministically.
+        """
+        engine = GateEngine()
+        service = ParseService(
+            english_grammar(),
+            engine=engine,
+            workers=1,
+            max_queue=10,
+            max_batch_size=1,
+            max_linger=0.0,
+            max_memory_bytes=max_memory_bytes,
+            admission=admission,
+        ).start()
+        key = english_grammar().tokenize("the dog runs").category_sets
+        service._note_network_bytes(key, 600)
+        wedged = service.submit("the dog runs")
+        assert engine.entered.wait(WAIT)
+        return service, engine, wedged
+
+    def test_memory_bound_rejects_once_estimate_exceeds(self):
+        service, engine, wedged = self.wedged_service(max_memory_bytes=1000)
+        try:
+            # Queue is empty: always admitted, whatever the estimate.
+            first = service.submit("the dog runs")
+            assert service.snapshot()["gauges"]["queued_bytes"] == 600
+            # 600 queued + 600 estimated > 1000: memory bound rejects.
+            with pytest.raises(ServiceOverloaded, match="max_memory_bytes"):
+                service.submit("the dog runs")
+        finally:
+            engine.release.set()
+        assert service.drain(WAIT)
+        assert wedged.result(WAIT) is not None and first.result(WAIT) is not None
+        snap = service.snapshot()
+        assert snap["gauges"]["queued_bytes"] == 0  # released on dispatch
+        counters = snap["counters"]
+        assert counters["rejected"] == 1
+        assert counters["submitted"] == counters["accepted"] + counters["rejected"]
+        service.shutdown()
+
+    def test_unprofiled_shapes_are_not_memory_bounded(self):
+        service, engine, wedged = self.wedged_service(max_memory_bytes=1000)
+        try:
+            # A shape never parsed estimates as 0 bytes: the memory
+            # bound cannot hold it back, only queue depth can.
+            futures = [service.submit("dogs bark") for _ in range(3)]
+            assert service.snapshot()["gauges"]["queued_bytes"] == 0
+        finally:
+            engine.release.set()
+        assert service.drain(WAIT)
+        for future in futures:
+            assert future.result(WAIT) is not None
+        service.shutdown()
+
+    def test_block_admission_waits_for_memory(self):
+        service, engine, wedged = self.wedged_service(
+            max_memory_bytes=1000, admission="block"
+        )
+        first = service.submit("the dog runs")
+        unblocked = threading.Event()
+        futures = []
+
+        def producer():
+            futures.append(service.submit("the dog runs"))
+            unblocked.set()
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        assert not unblocked.wait(0.05)  # held back by the memory bound
+        engine.release.set()  # worker drains the queue, freeing bytes
+        assert unblocked.wait(WAIT)
+        thread.join(WAIT)
+        assert service.drain(WAIT)
+        for future in [wedged, first, *futures]:
+            assert future.result(WAIT) is not None
+        service.shutdown()
+
+    def test_workers_profile_shapes_and_snapshot_reports_memory(self):
+        with ParseService(english_grammar(), workers=1, max_memory_bytes=10**9) as service:
+            service.parse(["the", "dog", "runs"])
+            service.parse(["dogs", "bark"])
+            snap = service.snapshot()
+        memory = snap["service"]["memory"]
+        assert memory["max_memory_bytes"] == 10**9
+        assert memory["shapes_profiled"] == 2
+        assert memory["template_cache_bytes"] > 0
+        assert snap["gauges"]["network_bytes"] > 0
+        assert snap["gauges"]["template_cache_bytes"] == memory["template_cache_bytes"]
+        assert "memory:" in ServiceMetrics.render(service.metrics, snap)
+
+
 class TestBatchingBehaviour:
     def test_batches_bind_one_template(self):
         """A shape-interleaved load: per-batch template locality."""
