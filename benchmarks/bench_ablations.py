@@ -109,7 +109,7 @@ def test_filtering_cascade_depth(benchmark, report):
     report(
         "ABL-F: MCVP filtering cascade (paper footnote 3)",
         ["circuit depth", "filtering iterations"],
-        list(zip(depths, iterations)),
+        list(zip(depths, iterations, strict=True)),
         notes=f"iterations ~ depth^{fit.exponent:.2f} (R^2={fit.r_squared:.3f}) — the\n"
               "worst case really is sequential, which is why the MasPar bounds filtering.",
     )

@@ -67,7 +67,7 @@ def test_per_constraint_time_one_to_seven_words(benchmark, report):
             format_seconds(v),
             f"{s / v:,.0f}x",
         ]
-        for n, m, s, v in zip(NS, maspar, serial, vector)
+        for n, m, s, v in zip(NS, maspar, serial, vector, strict=True)
     ]
     report(
         "RES-T1: per-constraint propagation time, n = 1..7",

@@ -95,7 +95,7 @@ def run_baseline(sentences: list[list[str]]) -> tuple[list, float]:
 
 
 def assert_bit_identical(served, baseline) -> None:
-    for warm, cold in zip(served, baseline):
+    for warm, cold in zip(served, baseline, strict=True):
         assert np.array_equal(warm.network.alive, cold.network.alive)
         assert np.array_equal(warm.network.matrix, cold.network.matrix)
         assert warm.locally_consistent == cold.locally_consistent

@@ -74,7 +74,7 @@ def measure(n: int) -> dict:
         session_best = min(session_best, time.perf_counter() - start)
 
     # Sanity: the two paths must agree sentence by sentence.
-    for a, b in zip(one_shot, batched):
+    for a, b in zip(one_shot, batched, strict=True):
         assert a.locally_consistent == b.locally_consistent
         assert a.ambiguous == b.ambiguous
 

@@ -63,7 +63,13 @@ from repro.serve import (
     ServiceUnavailable,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
+
+# Opt-in runtime invariant checking (REPRO_SANITIZE=1); see
+# repro.analysis.sanitizer.  A no-op unless the variable is set.
+from repro.analysis.sanitizer import maybe_enable_from_env as _maybe_sanitize
+
+_maybe_sanitize()
 
 __all__ = [
     "__version__",

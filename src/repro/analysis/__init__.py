@@ -1,4 +1,13 @@
-"""Measurement analysis: complexity fits and report formatting."""
+"""Measurement analysis, static analysis, and runtime sanitizers.
+
+Three members, deliberately not imported eagerly where they are heavy:
+
+* complexity fits and report formatting (imported below);
+* :mod:`repro.analysis.lint` — the ``repro-lint`` invariant linter
+  (also ``python -m repro.analysis``);
+* :mod:`repro.analysis.sanitizer` — opt-in runtime invariant checks
+  (``REPRO_SANITIZE=1``).
+"""
 
 from repro.analysis.fitting import PowerLawFit, fit_log_growth, fit_power_law
 from repro.analysis.profiler import ConstraintRecord, ParseProfile, profile_parse

@@ -1,0 +1,6 @@
+"""``python -m repro.analysis`` runs the invariant linter (repro-lint)."""
+
+from repro.analysis.lint.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

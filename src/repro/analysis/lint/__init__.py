@@ -1,0 +1,46 @@
+"""``repro-lint``: project-invariant static analysis.
+
+The repo's correctness story rests on conventions the compiler never
+checks — packed bits are the truth and the boolean ``alive``/``matrix``
+views are frozen, byte-mutating engines must bracket their writes with
+``materialize_bool()``/``repack()``, template artifacts are shared
+read-only across sentences, and the serve layer has a documented lock
+order.  This package machine-checks those invariants as AST lint rules
+(codes ``RPR001..``), mirroring how the paper's own discipline ("arc
+matrix entries are only ever cleared") is an invariant of the
+*algorithm*, not of any one run.
+
+Usage::
+
+    repro-lint src                      # or: python -m repro.analysis src
+    repro-lint src --format=json
+    repro-lint src --select RPR002,RPR008
+
+Suppression: append ``# repro-lint: ignore[RPR001]`` (comma-separated
+codes) to the offending line, or ``# repro-lint: skip-file`` near the
+top of a file.  See :mod:`repro.analysis.lint.rules` for the rule
+catalogue.
+"""
+
+from repro.analysis.lint.framework import (
+    Finding,
+    LintRule,
+    Project,
+    SourceModule,
+    all_rules,
+    lint_paths,
+    lint_project,
+    lint_source,
+)
+from repro.analysis.lint import rules as _rules  # registers the built-in rules
+
+__all__ = [
+    "Finding",
+    "LintRule",
+    "Project",
+    "SourceModule",
+    "all_rules",
+    "lint_paths",
+    "lint_project",
+    "lint_source",
+]

@@ -1,0 +1,98 @@
+"""The ``repro-lint`` command line (also ``python -m repro.analysis``).
+
+Exit codes: 0 = clean, 1 = findings, 2 = usage or parse errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.analysis.lint.framework import all_rules, lint_paths
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Check repro's project invariants (RPR001..) over a source tree.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    return parser
+
+
+def main(argv: "Sequence[str] | None" = None, out=None) -> int:
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.name}: {rule.description}", file=out)
+        return 0
+
+    select = None
+    if args.select:
+        select = {code.strip().upper() for code in args.select.split(",") if code.strip()}
+        known = {rule.code for rule in all_rules()}
+        unknown = select - known
+        if unknown:
+            print(
+                f"error: unknown rule code(s) {', '.join(sorted(unknown))}; "
+                f"known: {', '.join(sorted(known))}",
+                file=sys.stderr,
+            )
+            return 2
+
+    try:
+        findings = lint_paths(args.paths, select=select)
+    except (OSError, SyntaxError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        counts: dict[str, int] = {}
+        for finding in findings:
+            counts[finding.code] = counts.get(finding.code, 0) + 1
+        payload = {
+            "findings": [finding.to_dict() for finding in findings],
+            "counts": counts,
+            "rules": [
+                {"code": rule.code, "name": rule.name, "description": rule.description}
+                for rule in all_rules()
+            ],
+        }
+        print(json.dumps(payload, indent=2), file=out)
+    else:
+        for finding in findings:
+            print(finding.render(), file=out)
+        noun = "finding" if len(findings) == 1 else "findings"
+        print(
+            f"{len(findings)} {noun} "
+            f"({len(all_rules())} rules over {', '.join(args.paths)})",
+            file=out,
+        )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,237 @@
+"""The rule framework behind ``repro-lint``.
+
+Small and deliberately boring: a :class:`SourceModule` wraps one parsed
+file (AST, parent links, suppression comments), a :class:`Project`
+wraps the set of modules so cross-module rules (the engine-registry
+contract) can see everything at once, and a :class:`LintRule` yields
+:class:`Finding` records.  Rules register themselves with
+:func:`register_rule`; the runner applies every (selected) rule and
+filters findings through the per-line suppressions.
+
+Suppression syntax (checked per finding line)::
+
+    something_flagged()  # repro-lint: ignore[RPR001]
+    other_thing()        # repro-lint: ignore[RPR001,RPR005]
+
+and, within the first ten lines of a file::
+
+    # repro-lint: skip-file
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+import re
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+_IGNORE_RE = re.compile(r"#\s*repro-lint:\s*ignore\[([A-Z0-9,\s]+)\]")
+_SKIP_FILE_RE = re.compile(r"#\s*repro-lint:\s*skip-file")
+
+#: How many leading lines may carry the skip-file pragma.
+_SKIP_FILE_WINDOW = 10
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    code: str
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+class SourceModule:
+    """One parsed source file plus the navigation aids rules need."""
+
+    def __init__(self, path: "Path | str", source: str):
+        self.path = Path(path)
+        #: Forward-slash path string used for location matching in rules.
+        self.rel = self.path.as_posix()
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=str(path))
+        self._parents: dict[ast.AST, ast.AST] | None = None
+        self.suppressions = self._parse_suppressions()
+        self.skip = any(
+            _SKIP_FILE_RE.search(line) for line in self.lines[:_SKIP_FILE_WINDOW]
+        )
+
+    def _parse_suppressions(self) -> dict[int, frozenset[str]]:
+        out: dict[int, frozenset[str]] = {}
+        for lineno, line in enumerate(self.lines, start=1):
+            match = _IGNORE_RE.search(line)
+            if match:
+                codes = frozenset(
+                    code.strip() for code in match.group(1).split(",") if code.strip()
+                )
+                out[lineno] = codes
+        return out
+
+    # -- AST navigation ----------------------------------------------------
+
+    @property
+    def parents(self) -> dict[ast.AST, ast.AST]:
+        if self._parents is None:
+            table: dict[ast.AST, ast.AST] = {}
+            for parent in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(parent):
+                    table[child] = parent
+            self._parents = table
+        return self._parents
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self.parents.get(node)
+        while current is not None:
+            yield current
+            current = self.parents.get(current)
+
+    def enclosing_functions(self, node: ast.AST) -> list[ast.AST]:
+        """Innermost-first chain of function defs containing *node*."""
+        return [
+            ancestor
+            for ancestor in self.ancestors(node)
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+
+    def located_in(self, *suffixes: str) -> bool:
+        """True when this module's path ends with any of *suffixes*."""
+        return any(self.rel.endswith(suffix) for suffix in suffixes)
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        codes = self.suppressions.get(finding.line)
+        return codes is not None and finding.code in codes
+
+
+class Project:
+    """All modules under lint, for rules that need the cross-module view."""
+
+    def __init__(self, modules: list[SourceModule]):
+        self.modules = modules
+        self.by_rel = {module.rel: module for module in modules}
+
+    def find(self, suffix: str) -> "SourceModule | None":
+        """The unique module whose path ends with *suffix*, if any."""
+        matches = [m for m in self.modules if m.rel.endswith(suffix)]
+        return matches[0] if len(matches) == 1 else None
+
+
+class LintRule(abc.ABC):
+    """One invariant check.  Subclasses set ``code``/``name`` and override
+    :meth:`check_module` (per-file) or :meth:`check_project` (cross-file)."""
+
+    code: str = "RPR000"
+    name: str = "abstract"
+    description: str = ""
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        return ()
+
+    def finding(self, module: SourceModule, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            code=self.code,
+            rule=self.name,
+            path=module.rel,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+_RULES: dict[str, LintRule] = {}
+
+
+def register_rule(cls: type) -> type:
+    """Class decorator: instantiate and register a rule by its code."""
+    rule = cls()
+    if rule.code in _RULES and type(_RULES[rule.code]) is not cls:
+        raise ValueError(f"duplicate lint rule code {rule.code}")
+    _RULES[rule.code] = rule
+    return cls
+
+
+def all_rules() -> tuple[LintRule, ...]:
+    """Registered rules, sorted by code."""
+    return tuple(_RULES[code] for code in sorted(_RULES))
+
+
+# -- the runner ------------------------------------------------------------
+
+
+def _iter_py_files(paths: Iterable["Path | str"]) -> Iterator[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(
+                p for p in path.rglob("*.py") if "__pycache__" not in p.parts
+            )
+        elif path.suffix == ".py":
+            yield path
+
+
+def load_project(paths: Iterable["Path | str"]) -> Project:
+    """Parse every ``.py`` file under *paths* into a :class:`Project`.
+
+    Raises :class:`SyntaxError` (annotated with the file name) when a
+    file does not parse — an unparseable file is itself a finding-level
+    failure, surfaced loudly rather than skipped.
+    """
+    modules = []
+    for path in _iter_py_files(paths):
+        source = path.read_text(encoding="utf-8")
+        modules.append(SourceModule(path, source))
+    return Project(modules)
+
+
+def lint_project(
+    project: Project, *, select: "Iterable[str] | None" = None
+) -> list[Finding]:
+    """Run the (selected) rules over *project*; suppressions applied."""
+    selected = set(select) if select is not None else None
+    rules = [r for r in all_rules() if selected is None or r.code in selected]
+    findings: list[Finding] = []
+    for rule in rules:
+        for module in project.modules:
+            if module.skip:
+                continue
+            findings.extend(rule.check_module(module))
+        findings.extend(rule.check_project(project))
+    kept = [
+        f
+        for f in findings
+        if not (
+            (module := project.by_rel.get(f.path)) is not None
+            and (module.skip or module.is_suppressed(f))
+        )
+    ]
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return kept
+
+
+def lint_paths(
+    paths: Iterable["Path | str"], *, select: "Iterable[str] | None" = None
+) -> list[Finding]:
+    """Lint every python file under *paths* (directories recurse)."""
+    return lint_project(load_project(paths), select=select)
+
+
+def lint_source(
+    source: str, *, path: str = "<string>", select: "Iterable[str] | None" = None
+) -> list[Finding]:
+    """Lint one source string — the fixture-test entry point."""
+    project = Project([SourceModule(Path(path), source)])
+    return lint_project(project, select=select)

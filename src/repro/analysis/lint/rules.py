@@ -1,0 +1,745 @@
+"""The built-in rule catalogue (codes ``RPR001``..``RPR009``).
+
+Each rule encodes one repo invariant:
+
+========  ======================  ==================================================
+code      name                    invariant
+========  ======================  ==================================================
+RPR001    frozen-view-write       no writes through ``.alive``/``.matrix`` outside a
+                                  ``materialize_bool()`` bracket (or ``network.py``)
+RPR002    materialize-repack      every ``materialize_bool()`` is paired with a
+                                  ``repack()`` reached on *all* paths (``finally``),
+                                  and vice versa
+RPR003    inplace-on-shared       no in-place numpy mutation (``&=``, ``out=``,
+                                  ``.fill``, item assignment) of arrays obtained
+                                  from shared template accessors
+RPR004    nested-lock             no lock acquired while holding another, unless the
+                                  module declares the order in ``LOCK_ORDER``
+RPR005    warn-stacklevel         ``warnings.warn`` must pass ``stacklevel``
+RPR006    kernel-wallclock        no wall-clock reads inside ``parsec``/``mesh``/
+                                  ``engines`` kernels (timing belongs to
+                                  ``maspar.cost`` / ``parsec.timing`` / the session)
+RPR007    engine-contract         engines registered in ``registry.py`` implement
+                                  the compiled-artifact ``run`` entry point and
+                                  carry a ``name``
+RPR008    silent-except           no bare ``except:``; no ``except Exception``
+                                  whose body silently swallows
+RPR009    thaw-frozen             no ``setflags(write=True)`` on shared arrays
+========  ======================  ==================================================
+
+Rules are registered by importing this module (the package ``__init__``
+does so); fixture tests in ``tests/test_lint.py`` exercise each rule
+with one triggering and one passing snippet.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.lint.framework import (
+    Finding,
+    LintRule,
+    Project,
+    SourceModule,
+    register_rule,
+)
+
+#: Accessors whose results are shared, frozen template state.
+_SHARED_ACCESSORS = frozenset(
+    {"vector_masks", "vector_masks_bool", "unary_fields", "pair_fields"}
+)
+_SHARED_ATTRIBUTES = frozenset({"base_matrix", "base_bits"})
+
+#: ndarray methods that mutate in place.
+_INPLACE_METHODS = frozenset({"fill", "sort", "partition", "put", "resize", "setflags"})
+
+#: Wall-clock callables banned inside kernels.
+_WALLCLOCK_NAMES = frozenset(
+    {"time", "perf_counter", "monotonic", "process_time", "thread_time"}
+)
+
+
+def _terminal_name(node: ast.AST) -> "str | None":
+    """The rightmost identifier of a Name/Attribute chain, if any."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _own_nodes(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body, *excluding* nested function/class bodies."""
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _calls_of(nodes: Iterable[ast.AST], method: str) -> list[ast.Call]:
+    return [
+        node
+        for node in nodes
+        if isinstance(node, ast.Call) and _terminal_name(node.func) == method
+    ]
+
+
+@register_rule
+class FrozenViewWrite(LintRule):
+    """RPR001: the boolean ``alive``/``matrix`` views are frozen truth
+    mirrors; writing through them is only legal inside a function (or a
+    function nested in one) that establishes boolean mode with
+    ``materialize_bool()`` — or inside ``network.py`` itself, which owns
+    the representation."""
+
+    code = "RPR001"
+    name = "frozen-view-write"
+    description = "write through .alive/.matrix outside a materialize_bool() bracket"
+
+    _VIEWS = frozenset({"alive", "matrix"})
+
+    def _is_view_attr(self, node: ast.AST) -> bool:
+        return isinstance(node, ast.Attribute) and node.attr in self._VIEWS
+
+    @staticmethod
+    def _owner_classes(module: SourceModule) -> set[ast.ClassDef]:
+        """Classes that define ``alive``/``matrix`` as their *own* plain
+        attributes (``self.alive = ...`` in ``__init__``) — duck-typed
+        stand-ins like SyntheticNetwork, not frozen-view holders."""
+        owners = set()
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            init = next(
+                (
+                    n
+                    for n in node.body
+                    if isinstance(n, ast.FunctionDef) and n.name == "__init__"
+                ),
+                None,
+            )
+            if init is None:
+                continue
+            for stmt in ast.walk(init):
+                if isinstance(stmt, ast.Assign) and any(
+                    isinstance(t, ast.Attribute)
+                    and t.attr in ("alive", "matrix")
+                    and isinstance(t.value, ast.Name)
+                    and t.value.id == "self"
+                    for t in stmt.targets
+                ):
+                    owners.add(node)
+                    break
+        return owners
+
+    @staticmethod
+    def _root_name(node: ast.AST) -> "str | None":
+        while isinstance(node, (ast.Attribute, ast.Subscript)):
+            node = node.value
+        return node.id if isinstance(node, ast.Name) else None
+
+    def _write_targets(self, node: ast.AST) -> Iterator[ast.AST]:
+        if isinstance(node, ast.Assign):
+            yield from node.targets
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            yield node.target
+        elif isinstance(node, ast.Delete):
+            yield from node.targets
+
+    def _bracketed(self, module: SourceModule, node: ast.AST) -> bool:
+        for func in module.enclosing_functions(node):
+            for inner in ast.walk(func):
+                if (
+                    isinstance(inner, ast.Call)
+                    and _terminal_name(inner.func) == "materialize_bool"
+                ):
+                    return True
+        return False
+
+    def _owned(self, module: SourceModule, owners: set, hit: ast.AST) -> bool:
+        """True when *hit* is a ``self.alive``/``self.matrix`` write inside
+        a class that defines those as its own plain attributes."""
+        target = hit.func.value if isinstance(hit, ast.Call) else hit
+        if self._root_name(target) != "self":
+            return False
+        return any(
+            ancestor in owners
+            for ancestor in module.ancestors(hit)
+            if isinstance(ancestor, ast.ClassDef)
+        )
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        if module.located_in("network/network.py"):
+            return
+        owners = self._owner_classes(module)
+        for node in ast.walk(module.tree):
+            hits = []
+            for target in self._write_targets(node):
+                if self._is_view_attr(target):
+                    hits.append(target)
+                elif isinstance(target, ast.Subscript) and self._is_view_attr(
+                    target.value
+                ):
+                    hits.append(target)
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _INPLACE_METHODS
+                and self._is_view_attr(node.func.value)
+            ):
+                hits.append(node)
+            for hit in hits:
+                if self._owned(module, owners, hit):
+                    continue
+                if not self._bracketed(module, hit):
+                    yield self.finding(
+                        module,
+                        hit,
+                        "write through the frozen '.alive'/'.matrix' boolean view "
+                        "outside a materialize_bool() bracket; mutate the packed "
+                        "arrays via the network's helpers, or call "
+                        "materialize_bool() first and repack() after",
+                    )
+
+
+@register_rule
+class MaterializeRepack(LintRule):
+    """RPR002: ``materialize_bool()`` flips a network into byte-mutable
+    boolean mode; leaving it there desynchronizes the packed truth for
+    every later consumer.  A function that materializes must repack on
+    all paths (a ``finally`` block), and a bare ``repack()`` with no
+    visible ``materialize_bool()`` is the same bug mirrored."""
+
+    code = "RPR002"
+    name = "materialize-repack"
+    description = "unbalanced materialize_bool()/repack() bracket"
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        if module.located_in("network/network.py"):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            own = list(_own_nodes(node))
+            materializes = _calls_of(own, "materialize_bool")
+            repacks = _calls_of(own, "repack")
+            if materializes and not repacks:
+                yield self.finding(
+                    module,
+                    materializes[0],
+                    "materialize_bool() without a matching repack() in "
+                    f"'{node.name}'; the network is left in boolean mode and its "
+                    "packed arrays go stale",
+                )
+            elif materializes and repacks and not self._any_on_finally(module, repacks):
+                yield self.finding(
+                    module,
+                    repacks[0],
+                    f"repack() in '{node.name}' is skipped when the bracketed code "
+                    "raises; move it into a try/finally so every path repacks",
+                )
+            elif repacks and not materializes:
+                yield self.finding(
+                    module,
+                    repacks[0],
+                    f"repack() without a visible materialize_bool() in '{node.name}'; "
+                    "brackets must open and close in the same function",
+                )
+
+    @staticmethod
+    def _any_on_finally(module: SourceModule, repacks: list[ast.Call]) -> bool:
+        for call in repacks:
+            child: ast.AST = call
+            for ancestor in module.ancestors(call):
+                if isinstance(ancestor, (ast.Try, getattr(ast, "TryStar", ast.Try))):
+                    if any(child is stmt or _contains(stmt, child) for stmt in ancestor.finalbody):
+                        return True
+                child = ancestor
+        return False
+
+
+def _contains(root: ast.AST, node: ast.AST) -> bool:
+    return any(candidate is node for candidate in ast.walk(root))
+
+
+@register_rule
+class InplaceOnShared(LintRule):
+    """RPR003: arrays handed out by ``vector_masks``/``vector_masks_bool``
+    /``unary_fields``/``pair_fields``/``base_matrix`` are shared across
+    every network of a shape; in-place numpy mutation of them corrupts
+    later parses (the arrays are frozen, but ``out=`` and ufunc
+    in-place paths can bypass a stale check)."""
+
+    code = "RPR003"
+    name = "inplace-on-shared"
+    description = "in-place numpy mutation of a shared template accessor result"
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(module, node)
+
+    def _check_function(
+        self, module: SourceModule, func: ast.AST
+    ) -> Iterator[Finding]:
+        own = list(_own_nodes(func))
+        tainted = self._tainted_names(own)
+        if not tainted:
+            return
+
+        def is_tainted(node: ast.AST) -> bool:
+            return isinstance(node, ast.Name) and node.id in tainted
+
+        for node in own:
+            if isinstance(node, ast.AugAssign) and (
+                is_tainted(node.target)
+                or (
+                    isinstance(node.target, ast.Subscript)
+                    and is_tainted(node.target.value)
+                )
+            ):
+                yield self._report(module, node)
+            elif isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Subscript) and is_tainted(t.value)
+                for t in node.targets
+            ):
+                yield self._report(module, node)
+            elif isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _INPLACE_METHODS
+                    and is_tainted(node.func.value)
+                ):
+                    yield self._report(module, node)
+                for keyword in node.keywords:
+                    if keyword.arg == "out" and any(
+                        is_tainted(n) for n in ast.walk(keyword.value)
+                    ):
+                        yield self._report(module, node)
+
+    def _report(self, module: SourceModule, node: ast.AST) -> Finding:
+        return self.finding(
+            module,
+            node,
+            "in-place mutation of an array obtained from a shared template "
+            "accessor (vector_masks/unary_fields/pair_fields/base_matrix); "
+            "copy it first — these arrays are shared across every network "
+            "of the shape",
+        )
+
+    @staticmethod
+    def _tainted_names(own: list[ast.AST]) -> set[str]:
+        """Names bound (directly or via loops/subscripts) to shared arrays."""
+
+        def mentions_source(expr: ast.AST, tainted: set[str]) -> bool:
+            # Attribute reads *on* a shared array (``.nbytes``, ``.shape``,
+            # ``.copy()``) yield scalars or fresh arrays, not the shared
+            # buffer — note each mention's parent to exclude them.
+            parents: dict[ast.AST, ast.AST] = {}
+            for parent in ast.walk(expr):
+                for child in ast.iter_child_nodes(parent):
+                    parents[child] = parent
+            for node in ast.walk(expr):
+                hit = (
+                    isinstance(node, ast.Call)
+                    and _terminal_name(node.func) in _SHARED_ACCESSORS
+                ) or (
+                    isinstance(node, ast.Attribute) and node.attr in _SHARED_ATTRIBUTES
+                ) or (isinstance(node, ast.Name) and node.id in tainted)
+                if hit and not isinstance(parents.get(node), ast.Attribute):
+                    return True
+            return False
+
+        def target_names(target: ast.AST) -> Iterator[str]:
+            if isinstance(target, ast.Name):
+                yield target.id
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                for element in target.elts:
+                    yield from target_names(element)
+            elif isinstance(target, ast.Starred):
+                yield from target_names(target.value)
+
+        tainted: set[str] = set()
+        # Two passes reach one level of propagation through loop targets
+        # and re-assignments (enough for the codebase's idioms).
+        for _ in range(2):
+            for node in own:
+                if isinstance(node, ast.Assign) and mentions_source(node.value, tainted):
+                    for target in node.targets:
+                        tainted.update(target_names(target))
+                elif isinstance(node, (ast.For, ast.AsyncFor)) and mentions_source(
+                    node.iter, tainted
+                ):
+                    tainted.update(target_names(node.target))
+        return tainted
+
+
+@register_rule
+class NestedLock(LintRule):
+    """RPR004: acquiring a lock while holding another deadlocks the first
+    time two threads disagree on the order.  Nested acquisition is only
+    legal when the module pins the order in a ``LOCK_ORDER`` tuple (the
+    serve layer's documented discipline)."""
+
+    code = "RPR004"
+    name = "nested-lock"
+    description = "nested lock acquisition without a declared LOCK_ORDER"
+
+    _LOCKISH = ("lock", "guard", "mutex", "cond")
+
+    def _lock_name(self, expr: ast.AST) -> "str | None":
+        if isinstance(expr, ast.Call):
+            terminal = _terminal_name(expr.func)
+            if terminal == "acquire" and isinstance(expr.func, ast.Attribute):
+                return _terminal_name(expr.func.value)
+            return None
+        terminal = _terminal_name(expr)
+        if terminal is not None and any(
+            piece in terminal.lower() for piece in self._LOCKISH
+        ):
+            return terminal
+        return None
+
+    def _declared_order(self, module: SourceModule) -> tuple[str, ...]:
+        for node in module.tree.body:
+            if isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "LOCK_ORDER" for t in node.targets
+            ):
+                if isinstance(node.value, (ast.Tuple, ast.List)):
+                    return tuple(
+                        element.value
+                        for element in node.value.elts
+                        if isinstance(element, ast.Constant)
+                        and isinstance(element.value, str)
+                    )
+        return ()
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        order = self._declared_order(module)
+        for node in ast.walk(module.tree):
+            inner_name = None
+            if isinstance(node, ast.With):
+                for item in node.items:
+                    inner_name = self._lock_name(item.context_expr)
+                    if inner_name:
+                        break
+            elif isinstance(node, ast.Call):
+                inner_name = self._lock_name(node)  # .acquire() form
+            if inner_name is None:
+                continue
+            held = self._held_locks(module, node)
+            for outer_name in held:
+                if outer_name == inner_name:
+                    continue
+                if self._ordered(order, outer_name, inner_name):
+                    continue
+                yield self.finding(
+                    module,
+                    node,
+                    f"'{inner_name}' acquired while holding '{outer_name}' with no "
+                    "LOCK_ORDER declaring that order; nested acquisition deadlocks "
+                    "the first time two threads disagree",
+                )
+
+    def _held_locks(self, module: SourceModule, node: ast.AST) -> list[str]:
+        held = []
+        for ancestor in module.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                break
+            if isinstance(ancestor, ast.With):
+                for item in ancestor.items:
+                    name = self._lock_name(item.context_expr)
+                    if name:
+                        held.append(name)
+        return held
+
+    @staticmethod
+    def _ordered(order: tuple[str, ...], outer: str, inner: str) -> bool:
+        if outer in order and inner in order:
+            return order.index(outer) < order.index(inner)
+        return False
+
+
+@register_rule
+class WarnStacklevel(LintRule):
+    """RPR005: a ``warnings.warn`` without ``stacklevel`` points the user
+    at library internals instead of their own call site."""
+
+    code = "RPR005"
+    name = "warn-stacklevel"
+    description = "warnings.warn without stacklevel"
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        bare_warn_imported = any(
+            isinstance(node, ast.ImportFrom)
+            and node.module == "warnings"
+            and any(alias.name == "warn" for alias in node.names)
+            for node in ast.walk(module.tree)
+        )
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            is_warn = (
+                isinstance(func, ast.Attribute)
+                and func.attr == "warn"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "warnings"
+            ) or (
+                bare_warn_imported
+                and isinstance(func, ast.Name)
+                and func.id == "warn"
+            )
+            if is_warn and not any(k.arg == "stacklevel" for k in node.keywords):
+                yield self.finding(
+                    module,
+                    node,
+                    "warnings.warn without stacklevel=; the warning will point at "
+                    "repro internals instead of the caller",
+                )
+
+
+@register_rule
+class KernelWallclock(LintRule):
+    """RPR006: kernels must stay deterministic and cost-modelled — timing
+    belongs to ``maspar.cost``/``parsec.timing`` and the session layer,
+    never inside ``parsec``/``mesh``/``engines`` code."""
+
+    code = "RPR006"
+    name = "kernel-wallclock"
+    description = "wall-clock read inside a kernel module"
+
+    _KERNEL_DIRS = ("/parsec/", "/mesh/", "/engines/")
+    _EXEMPT = ("parsec/timing.py",)
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        rel = "/" + module.rel
+        if not any(piece in rel for piece in self._KERNEL_DIRS):
+            return
+        if module.located_in(*self._EXEMPT):
+            return
+        from_time_imports = {
+            alias.asname or alias.name
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.ImportFrom) and node.module == "time"
+            for alias in node.names
+        }
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            flagged = (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and (
+                    (func.value.id == "time" and func.attr in _WALLCLOCK_NAMES)
+                    or (func.value.id == "datetime" and func.attr in ("now", "utcnow"))
+                )
+            ) or (isinstance(func, ast.Name) and func.id in from_time_imports)
+            if flagged:
+                yield self.finding(
+                    module,
+                    node,
+                    "wall-clock read inside a kernel module; kernels are "
+                    "deterministic and cost-modelled — record timing in the "
+                    "session layer or the machine cost model",
+                )
+
+
+@register_rule
+class EngineContract(LintRule):
+    """RPR007: every engine the registry exposes must implement the
+    compiled-artifact entry point — ``run(network, *, compiled=...,
+    filter_limit=..., trace=...)`` — and carry a ``name`` attribute, or
+    the session/serve layers break at dispatch time."""
+
+    code = "RPR007"
+    name = "engine-contract"
+    description = "registered engine missing the compiled-artifact run() contract"
+
+    _REQUIRED_KWARGS = ("compiled", "filter_limit", "trace")
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        registry = project.find("engines/registry.py")
+        if registry is None:
+            return
+        imports = self._class_modules(registry)
+        for node, class_name in self._registered_classes(registry):
+            module_path = imports.get(class_name)
+            target = project.find(module_path) if module_path else None
+            if target is None:
+                continue  # registered from outside the linted tree
+            class_def = next(
+                (
+                    n
+                    for n in ast.walk(target.tree)
+                    if isinstance(n, ast.ClassDef) and n.name == class_name
+                ),
+                None,
+            )
+            if class_def is None:
+                continue
+            yield from self._check_class(registry, node, target, class_def)
+
+    def _check_class(
+        self,
+        registry: SourceModule,
+        registration: ast.AST,
+        target: SourceModule,
+        class_def: ast.ClassDef,
+    ) -> Iterator[Finding]:
+        run = next(
+            (
+                n
+                for n in class_def.body
+                if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and n.name == "run"
+            ),
+            None,
+        )
+        has_name = any(
+            isinstance(stmt, ast.Assign)
+            and any(isinstance(t, ast.Name) and t.id == "name" for t in stmt.targets)
+            for stmt in class_def.body
+        )
+        problems = []
+        if run is None:
+            problems.append("no run() method")
+        else:
+            kwonly = {arg.arg for arg in run.args.kwonlyargs}
+            missing = [k for k in self._REQUIRED_KWARGS if k not in kwonly]
+            if missing:
+                problems.append(
+                    f"run() missing keyword-only parameter(s) {', '.join(missing)}"
+                )
+        if not has_name:
+            problems.append("no class-level 'name' attribute")
+        if problems:
+            yield self.finding(
+                target,
+                class_def,
+                f"engine '{class_def.name}' is registered in "
+                f"{registry.rel} but does not satisfy the compiled-artifact "
+                f"contract: {'; '.join(problems)}",
+            )
+
+    @staticmethod
+    def _class_modules(registry: SourceModule) -> dict[str, str]:
+        """class name -> module path suffix, from the registry's imports."""
+        out = {}
+        for node in ast.walk(registry.tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                suffix = node.module.replace(".", "/") + ".py"
+                for alias in node.names:
+                    out[alias.asname or alias.name] = suffix
+        return out
+
+    @staticmethod
+    def _registered_classes(
+        registry: SourceModule,
+    ) -> Iterator[tuple[ast.AST, str]]:
+        for node in ast.walk(registry.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            terminal = _terminal_name(node.func)
+            if terminal not in ("register_engine", "setdefault") or len(node.args) != 2:
+                continue
+            factory = node.args[1]
+            if isinstance(factory, ast.Name):
+                yield node, factory.id
+            elif isinstance(factory, ast.Lambda):
+                for inner in ast.walk(factory.body):
+                    if isinstance(inner, ast.Call) and isinstance(inner.func, ast.Name):
+                        yield node, inner.func.id
+                        break
+
+
+@register_rule
+class SilentExcept(LintRule):
+    """RPR008: a bare ``except:`` (or a broad handler that just passes)
+    hides real failures — the serve layer's conservation laws and the
+    engines' bit-identity both depend on errors surfacing."""
+
+    code = "RPR008"
+    name = "silent-except"
+    description = "bare or silently-swallowing broad except"
+
+    _BROAD = frozenset({"Exception", "BaseException"})
+
+    def _is_broad(self, node: "ast.expr | None") -> bool:
+        if node is None:
+            return True
+        if isinstance(node, ast.Tuple):
+            return any(self._is_broad(element) for element in node.elts)
+        return _terminal_name(node) in self._BROAD
+
+    @staticmethod
+    def _is_silent(body: list[ast.stmt]) -> bool:
+        return all(
+            isinstance(stmt, (ast.Pass, ast.Continue))
+            or (
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+                and stmt.value.value is Ellipsis
+            )
+            for stmt in body
+        )
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    module,
+                    node,
+                    "bare 'except:' catches SystemExit/KeyboardInterrupt too; "
+                    "name the exceptions this handler is for",
+                )
+            elif self._is_broad(node.type) and self._is_silent(node.body):
+                yield self.finding(
+                    module,
+                    node,
+                    "broad except silently swallows the error; handle it, log it, "
+                    "or narrow the exception type",
+                )
+
+
+@register_rule
+class ThawFrozen(LintRule):
+    """RPR009: shared arrays are frozen exactly once, by their owner;
+    ``setflags(write=True)`` anywhere else re-opens the shared-mutation
+    hole the freeze exists to close."""
+
+    code = "RPR009"
+    name = "thaw-frozen"
+    description = "setflags(write=True) outside the owning module"
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and _terminal_name(node.func) == "setflags"
+            ):
+                continue
+            thaws = any(
+                keyword.arg == "write"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+                for keyword in node.keywords
+            ) or (
+                node.args
+                and isinstance(node.args[0], ast.Constant)
+                and node.args[0].value is True
+            )
+            if thaws:
+                yield self.finding(
+                    module,
+                    node,
+                    "setflags(write=True) re-thaws a frozen shared array; copy it "
+                    "instead of unfreezing the shared instance",
+                )

@@ -11,7 +11,7 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title
     widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
 
     def line(row: Sequence[str]) -> str:
-        return "  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
+        return "  ".join(cell.ljust(width) for cell, width in zip(row, widths, strict=True)).rstrip()
 
     out = []
     if title:

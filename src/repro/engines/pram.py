@@ -48,96 +48,101 @@ class PRAMEngine(ParserEngine):
         trace: TraceHook | None = None,
     ) -> EngineStats:
         compiled = compiled or compile_grammar(network.grammar)
-        # The host read-backs write the boolean arrays in place.
+        # The host read-backs write the boolean arrays in place; repack
+        # on every exit so callers always get a packed network back.
         network.materialize_bool()
-        stats = EngineStats()
-        nv = network.nv
-        n_roles = network.n_roles
-        pram = CRCWPram(policy=self.policy)
-        role_values = network.role_values
-        role_index = network.role_index
-        canbe = network.canbe_sets
+        try:
+            stats = EngineStats()
+            nv = network.nv
+            n_roles = network.n_roles
+            pram = CRCWPram(policy=self.policy)
+            role_values = network.role_values
+            role_index = network.role_index
+            canbe = network.canbe_sets
 
-        pram.alloc("alive", (nv,), dtype=np.int8)
-        pram.alloc("M", (nv, nv), dtype=np.int8)
-        pram.alloc("support", (nv, n_roles), dtype=np.int8)
-        pram.alloc("changed", (1,), dtype=np.int8)
+            pram.alloc("alive", (nv,), dtype=np.int8)
+            pram.alloc("M", (nv, nv), dtype=np.int8)
+            pram.alloc("support", (nv, n_roles), dtype=np.int8)
+            pram.alloc("changed", (1,), dtype=np.int8)
 
-        # -- generation: every role value / matrix entry in parallel -----
-        pram.step(nv, lambda ctx: ctx.write("alive", ctx.pid, 1))
+            # -- generation: every role value / matrix entry in parallel -----
+            pram.step(nv, lambda ctx: ctx.write("alive", ctx.pid, 1))
 
-        init_matrix = network.matrix  # includes category coherence
-        def generate_matrix(ctx):
-            a, b = divmod(ctx.pid, nv)
-            ctx.write("M", a, b, 1 if init_matrix[a, b] else 0)
+            init_matrix = network.matrix  # includes category coherence
+            def generate_matrix(ctx):
+                a, b = divmod(ctx.pid, nv)
+                ctx.write("M", a, b, 1 if init_matrix[a, b] else 0)
 
-        pram.step(nv * nv, generate_matrix)
+            pram.step(nv * nv, generate_matrix)
 
-        def sync(event: str) -> None:
+            def sync(event: str) -> None:
+                network.alive[:] = pram.host_read("alive").astype(bool)
+                network.matrix[:] = pram.host_read("M").astype(bool)
+                if trace:
+                    trace(event, network)
+
+            # -- unary constraints: one step each, O(n^2) processors ----------
+            for constraint in compiled.unary:
+                permits = constraint.scalar
+
+                def unary_program(ctx, permits=permits):
+                    if ctx.read("alive", ctx.pid):
+                        env = EvalEnv(x=role_values[ctx.pid], y=None, canbe=canbe)
+                        stats.unary_checks += 1
+                        if not permits(env):
+                            ctx.write("alive", ctx.pid, 0)
+
+                pram.step(nv, unary_program)
+                self._zero_dead_rows(pram, nv)
+                sync(f"unary:{constraint.name}")
+            sync("unary-done")
+
+            # -- binary constraints: one step each, O(n^4) processors ----------
+            for constraint in compiled.binary:
+                permits = constraint.scalar
+
+                def binary_program(ctx, permits=permits):
+                    a, b = divmod(ctx.pid, nv)
+                    if a == b or role_index[a] == role_index[b]:
+                        return
+                    if not ctx.read("M", a, b):
+                        return
+                    env = EvalEnv(x=role_values[a], y=role_values[b], canbe=canbe)
+                    stats.pair_checks += 1
+                    if not permits(env):
+                        ctx.write("M", a, b, 0)
+                        ctx.write("M", b, a, 0)
+
+                pram.step(nv * nv, binary_program)
+                sync(f"binary:{constraint.name}")
+                killed = self._consistency(pram, network, stats)
+                stats.role_values_killed += killed
+                stats.consistency_passes += 1
+                sync(f"consistency:{constraint.name}")
+
+            # -- filtering ------------------------------------------------------
+            iterations = 0
+            while filter_limit is None or iterations < filter_limit:
+                killed = self._consistency(pram, network, stats)
+                stats.consistency_passes += 1
+                if killed == 0:
+                    break
+                stats.role_values_killed += killed
+                iterations += 1
+            stats.filtering_iterations = iterations
+
             network.alive[:] = pram.host_read("alive").astype(bool)
             network.matrix[:] = pram.host_read("M").astype(bool)
             if trace:
-                trace(event, network)
+                trace("filtering-done", network)
 
-        # -- unary constraints: one step each, O(n^2) processors ----------
-        for constraint in compiled.unary:
-            permits = constraint.scalar
-
-            def unary_program(ctx, permits=permits):
-                if ctx.read("alive", ctx.pid):
-                    env = EvalEnv(x=role_values[ctx.pid], y=None, canbe=canbe)
-                    stats.unary_checks += 1
-                    if not permits(env):
-                        ctx.write("alive", ctx.pid, 0)
-
-            pram.step(nv, unary_program)
-            self._zero_dead_rows(pram, nv)
-            sync(f"unary:{constraint.name}")
-        sync("unary-done")
-
-        # -- binary constraints: one step each, O(n^4) processors ----------
-        for constraint in compiled.binary:
-            permits = constraint.scalar
-
-            def binary_program(ctx, permits=permits):
-                a, b = divmod(ctx.pid, nv)
-                if a == b or role_index[a] == role_index[b]:
-                    return
-                if not ctx.read("M", a, b):
-                    return
-                env = EvalEnv(x=role_values[a], y=role_values[b], canbe=canbe)
-                stats.pair_checks += 1
-                if not permits(env):
-                    ctx.write("M", a, b, 0)
-                    ctx.write("M", b, a, 0)
-
-            pram.step(nv * nv, binary_program)
-            sync(f"binary:{constraint.name}")
-            killed = self._consistency(pram, network, stats)
-            stats.role_values_killed += killed
-            stats.consistency_passes += 1
-            sync(f"consistency:{constraint.name}")
-
-        # -- filtering ------------------------------------------------------
-        iterations = 0
-        while filter_limit is None or iterations < filter_limit:
-            killed = self._consistency(pram, network, stats)
-            stats.consistency_passes += 1
-            if killed == 0:
-                break
-            stats.role_values_killed += killed
-            iterations += 1
-        stats.filtering_iterations = iterations
-
-        network.alive[:] = pram.host_read("alive").astype(bool)
-        network.matrix[:] = pram.host_read("M").astype(bool)
-        if trace:
-            trace("filtering-done", network)
-
-        stats.parallel_steps = pram.stats.steps
-        stats.processors = pram.stats.peak_processors
-        stats.extra["total_work"] = pram.stats.total_work
-        return stats
+            stats.parallel_steps = pram.stats.steps
+            stats.processors = pram.stats.peak_processors
+            stats.extra["total_work"] = pram.stats.total_work
+            stats.extra["network_bytes"] = network.state_nbytes()
+            return stats
+        finally:
+            network.repack()
 
     # -- building blocks -----------------------------------------------------
 

@@ -53,69 +53,76 @@ class SerialEngine(ParserEngine):
     ) -> EngineStats:
         compiled = compiled or compile_grammar(network.grammar)
         # The oracle's faithfulness *is* byte-level mutation: flip the
-        # network to its writable boolean view for the explicit loops.
+        # network to its writable boolean view for the explicit loops,
+        # and hand back a packed network no matter how we exit.
         network.materialize_bool()
-        stats = EngineStats(processors=1)
-        env = EvalEnv(x=None, y=None, canbe=network.canbe_sets)  # type: ignore[arg-type]
+        try:
+            stats = EngineStats(processors=1)
+            env = EvalEnv(x=None, y=None, canbe=network.canbe_sets)  # type: ignore[arg-type]
 
-        # -- unary propagation ------------------------------------------
-        for constraint in compiled.unary:
-            permits = constraint.scalar
-            dead = []
-            for index in np.nonzero(network.alive)[0]:
-                env.x = network.role_values[index]
-                stats.unary_checks += 1
-                if not permits(env):
-                    dead.append(index)
-            network.kill(np.asarray(dead, dtype=np.int64))
-            stats.role_values_killed += len(dead)
-            if trace:
-                trace(f"unary:{constraint.name}", network)
-        if trace:
-            trace("unary-done", network)
-
-        # -- binary propagation, one consistency sweep per constraint ----
-        for constraint in compiled.binary:
-            permits = constraint.scalar
-            candidates = (
-                np.arange(network.nv) if self.exhaustive else np.nonzero(network.alive)[0]
-            )
-            zeroed = 0
-            for a in candidates:
-                rv_a = network.role_values[a]
-                role_a = network.role_index[a]
-                for b in candidates:
-                    if network.role_index[b] == role_a:
-                        continue
-                    stats.pair_checks += 1
-                    if not self.exhaustive and not network.matrix[a, b]:
-                        continue
-                    env.x = rv_a
-                    env.y = network.role_values[b]
+            # -- unary propagation ------------------------------------------
+            for constraint in compiled.unary:
+                permits = constraint.scalar
+                dead = []
+                for index in np.nonzero(network.alive)[0]:
+                    env.x = network.role_values[index]
+                    stats.unary_checks += 1
                     if not permits(env):
-                        if network.matrix[a, b]:
-                            zeroed += 2
-                        network.matrix[a, b] = False
-                        network.matrix[b, a] = False
-            stats.matrix_entries_zeroed += zeroed
+                        dead.append(index)
+                network.kill(np.asarray(dead, dtype=np.int64))
+                stats.role_values_killed += len(dead)
+                if trace:
+                    trace(f"unary:{constraint.name}", network)
             if trace:
-                trace(f"binary:{constraint.name}", network)
+                trace("unary-done", network)
 
-            killed = consistency_step_serial(network)
-            stats.role_values_killed += killed
-            stats.consistency_passes += 1
+            # -- binary propagation, one consistency sweep per constraint ----
+            for constraint in compiled.binary:
+                permits = constraint.scalar
+                candidates = (
+                    np.arange(network.nv) if self.exhaustive else np.nonzero(network.alive)[0]
+                )
+                zeroed = 0
+                for a in candidates:
+                    rv_a = network.role_values[a]
+                    role_a = network.role_index[a]
+                    for b in candidates:
+                        if network.role_index[b] == role_a:
+                            continue
+                        stats.pair_checks += 1
+                        if not self.exhaustive and not network.matrix[a, b]:
+                            continue
+                        env.x = rv_a
+                        env.y = network.role_values[b]
+                        if not permits(env):
+                            if network.matrix[a, b]:
+                                zeroed += 2
+                            network.matrix[a, b] = False
+                            network.matrix[b, a] = False
+                stats.matrix_entries_zeroed += zeroed
+                if trace:
+                    trace(f"binary:{constraint.name}", network)
+
+                killed = consistency_step_serial(network)
+                stats.role_values_killed += killed
+                stats.consistency_passes += 1
+                if trace:
+                    trace(f"consistency:{constraint.name}", network)
+
+            # -- filtering ----------------------------------------------------
+
+            def counting_step(net: ConstraintNetwork) -> int:
+                killed = consistency_step_serial(net)
+                stats.role_values_killed += killed
+                stats.consistency_passes += 1
+                return killed
+
+            stats.filtering_iterations = filter_network(network, counting_step, limit=filter_limit)
             if trace:
-                trace(f"consistency:{constraint.name}", network)
-
-        # -- filtering ----------------------------------------------------
-
-        def counting_step(net: ConstraintNetwork) -> int:
-            killed = consistency_step_serial(net)
-            stats.role_values_killed += killed
-            stats.consistency_passes += 1
-            return killed
-
-        stats.filtering_iterations = filter_network(network, counting_step, limit=filter_limit)
-        if trace:
-            trace("filtering-done", network)
-        return stats
+                trace("filtering-done", network)
+            # Report the working representation's footprint before run()'s
+            # finally-repack folds it back to packed words.
+            stats.extra["network_bytes"] = network.state_nbytes()
+            return stats
+        finally:
+            network.repack()

@@ -71,13 +71,41 @@ class VectorEngine(ParserEngine):
         compiled = compiled or compile_grammar(network.grammar)
         if self.packed:
             masks = network.template.vector_masks(compiled)
-        else:
-            network.materialize_bool()
+            return self._run(
+                network,
+                masks=masks,
+                compiled=compiled,
+                filter_limit=filter_limit,
+                trace=trace,
+            )
+        # Byte-per-bool comparison path: bracket the boolean working
+        # representation so the network comes back packed even on error.
+        network.materialize_bool()
+        try:
             masks = network.template.vector_masks_bool(compiled)
+            return self._run(
+                network,
+                masks=masks,
+                compiled=compiled,
+                filter_limit=filter_limit,
+                trace=trace,
+            )
+        finally:
+            network.repack()
+
+    def _run(
+        self,
+        network: ConstraintNetwork,
+        *,
+        masks,
+        compiled: CompiledGrammar,
+        filter_limit: int | None,
+        trace: TraceHook | None,
+    ) -> EngineStats:
         stats = EngineStats()
 
         # -- unary propagation: one cached permitted vector per constraint
-        for constraint, permitted in zip(compiled.unary, masks.unary):
+        for constraint, permitted in zip(compiled.unary, masks.unary, strict=True):
             dead = np.nonzero(network.alive & ~permitted)[0]
             stats.unary_checks += network.alive_count()
             network.kill(dead)
@@ -88,7 +116,7 @@ class VectorEngine(ParserEngine):
             trace("unary-done", network)
 
         # -- binary propagation: one cached mask per constraint ----------
-        for constraint, both in zip(compiled.binary, masks.binary):
+        for constraint, both in zip(compiled.binary, masks.binary, strict=True):
             stats.pair_checks += network.nv * network.nv
             if self.packed:
                 stats.matrix_entries_zeroed += network.apply_pair_mask_bits(both)
@@ -116,4 +144,8 @@ class VectorEngine(ParserEngine):
         stats.filtering_iterations = filter_network(network, counting_step, limit=filter_limit)
         if trace:
             trace("filtering-done", network)
+        # Record the working representation's footprint here, before the
+        # byte path's finally-repack folds back to packed words — the
+        # memory benchmark compares these numbers across the two cores.
+        stats.extra["network_bytes"] = network.state_nbytes()
         return stats

@@ -219,16 +219,20 @@ class MeshEngine(ParserEngine):
 
     @staticmethod
     def _read_back(network: ConstraintNetwork, mesh: MeshMachine, sizes: list[int]) -> None:
-        network.materialize_bool()  # the readout writes the boolean view in place
-        blocks = mesh.plane("blocks")
-        row_alive = mesh.plane("row_alive")
-        R = network.n_roles
-        for role, sl in enumerate(network.role_slices):
-            network.alive[sl] = row_alive[role, 0, : sizes[role]]
-        matrix = np.zeros_like(network.matrix)
-        for i, sl_i in enumerate(network.role_slices):
-            for j, sl_j in enumerate(network.role_slices):
-                if i == j:
-                    continue
-                matrix[sl_i, sl_j] = blocks[i, j, : sizes[i], : sizes[j]]
-        network.matrix[:] = matrix
+        # The readout writes the boolean view in place; repack afterward
+        # so the caller gets the network back in packed mode.
+        network.materialize_bool()
+        try:
+            blocks = mesh.plane("blocks")
+            row_alive = mesh.plane("row_alive")
+            for role, sl in enumerate(network.role_slices):
+                network.alive[sl] = row_alive[role, 0, : sizes[role]]
+            matrix = np.zeros_like(network.matrix)
+            for i, sl_i in enumerate(network.role_slices):
+                for j, sl_j in enumerate(network.role_slices):
+                    if i == j:
+                        continue
+                    matrix[sl_i, sl_j] = blocks[i, j, : sizes[i], : sizes[j]]
+            network.matrix[:] = matrix
+        finally:
+            network.repack()

@@ -40,7 +40,7 @@ def render_arc_matrix(
     lines.append(
         " " * (width + 2) + " ".join(name.rjust(width) for name in col_names)
     )
-    for i, row_name in zip(rows, row_names):
+    for i, row_name in zip(rows, row_names, strict=True):
         cells = " ".join(
             ("1" if net.matrix[i, j] else "0").rjust(width) for j in cols
         )

@@ -244,7 +244,7 @@ def consistency_step(machine: MP1, layout: PELayout, state: ParsecState) -> int:
 
     for s in range(S):  # the constant-factor label loop of Figure 13
         # OR over the rows of the local submatrix column s.
-        local_or = machine.elementwise(lambda: state.submat[:, :, s].any(axis=1), ops=S)
+        local_or = machine.elementwise(lambda s=s: state.submat[:, :, s].any(axis=1), ops=S)
         # OR across the row modifiees of each arc (scanOr segments).
         arc_or = machine.segment_or(local_or, layout.fine_seg)
         # AND across the arcs (scanAnd segments); disabled self-arc PEs
@@ -265,20 +265,25 @@ def read_back(layout: PELayout, state: ParsecState, network: ConstraintNetwork) 
     Not a machine operation: the host reads results off the array after
     parsing, so no cycles are charged.
     """
-    network.materialize_bool()  # the readout writes the boolean view in place
-    S = layout.n_slots
-    valid = layout.rv_id >= 0
-    alive = np.zeros(network.nv, dtype=bool)
-    alive[layout.rv_id[valid]] = state.rv_alive[valid]
-    network.alive[:] = alive
+    # The readout writes the boolean view in place; repack afterward so
+    # the caller gets the network back in packed mode.
+    network.materialize_bool()
+    try:
+        S = layout.n_slots
+        valid = layout.rv_id >= 0
+        alive = np.zeros(network.nv, dtype=bool)
+        alive[layout.rv_id[valid]] = state.rv_alive[valid]
+        network.alive[:] = alive
 
-    matrix = np.zeros((network.nv, network.nv), dtype=bool)
-    row_ids_all = layout.rv_id[layout.row_role, layout.row_mod_idx]  # (V, S)
-    col_ids_all = layout.rv_id[layout.col_role, layout.col_mod_idx]
-    for sr in range(S):
-        row_ids = row_ids_all[:, sr]
-        for sc in range(S):
-            col_ids = col_ids_all[:, sc]
-            ok = (row_ids >= 0) & (col_ids >= 0) & layout.enabled
-            matrix[row_ids[ok], col_ids[ok]] = state.submat[ok, sr, sc]
-    network.matrix[:] = matrix
+        matrix = np.zeros((network.nv, network.nv), dtype=bool)
+        row_ids_all = layout.rv_id[layout.row_role, layout.row_mod_idx]  # (V, S)
+        col_ids_all = layout.rv_id[layout.col_role, layout.col_mod_idx]
+        for sr in range(S):
+            row_ids = row_ids_all[:, sr]
+            for sc in range(S):
+                col_ids = col_ids_all[:, sc]
+                ok = (row_ids >= 0) & (col_ids >= 0) & layout.enabled
+                matrix[row_ids[ok], col_ids[ok]] = state.submat[ok, sr, sc]
+        network.matrix[:] = matrix
+    finally:
+        network.repack()

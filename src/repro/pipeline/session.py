@@ -129,10 +129,10 @@ class ParserSession:
             )
             stats.wall_seconds = time.perf_counter() - started
             stats.engine = self.engine.name
-            # Memory accounting: the settled network's resident state
-            # (packed or boolean, as the engine left it) and the bytes
-            # pinned by this session's template cache.
-            stats.extra["network_bytes"] = network.state_nbytes()
+            # Memory accounting: engines that work on a boolean
+            # representation record their own footprint before their
+            # finally-repack; default to the settled (packed) state.
+            stats.extra.setdefault("network_bytes", network.state_nbytes())
             stats.extra["template_cache_bytes"] = self.cached_bytes()
             return ParseResult(
                 network=network,

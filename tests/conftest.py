@@ -15,6 +15,25 @@ def toy_grammar():
     return program_grammar()
 
 
+@pytest.fixture
+def sanitized():
+    """Enable the runtime sanitizer for one test, then restore.
+
+    Yields the :mod:`repro.analysis.sanitizer` module so tests can
+    reach :class:`~repro.analysis.sanitizer.SanitizerError` and the
+    recorded diagnostics.
+    """
+    from repro.analysis import sanitizer
+
+    was_enabled = sanitizer.is_enabled()
+    sanitizer.enable()
+    try:
+        yield sanitizer
+    finally:
+        if not was_enabled:
+            sanitizer.disable()
+
+
 @pytest.fixture(params=["serial", "vector"])
 def engine(request):
     """Parametrize a test over the two pure-software engines."""

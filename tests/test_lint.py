@@ -1,0 +1,420 @@
+"""The repro-lint framework, the rule catalogue, and the CLI.
+
+Each rule gets one triggering and one passing fixture (the ISSUE's
+acceptance bar), the framework's suppression/skip machinery is covered,
+and the whole ``src`` tree must lint clean — the same gate CI enforces.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (
+    Project,
+    SourceModule,
+    all_rules,
+    lint_paths,
+    lint_project,
+    lint_source,
+)
+from repro.analysis.lint.cli import main as lint_main
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def codes(findings) -> list[str]:
+    return [f.code for f in findings]
+
+
+class TestRuleCatalogue:
+    def test_at_least_eight_rules(self):
+        assert len(all_rules()) >= 8
+
+    def test_codes_are_unique_and_well_formed(self):
+        seen = [rule.code for rule in all_rules()]
+        assert len(seen) == len(set(seen))
+        for code in seen:
+            assert re.fullmatch(r"RPR\d{3}", code)
+
+    def test_every_rule_has_name_and_description(self):
+        for rule in all_rules():
+            assert rule.name
+            assert rule.description
+
+
+class TestFramework:
+    def test_suppression_comment_silences_one_code(self):
+        source = (
+            "def f(net):\n"
+            "    net.alive[0] = False  # repro-lint: ignore[RPR001]\n"
+        )
+        assert lint_source(source, select={"RPR001"}) == []
+
+    def test_suppression_is_per_code(self):
+        source = (
+            "def f(net):\n"
+            "    net.alive[0] = False  # repro-lint: ignore[RPR005]\n"
+        )
+        assert codes(lint_source(source, select={"RPR001"})) == ["RPR001"]
+
+    def test_skip_file_pragma(self):
+        source = (
+            "# repro-lint: skip-file\n"
+            "def f(net):\n"
+            "    net.alive[0] = False\n"
+        )
+        assert lint_source(source) == []
+
+    def test_findings_sorted_and_located(self):
+        source = (
+            "import warnings\n"
+            "def f(net):\n"
+            "    warnings.warn('x')\n"
+            "    net.alive[0] = False\n"
+        )
+        findings = lint_source(source, path="mod.py")
+        assert [f.line for f in findings] == sorted(f.line for f in findings)
+        assert all(f.path == "mod.py" for f in findings)
+        rendered = findings[0].render()
+        assert rendered.startswith("mod.py:") and findings[0].code in rendered
+
+    def test_unparseable_source_raises(self):
+        with pytest.raises(SyntaxError):
+            lint_source("def f(:\n")
+
+
+class TestFrozenViewWriteRPR001:
+    def test_trigger_unbracketed_write(self):
+        source = "def f(net):\n    net.matrix[0, 1] = False\n"
+        assert codes(lint_source(source, select={"RPR001"})) == ["RPR001"]
+
+    def test_trigger_inplace_method(self):
+        source = "def f(net):\n    net.alive.fill(False)\n"
+        assert codes(lint_source(source, select={"RPR001"})) == ["RPR001"]
+
+    def test_pass_inside_materialize_bracket(self):
+        source = (
+            "def f(net):\n"
+            "    net.materialize_bool()\n"
+            "    try:\n"
+            "        net.alive[0] = False\n"
+            "    finally:\n"
+            "        net.repack()\n"
+        )
+        assert lint_source(source, select={"RPR001"}) == []
+
+    def test_pass_nested_function_inherits_bracket(self):
+        source = (
+            "def f(net):\n"
+            "    net.materialize_bool()\n"
+            "    try:\n"
+            "        def sync():\n"
+            "            net.alive[0] = False\n"
+            "        sync()\n"
+            "    finally:\n"
+            "        net.repack()\n"
+        )
+        assert lint_source(source, select={"RPR001"}) == []
+
+    def test_pass_duck_typed_owner_class(self):
+        source = (
+            "class SyntheticNetwork:\n"
+            "    def __init__(self, n):\n"
+            "        self.alive = make(n)\n"
+            "        self.matrix = make2(n)\n"
+            "    def kill(self, i):\n"
+            "        self.alive[i] = False\n"
+            "        self.matrix[i, :] = False\n"
+        )
+        assert lint_source(source, select={"RPR001"}) == []
+
+    def test_pass_network_py_owns_the_representation(self):
+        source = "def f(self):\n    self.matrix[0, 1] = False\n"
+        assert (
+            lint_source(source, path="src/repro/network/network.py", select={"RPR001"})
+            == []
+        )
+
+
+class TestMaterializeRepackRPR002:
+    def test_trigger_materialize_without_repack(self):
+        source = "def run(net):\n    net.materialize_bool()\n"
+        findings = lint_source(source, select={"RPR002"})
+        assert codes(findings) == ["RPR002"]
+        assert "without a matching repack" in findings[0].message
+
+    def test_trigger_repack_not_in_finally(self):
+        source = (
+            "def run(net):\n"
+            "    net.materialize_bool()\n"
+            "    work(net)\n"
+            "    net.repack()\n"
+        )
+        findings = lint_source(source, select={"RPR002"})
+        assert codes(findings) == ["RPR002"]
+        assert "try/finally" in findings[0].message
+
+    def test_trigger_repack_without_materialize(self):
+        source = "def run(net):\n    net.repack()\n"
+        findings = lint_source(source, select={"RPR002"})
+        assert codes(findings) == ["RPR002"]
+        assert "without a visible materialize_bool" in findings[0].message
+
+    def test_pass_balanced_finally_bracket(self):
+        source = (
+            "def run(net):\n"
+            "    net.materialize_bool()\n"
+            "    try:\n"
+            "        work(net)\n"
+            "    finally:\n"
+            "        net.repack()\n"
+        )
+        assert lint_source(source, select={"RPR002"}) == []
+
+
+class TestInplaceOnSharedRPR003:
+    def test_trigger_augassign_on_accessor_result(self):
+        source = (
+            "def f(template, compiled, other):\n"
+            "    masks = template.vector_masks(compiled)\n"
+            "    masks &= other\n"
+        )
+        assert codes(lint_source(source, select={"RPR003"})) == ["RPR003"]
+
+    def test_trigger_out_kwarg_targets_shared(self):
+        source = (
+            "import numpy as np\n"
+            "def f(template, other):\n"
+            "    base = template.base_matrix\n"
+            "    np.logical_and(base, other, out=base)\n"
+        )
+        assert codes(lint_source(source, select={"RPR003"})) == ["RPR003"]
+
+    def test_pass_copy_breaks_the_taint(self):
+        source = (
+            "def f(template, compiled, other):\n"
+            "    masks = template.vector_masks(compiled).copy\n"
+            "    masks &= other\n"
+        )
+        assert lint_source(source, select={"RPR003"}) == []
+
+    def test_pass_scalar_attribute_reads_do_not_taint(self):
+        source = (
+            "def nbytes(self):\n"
+            "    total = self.base_bits.nbytes + self.canbe_array.nbytes\n"
+            "    total += self.base_bits.nbytes\n"
+            "    return total\n"
+        )
+        assert lint_source(source, select={"RPR003"}) == []
+
+
+class TestNestedLockRPR004:
+    def test_trigger_nested_acquisition_without_order(self):
+        source = (
+            "def f(self):\n"
+            "    with self._lock:\n"
+            "        with self._other_lock:\n"
+            "            pass\n"
+        )
+        assert codes(lint_source(source, select={"RPR004"})) == ["RPR004"]
+
+    def test_pass_declared_lock_order(self):
+        source = (
+            "LOCK_ORDER = ('_lock', '_other_lock')\n"
+            "def f(self):\n"
+            "    with self._lock:\n"
+            "        with self._other_lock:\n"
+            "            pass\n"
+        )
+        assert lint_source(source, select={"RPR004"}) == []
+
+    def test_pass_sequential_acquisition(self):
+        source = (
+            "def f(self):\n"
+            "    with self._lock:\n"
+            "        pass\n"
+            "    with self._other_lock:\n"
+            "        pass\n"
+        )
+        assert lint_source(source, select={"RPR004"}) == []
+
+
+class TestWarnStacklevelRPR005:
+    def test_trigger_missing_stacklevel(self):
+        source = "import warnings\ndef f():\n    warnings.warn('careful')\n"
+        assert codes(lint_source(source, select={"RPR005"})) == ["RPR005"]
+
+    def test_trigger_bare_imported_warn(self):
+        source = "from warnings import warn\ndef f():\n    warn('careful')\n"
+        assert codes(lint_source(source, select={"RPR005"})) == ["RPR005"]
+
+    def test_pass_with_stacklevel(self):
+        source = "import warnings\ndef f():\n    warnings.warn('careful', stacklevel=2)\n"
+        assert lint_source(source, select={"RPR005"}) == []
+
+
+class TestKernelWallclockRPR006:
+    def test_trigger_perf_counter_in_engines(self):
+        source = "import time\ndef run():\n    t = time.perf_counter()\n"
+        findings = lint_source(
+            source, path="src/repro/engines/fast.py", select={"RPR006"}
+        )
+        assert codes(findings) == ["RPR006"]
+
+    def test_trigger_from_import_in_mesh(self):
+        source = "from time import monotonic\ndef run():\n    return monotonic()\n"
+        findings = lint_source(source, path="src/repro/mesh/sim.py", select={"RPR006"})
+        assert codes(findings) == ["RPR006"]
+
+    def test_pass_outside_kernel_dirs(self):
+        source = "import time\ndef run():\n    t = time.perf_counter()\n"
+        assert (
+            lint_source(source, path="src/repro/pipeline/session.py", select={"RPR006"})
+            == []
+        )
+
+    def test_pass_timing_module_is_exempt(self):
+        source = "import time\ndef now():\n    return time.perf_counter()\n"
+        assert (
+            lint_source(source, path="src/repro/parsec/timing.py", select={"RPR006"})
+            == []
+        )
+
+
+class TestEngineContractRPR007:
+    REGISTRY_PATH = "src/repro/engines/registry.py"
+
+    def _project(self, engine_source: str) -> Project:
+        registry_source = (
+            "from repro.engines.custom import CustomEngine\n"
+            "_REGISTRY = {}\n"
+            "_REGISTRY.setdefault('custom', CustomEngine)\n"
+        )
+        return Project(
+            [
+                SourceModule(Path(self.REGISTRY_PATH), registry_source),
+                SourceModule(Path("src/repro/engines/custom.py"), engine_source),
+            ]
+        )
+
+    def test_trigger_missing_contract(self):
+        project = self._project(
+            "class CustomEngine:\n"
+            "    def run(self, network, compiled=None):\n"
+            "        return None\n"
+        )
+        findings = lint_project(project, select={"RPR007"})
+        assert codes(findings) == ["RPR007"]
+        message = findings[0].message
+        assert "filter_limit" in message and "'name'" in message
+
+    def test_pass_full_contract(self):
+        project = self._project(
+            "class CustomEngine:\n"
+            "    name = 'custom'\n"
+            "    def run(self, network, *, compiled=None, filter_limit=None, trace=None):\n"
+            "        return None\n"
+        )
+        assert lint_project(project, select={"RPR007"}) == []
+
+
+class TestSilentExceptRPR008:
+    def test_trigger_bare_except(self):
+        source = "def f():\n    try:\n        g()\n    except:\n        pass\n"
+        assert codes(lint_source(source, select={"RPR008"})) == ["RPR008"]
+
+    def test_trigger_swallowing_broad_except(self):
+        source = (
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except Exception:\n"
+            "        pass\n"
+        )
+        assert codes(lint_source(source, select={"RPR008"})) == ["RPR008"]
+
+    def test_pass_broad_except_that_handles(self):
+        source = (
+            "def f(future):\n"
+            "    try:\n"
+            "        g()\n"
+            "    except BaseException as error:\n"
+            "        future.set_exception(error)\n"
+        )
+        assert lint_source(source, select={"RPR008"}) == []
+
+    def test_pass_narrow_swallow(self):
+        source = (
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except KeyError:\n"
+            "        pass\n"
+        )
+        assert lint_source(source, select={"RPR008"}) == []
+
+
+class TestThawFrozenRPR009:
+    def test_trigger_setflags_write_true(self):
+        source = "def f(arr):\n    arr.setflags(write=True)\n"
+        assert codes(lint_source(source, select={"RPR009"})) == ["RPR009"]
+
+    def test_pass_freezing_is_fine(self):
+        source = "def f(arr):\n    arr.setflags(write=False)\n"
+        assert lint_source(source, select={"RPR009"}) == []
+
+
+class TestRepoIsClean:
+    def test_src_tree_lints_clean(self):
+        findings = lint_paths([REPO_SRC])
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self):
+        out = io.StringIO()
+        assert lint_main([str(REPO_SRC)], out=out) == 0
+        assert "0 findings" in out.getvalue()
+
+    def test_findings_exit_one(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(net):\n    net.alive[0] = False\n")
+        out = io.StringIO()
+        assert lint_main([str(bad)], out=out) == 1
+        assert "RPR001" in out.getvalue()
+
+    def test_json_format(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import warnings\ndef f():\n    warnings.warn('x')\n")
+        out = io.StringIO()
+        assert lint_main([str(bad), "--format=json"], out=out) == 1
+        payload = json.loads(out.getvalue())
+        assert payload["counts"] == {"RPR005": 1}
+        assert payload["findings"][0]["code"] == "RPR005"
+        assert len(payload["rules"]) >= 8
+
+    def test_select_filters(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import warnings\ndef f():\n    warnings.warn('x')\n")
+        out = io.StringIO()
+        assert lint_main([str(bad), "--select", "RPR001"], out=out) == 0
+
+    def test_unknown_select_exits_two(self):
+        assert lint_main(["--select", "RPR999"], out=io.StringIO()) == 2
+
+    def test_list_rules(self):
+        out = io.StringIO()
+        assert lint_main(["--list-rules"], out=out) == 0
+        listing = out.getvalue()
+        for rule in all_rules():
+            assert rule.code in listing
+
+    def test_syntax_error_exits_two(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        assert lint_main([str(bad)], out=io.StringIO()) == 2

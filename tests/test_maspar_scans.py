@@ -24,7 +24,7 @@ def reference_scan(values, seg_id, op, init):
     out = []
     acc = init
     prev = None
-    for v, s in zip(values, seg_id):
+    for v, s in zip(values, seg_id, strict=True):
         if s != prev:
             acc = init
             prev = s

@@ -178,7 +178,7 @@ class TestSessionEquivalence:
             ["the", "dog", "sees", "the", "cat"],
         ]
         batch = ParserSession(grammar, engine=engine).parse_many(sentences)
-        for sentence, warm in zip(sentences, batch):
+        for sentence, warm in zip(sentences, batch, strict=True):
             cold = create_engine(engine).parse(grammar, sentence)
             assert_same_network(warm.network, cold.network)
             assert warm.locally_consistent == cold.locally_consistent

@@ -181,7 +181,7 @@ class TestServiceEndToEnd:
         with ParseService(grammar, engine="vector", workers=2, max_linger=0.001) as service:
             served = service.parse_many(sentences)
         baseline = ParserSession(grammar, engine="vector").parse_many(sentences)
-        for warm, cold in zip(served, baseline):
+        for warm, cold in zip(served, baseline, strict=True):
             assert_same_network(warm.network, cold.network)
             assert warm.locally_consistent == cold.locally_consistent
             assert warm.ambiguous == cold.ambiguous
