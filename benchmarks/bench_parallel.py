@@ -1,0 +1,212 @@
+"""PARALLEL — fused binary kernel and process-pool worker scaling.
+
+Two claims from the process-parallel data plane, measured separately:
+
+* **Fused binary kernel** (single core, algorithmic): the packed
+  :class:`VectorEngine` pre-ANDs every binary constraint mask into one
+  fused word matrix at template build, so the no-trace hot loop applies
+  *one* mask + *one* consistency fixpoint instead of ``k_b``
+  mask+sweep pairs.  Maruyama's eliminations are monotone, so the
+  greatest fixpoint is unique — the fused route must land on networks
+  bit-identical to the interleaved engine's, which this bench asserts
+  before timing.  The speedup is real on any machine.
+* **Process worker scaling** (multi-core, architectural): a
+  :class:`ParallelSession` fans ``parse_many`` over worker processes
+  that attach each shape's template from shared memory (exported once,
+  never pickled per task).  Scaling with worker count needs actual
+  cores: this container has 1 CPU, so the committed record documents
+  the dispatch overhead honestly rather than showing the multi-core
+  win (results stay bit-identical regardless — that is asserted here).
+
+Run standalone to (re)generate the committed record::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py [--quick]
+
+which writes ``BENCH_parallel.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import ParallelSession, ParserSession
+from repro.grammar.builtin.english import english_grammar
+from repro.workloads import sentence_of_length
+
+#: Sentence lengths for the fused-kernel timing (the paper's sweep ends
+#: at 10 words; n=10 is where the binary sweep dominates).
+FUSED_LENGTHS = (3, 7, 10)
+FUSED_BATCH = 30
+#: Shape-interleaved stream for the process-scaling runs.
+SHAPE_LENGTHS = tuple(range(3, 11))
+REQUESTS = 96
+WORKER_COUNTS = (1, 2, 4)
+REPEATS = 3
+
+
+def assert_bit_identical(a, b) -> None:
+    for left, right in zip(a, b, strict=True):
+        assert np.array_equal(left.network.alive, right.network.alive)
+        assert np.array_equal(left.network.matrix, right.network.matrix)
+        assert left.locally_consistent == right.locally_consistent
+        assert left.ambiguous == right.ambiguous
+
+
+def _best_sps(run, n_items: int, repeats: int = REPEATS) -> tuple[list, float]:
+    best = float("inf")
+    results = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        results = run()
+        best = min(best, time.perf_counter() - start)
+    return results, n_items / best
+
+
+def run_fused_kernel(batch: int = FUSED_BATCH) -> list[dict]:
+    """Fused vs interleaved packed engine, single shape per row."""
+    grammar = english_grammar()
+    rows = []
+    for n in FUSED_LENGTHS:
+        sentences = [sentence_of_length(n)] * batch
+        fused_session = ParserSession(grammar, engine="vector")
+        inter_session = ParserSession(grammar, engine="vector-interleaved")
+        fused_results, fused_sps = _best_sps(
+            lambda s=fused_session: s.parse_many(sentences), batch
+        )
+        inter_results, inter_sps = _best_sps(
+            lambda s=inter_session: s.parse_many(sentences), batch
+        )
+        assert_bit_identical(fused_results, inter_results)
+        assert all(r.stats.extra.get("fused_binary_kernel") for r in fused_results)
+        rows.append(
+            {
+                "n_words": n,
+                "batch": batch,
+                "fused_sps": round(fused_sps, 1),
+                "interleaved_sps": round(inter_sps, 1),
+                "speedup": round(fused_sps / inter_sps, 2),
+                "consistency_passes_fused": fused_results[0].stats.consistency_passes,
+                "consistency_passes_interleaved": inter_results[0].stats.consistency_passes,
+            }
+        )
+    return rows
+
+
+def run_process_scaling(n_requests: int = REQUESTS) -> dict:
+    """ParallelSession worker sweep vs one single-process session."""
+    grammar = english_grammar()
+    sentences = [
+        sentence_of_length(SHAPE_LENGTHS[i % len(SHAPE_LENGTHS)])
+        for i in range(n_requests)
+    ]
+    single = ParserSession(grammar, engine="vector")
+    baseline_results, baseline_sps = _best_sps(
+        lambda: single.parse_many(sentences), n_requests
+    )
+    rows = []
+    for workers in WORKER_COUNTS:
+        with ParallelSession(grammar, engine="vector", workers=workers) as session:
+            results, sps = _best_sps(lambda: session.parse_many(sentences), n_requests)
+            shared = session.shared_bytes()
+        assert_bit_identical(results, baseline_results)
+        rows.append(
+            {
+                "workers": workers,
+                "sps": round(sps, 1),
+                "speedup_vs_single": round(sps / baseline_sps, 2),
+                "shared_bytes": shared,
+            }
+        )
+    return {
+        "baseline_sps": round(baseline_sps, 1),
+        "requests": n_requests,
+        "shapes": len(SHAPE_LENGTHS),
+        "rows": rows,
+    }
+
+
+def run_bench(batch: int = FUSED_BATCH, n_requests: int = REQUESTS) -> dict:
+    cpus = os.cpu_count() or 1
+    return {
+        "bench": "parallel",
+        "grammar": "english",
+        "engine": "vector",
+        "host_cpus": cpus,
+        "correctness": (
+            "fused fixpoints bit-identical to interleaved; ParallelSession "
+            "results bit-identical to single-process ParserSession"
+        ),
+        "note": (
+            f"process scaling needs real cores: this host has {cpus} CPU(s), "
+            "so worker counts beyond the core count measure dispatch overhead, "
+            "not parallel speedup; the fused-kernel speedup is per-core and "
+            "holds everywhere"
+        ),
+        "fused_kernel": run_fused_kernel(batch),
+        "process_scaling": run_process_scaling(n_requests),
+    }
+
+
+def test_fused_kernel_and_process_scaling(report):
+    """PARALLEL: one fused mask pass vs k_b interleaved mask+sweep pairs."""
+    data = run_bench(batch=10, n_requests=32)
+    report(
+        "Fused binary kernel vs interleaved (english, packed vector, single core)",
+        ["n words", "fused s/s", "interleaved s/s", "speedup", "passes f/i"],
+        [
+            [r["n_words"], r["fused_sps"], r["interleaved_sps"],
+             f"{r['speedup']:.2f}x",
+             f"{r['consistency_passes_fused']}/{r['consistency_passes_interleaved']}"]
+            for r in data["fused_kernel"]
+        ],
+        notes="fixpoints bit-identical (asserted before timing).",
+    )
+    scaling = data["process_scaling"]
+    report(
+        f"ParallelSession worker sweep ({data['host_cpus']} CPU host)",
+        ["workers", "sents/s", "vs single-process"],
+        [
+            [r["workers"], r["sps"], f"{r['speedup_vs_single']:.2f}x"]
+            for r in scaling["rows"]
+        ],
+        notes=f"single-process baseline {scaling['baseline_sps']} sents/s; " + data["note"],
+    )
+    # Loose regression floor: the fused kernel must win where the binary
+    # sweep dominates (n=10).  The committed record holds the real numbers.
+    by_n = {r["n_words"]: r for r in data["fused_kernel"]}
+    assert by_n[10]["speedup"] > 1.1
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller load (CI smoke + artifact)"
+    )
+    args = parser.parse_args()
+
+    record = run_bench(
+        batch=10 if args.quick else FUSED_BATCH,
+        n_requests=32 if args.quick else REQUESTS,
+    )
+    out = Path(__file__).resolve().parents[1] / "BENCH_parallel.json"
+    out.write_text(json.dumps(record, indent=2) + "\n")
+    for row in record["fused_kernel"]:
+        print(
+            f"fused n={row['n_words']:2d}: {row['fused_sps']:8.1f} sents/s  "
+            f"vs interleaved {row['interleaved_sps']:8.1f}  ({row['speedup']:.2f}x)"
+        )
+    scaling = record["process_scaling"]
+    print(f"single-process baseline: {scaling['baseline_sps']:8.1f} sents/s")
+    for row in scaling["rows"]:
+        print(
+            f"workers={row['workers']}: {row['sps']:8.1f} sents/s  "
+            f"({row['speedup_vs_single']:.2f}x vs single)"
+        )
+    print(f"wrote {out}  (host CPUs: {record['host_cpus']})")

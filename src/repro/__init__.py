@@ -51,6 +51,7 @@ from repro.errors import (
 from repro.grammar import CDGGrammar, GrammarBuilder, Sentence, load_grammar, load_grammar_file
 from repro.mesh.engine import MeshEngine
 from repro.network import ConstraintNetwork, RoleValue
+from repro.parallel import ParallelSession, SharedTemplateStore
 from repro.parsec.parser import MasParEngine
 from repro.pipeline import CompiledGrammar, NetworkTemplate, ParserSession, compile_grammar
 from repro.search import PrecedenceGraph, accepts, count_parses, extract_parses
@@ -63,7 +64,7 @@ from repro.serve import (
     ServiceUnavailable,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 # Opt-in runtime invariant checking (REPRO_SANITIZE=1); see
 # repro.analysis.sanitizer.  A no-op unless the variable is set.
@@ -101,6 +102,9 @@ __all__ = [
     "CompiledGrammar",
     "compile_grammar",
     "NetworkTemplate",
+    # process-parallel data plane
+    "ParallelSession",
+    "SharedTemplateStore",
     "PrecedenceGraph",
     "extract_parses",
     "count_parses",

@@ -1,4 +1,4 @@
-"""The built-in rule catalogue (codes ``RPR001``..``RPR009``).
+"""The built-in rule catalogue (codes ``RPR001``..``RPR010``).
 
 Each rule encodes one repo invariant:
 
@@ -25,6 +25,9 @@ RPR007    engine-contract         engines registered in ``registry.py`` implemen
 RPR008    silent-except           no bare ``except:``; no ``except Exception``
                                   whose body silently swallows
 RPR009    thaw-frozen             no ``setflags(write=True)`` on shared arrays
+RPR010    write-through-attached  no writes through arrays attached from a
+                                  ``SharedTemplateStore`` segment (taint from
+                                  ``attach``/``attach_template`` results)
 ========  ======================  ==================================================
 
 Rules are registered by importing this module (the package ``__init__``
@@ -743,3 +746,112 @@ class ThawFrozen(LintRule):
                     "setflags(write=True) re-thaws a frozen shared array; copy it "
                     "instead of unfreezing the shared instance",
                 )
+
+
+@register_rule
+class WriteThroughAttached(LintRule):
+    """RPR010: arrays attached from a ``SharedTemplateStore`` segment map
+    the owner's memory directly into this process — a write through them
+    corrupts the template for *every* attached worker at once, not just
+    the writer.  Attached state is read-only by contract: taint flows
+    from ``attach()``/``attach_template()`` results, and any write whose
+    target roots in a tainted name (item assignment, ``&=``, in-place
+    ndarray methods, ``out=``) is flagged.  Copy before mutating."""
+
+    code = "RPR010"
+    name = "write-through-attached"
+    description = "write through an array attached from SharedTemplateStore"
+
+    _SOURCES = frozenset({"attach", "attach_template"})
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(module, node)
+
+    def _check_function(
+        self, module: SourceModule, func: ast.AST
+    ) -> Iterator[Finding]:
+        own = list(_own_nodes(func))
+        tainted = self._tainted_names(own)
+        if not tainted:
+            return
+
+        def root_tainted(node: ast.AST) -> bool:
+            # ``entry[0].base_bits[i] = x`` roots in ``entry``: the write
+            # lands in the attached segment no matter how deep the chain.
+            while isinstance(node, (ast.Attribute, ast.Subscript)):
+                node = node.value
+            return isinstance(node, ast.Name) and node.id in tainted
+
+        for node in own:
+            if isinstance(node, ast.AugAssign) and root_tainted(node.target):
+                yield self._report(module, node)
+            elif isinstance(node, ast.Assign) and any(
+                isinstance(t, (ast.Subscript, ast.Attribute)) and root_tainted(t)
+                for t in node.targets
+            ):
+                yield self._report(module, node)
+            elif isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _INPLACE_METHODS
+                    and root_tainted(node.func.value)
+                ):
+                    yield self._report(module, node)
+                for keyword in node.keywords:
+                    if keyword.arg == "out" and any(
+                        isinstance(n, ast.Name) and n.id in tainted
+                        for n in ast.walk(keyword.value)
+                    ):
+                        yield self._report(module, node)
+
+    def _report(self, module: SourceModule, node: ast.AST) -> Finding:
+        return self.finding(
+            module,
+            node,
+            "write through an array attached from a SharedTemplateStore "
+            "segment; attached template state is shared read-only across "
+            "every worker process — copy it before mutating",
+        )
+
+    def _tainted_names(self, own: list[ast.AST]) -> set[str]:
+        """Names bound (directly or via subscripts/tuples) to attach results."""
+
+        def mentions_source(expr: ast.AST, tainted: set[str]) -> bool:
+            # Same parent-exclusion discipline as RPR003: attribute reads
+            # *on* a tainted value (``entry[0].nbytes``, ``.copy()``)
+            # yield scalars or fresh arrays, not the mapped buffer.
+            parents: dict[ast.AST, ast.AST] = {}
+            for parent in ast.walk(expr):
+                for child in ast.iter_child_nodes(parent):
+                    parents[child] = parent
+            for node in ast.walk(expr):
+                hit = (
+                    isinstance(node, ast.Call)
+                    and _terminal_name(node.func) in self._SOURCES
+                ) or (isinstance(node, ast.Name) and node.id in tainted)
+                if hit and not isinstance(parents.get(node), ast.Attribute):
+                    return True
+            return False
+
+        def target_names(target: ast.AST) -> Iterator[str]:
+            if isinstance(target, ast.Name):
+                yield target.id
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                for element in target.elts:
+                    yield from target_names(element)
+            elif isinstance(target, ast.Starred):
+                yield from target_names(target.value)
+
+        tainted: set[str] = set()
+        for _ in range(2):
+            for node in own:
+                if isinstance(node, ast.Assign) and mentions_source(node.value, tainted):
+                    for target in node.targets:
+                        tainted.update(target_names(target))
+                elif isinstance(node, (ast.For, ast.AsyncFor)) and mentions_source(
+                    node.iter, tainted
+                ):
+                    tainted.update(target_names(node.target))
+        return tainted

@@ -226,6 +226,8 @@ def _cmd_serve_bench(args: argparse.Namespace, out) -> int:
         grammar,
         engine=args.engine,
         workers=args.workers,
+        workers_mode=args.workers_mode,
+        start_method=args.start_method,
         max_queue=max(args.requests, 1),
         max_batch_size=args.batch_size,
         max_linger=args.linger_ms / 1000.0,
@@ -237,16 +239,19 @@ def _cmd_serve_bench(args: argparse.Namespace, out) -> int:
         results = [future.result() for future in futures]
         service.drain()
         elapsed = time.perf_counter() - start
+        # Snapshot before shutdown: the shared store (process mode)
+        # unlinks its blocks on close, zeroing shared_store_bytes.
+        snapshot = service.snapshot()
 
     accepted = sum(1 for r in results if r.locally_consistent)
     print(
-        f"{len(results)} requests ({args.shapes} shapes) on {args.workers} worker(s): "
+        f"{len(results)} requests ({args.shapes} shapes) on {args.workers} "
+        f"{args.workers_mode} worker(s): "
         f"{elapsed:.3f}s = {len(results) / elapsed:.1f} req/s "
         f"({accepted} locally consistent)",
         file=out,
     )
     print(file=out)
-    snapshot = service.snapshot()
     print(service.metrics.render(snapshot), file=out)
     cache = snapshot["service"]["template_cache"]
     print(
@@ -261,6 +266,12 @@ def _cmd_serve_bench(args: argparse.Namespace, out) -> int:
         f"({memory['shapes_profiled']} shape(s) profiled)",
         file=out,
     )
+    if memory.get("shared_store_bytes"):
+        print(
+            f"shared template store: {memory['shared_store_bytes']} bytes "
+            f"exported once, mapped by every worker process",
+            file=out,
+        )
     return 0
 
 
@@ -332,6 +343,14 @@ def build_parser() -> argparse.ArgumentParser:
                               "(english / english-extended)")
     p_serve.add_argument("--engine", "-e", default="vector", help=engine_help)
     p_serve.add_argument("--workers", "-w", type=int, default=2)
+    p_serve.add_argument("--workers-mode", choices=("thread", "process"),
+                         default="thread",
+                         help="thread workers (GIL-shared) or process workers "
+                              "over the shared-memory template store")
+    p_serve.add_argument("--start-method", choices=("fork", "spawn", "forkserver"),
+                         default=None,
+                         help="multiprocessing start method for --workers-mode=process "
+                              "(default: fork where available)")
     p_serve.add_argument("--requests", "-n", type=int, default=64)
     p_serve.add_argument("--shapes", type=int, default=4,
                          help="distinct sentence shapes interleaved in the load")

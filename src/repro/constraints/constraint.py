@@ -28,6 +28,15 @@ class Constraint:
     def __init__(self, typed: TypedConstraint):
         self._typed = typed
 
+    def __getstate__(self) -> dict:
+        # The compiled closures under the cached_properties below are
+        # process-local and unpicklable; only the typed form crosses a
+        # process boundary (workers recompile lazily on first use).
+        return {"_typed": self._typed}
+
+    def __setstate__(self, state: dict) -> None:
+        self._typed = state["_typed"]
+
     # -- construction ----------------------------------------------------
 
     @classmethod

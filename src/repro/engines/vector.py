@@ -51,14 +51,31 @@ class VectorEngine(ParserEngine):
             materializes the boolean view and replays the identical
             dataflow byte-per-bool — the comparison baseline the
             memory benchmark needs; results are bit-identical.
+        fused: on the packed path, apply the precomputed word-wide AND
+            of all binary masks (``VectorMasks.fused``) in one shot and
+            run a single consistency fixpoint, instead of interleaving
+            per-constraint mask applications with full sweeps.  Sound
+            because Maruyama's eliminations are monotone: both
+            schedules converge to the same (unique) greatest fixpoint,
+            so final networks are bit-identical; only the sweep-order
+            stats (``consistency_passes``, ``filtering_iterations``,
+            and the kill/zero attribution between them) differ.  The
+            fused path only engages when no per-constraint observation
+            is requested (``trace is None`` and ``filter_limit is
+            None``); otherwise the engine falls back to the interleaved
+            schedule.  ``False`` (registered as ``"vector-interleaved"``)
+            forces the per-constraint schedule unconditionally.
     """
 
     name = "vector"
 
-    def __init__(self, packed: bool = True):
+    def __init__(self, packed: bool = True, fused: bool = True):
         self.packed = packed
+        self.fused = fused
         if not packed:
             self.name = "vector-bool"
+        elif not fused:
+            self.name = "vector-interleaved"
 
     def run(
         self,
@@ -115,7 +132,26 @@ class VectorEngine(ParserEngine):
         if trace:
             trace("unary-done", network)
 
-        # -- binary propagation: one cached mask per constraint ----------
+        # -- binary propagation ------------------------------------------
+        fused_mask = (
+            masks.fused
+            if (self.packed and self.fused and trace is None and filter_limit is None)
+            else None
+        )
+        if fused_mask is not None:
+            # Fused fast path: every pair still gets checked against
+            # every binary constraint — the checks were just folded into
+            # one precomputed mask at template-build time — so
+            # ``pair_checks`` accounts for all k_b constraints.  The
+            # final ``filter_network`` fixpoint below replaces the
+            # per-constraint interleaved sweeps.
+            stats.pair_checks += network.nv * network.nv * len(compiled.binary)
+            stats.matrix_entries_zeroed += network.apply_pair_mask_bits(fused_mask)
+            stats.extra["fused_binary_kernel"] = True
+            return self._finish(network, stats, filter_limit=filter_limit, trace=trace)
+
+        # Interleaved schedule: one cached mask per constraint, each
+        # followed by a full consistency sweep (the traceable path).
         for constraint, both in zip(compiled.binary, masks.binary, strict=True):
             stats.pair_checks += network.nv * network.nv
             if self.packed:
@@ -133,6 +169,16 @@ class VectorEngine(ParserEngine):
             if trace:
                 trace(f"consistency:{constraint.name}", network)
 
+        return self._finish(network, stats, filter_limit=filter_limit, trace=trace)
+
+    def _finish(
+        self,
+        network: ConstraintNetwork,
+        stats: EngineStats,
+        *,
+        filter_limit: int | None,
+        trace: TraceHook | None,
+    ) -> EngineStats:
         # -- filtering ----------------------------------------------------
 
         def counting_step(net: ConstraintNetwork) -> int:

@@ -1,0 +1,31 @@
+"""repro.parallel — the process-parallel data plane.
+
+Zero-copy multi-core execution for the compile/bind/execute pipeline:
+:class:`SharedTemplateStore` exports each network template's packed
+artifacts to ``multiprocessing.shared_memory`` exactly once,
+:class:`ProcessPool` workers attach read-only views and parse
+single-shape chunks, and :class:`ParallelSession` puts the two behind
+the familiar ``parse`` / ``parse_many`` surface with bit-identical
+results.  ``ParseService(workers_mode="process")`` runs the same plane
+behind the serving lifecycle.
+"""
+
+from repro.parallel.pool import ProcessPool, WireResult, default_start_method
+from repro.parallel.session import ParallelSession
+from repro.parallel.shared import (
+    ArraySpec,
+    SharedTemplateHandle,
+    SharedTemplateStore,
+    attach_template,
+)
+
+__all__ = [
+    "ArraySpec",
+    "ParallelSession",
+    "ProcessPool",
+    "SharedTemplateHandle",
+    "SharedTemplateStore",
+    "WireResult",
+    "attach_template",
+    "default_start_method",
+]

@@ -12,7 +12,7 @@ and benchmarks.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Generic, Hashable, TypeVar
+from typing import Callable, Generic, Hashable, TypeVar
 
 V = TypeVar("V")
 
@@ -26,17 +26,43 @@ class LRUCache(Generic[V]):
     public so :meth:`ParseService.snapshot` can aggregate them across
     worker sessions.
 
+    ``on_evict`` (optional) is called with each value as it leaves the
+    cache — on LRU eviction, on :meth:`clear`, and on displacement by a
+    ``put`` to an existing key — so values owning OS resources (the
+    parallel workers cache attached shared-memory segments) can release
+    them deterministically instead of waiting for GC.
+
+    **Fork/pickle contract**: caches never cross a process boundary
+    populated.  Unpickling an ``LRUCache`` (e.g. in the ``initargs`` of
+    a spawn-context pool) yields an *empty* cache with zeroed counters
+    and no ``on_evict`` callback — cached values hold process-local
+    resources (shared-memory attachments, scratch buffers) that must
+    not be inherited; children re-attach lazily and register their own
+    callbacks.  Fork-context children do inherit populated parent
+    caches page-for-page, which is why the parallel layer builds its
+    child-side caches *inside* the pool initializer, never before the
+    fork.
+
     Not thread-safe; sessions are single-threaded by contract.
     """
 
-    def __init__(self, maxsize: int):
+    def __init__(self, maxsize: int, *, on_evict: Callable[[V], None] | None = None):
         if maxsize < 0:
             raise ValueError(f"LRU cache needs maxsize >= 0, got {maxsize}")
         self.maxsize = maxsize
+        self.on_evict = on_evict
         self._data: OrderedDict[Hashable, V] = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+
+    def __getstate__(self) -> dict:
+        # See the fork/pickle contract in the class docstring: the
+        # payload and the (unpicklable in general) callback stay behind.
+        return {"maxsize": self.maxsize}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(state["maxsize"])
 
     def __len__(self) -> int:
         return len(self._data)
@@ -60,13 +86,23 @@ class LRUCache(Generic[V]):
         if self.maxsize == 0:
             return
         if key in self._data:
+            displaced = self._data[key]
             self._data.move_to_end(key)
+            self._data[key] = value
+            if displaced is not value and self.on_evict is not None:
+                self.on_evict(displaced)
+            return
         self._data[key] = value
         while len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
+            _, evicted = self._data.popitem(last=False)
             self.evictions += 1
+            if self.on_evict is not None:
+                self.on_evict(evicted)
 
     def clear(self) -> None:
+        if self.on_evict is not None:
+            for value in self._data.values():
+                self.on_evict(value)
         self._data.clear()
 
     def info(self) -> dict[str, int]:

@@ -148,6 +148,9 @@ class ServiceMetrics:
                                   caches, refreshed on ``snapshot()``
         ``queued_bytes``          estimated bytes of queued work (per-shape
                                   network-size estimates; admission input)
+        ``shared_store_bytes``    payload bytes exported to the shared-memory
+                                  template store (process workers mode; 0
+                                  under thread workers)
     Histograms:
         ``batch_size``          requests per dispatched batch
         ``queue_wait_seconds``  admission -> dispatch, per request
@@ -166,6 +169,7 @@ class ServiceMetrics:
         self.network_bytes = Gauge()
         self.template_cache_bytes = Gauge()
         self.queued_bytes = Gauge()
+        self.shared_store_bytes = Gauge()
         self.batch_size = Histogram(BATCH_BUCKETS)
         self.queue_wait_seconds = Histogram(LATENCY_BUCKETS)
         self.latency_seconds = Histogram(LATENCY_BUCKETS)
@@ -174,7 +178,10 @@ class ServiceMetrics:
         "submitted", "accepted", "rejected",
         "completed", "failed", "expired", "cancelled",
     )
-    _GAUGES = ("queue_depth", "network_bytes", "template_cache_bytes", "queued_bytes")
+    _GAUGES = (
+        "queue_depth", "network_bytes", "template_cache_bytes",
+        "queued_bytes", "shared_store_bytes",
+    )
     _HISTOGRAMS = ("batch_size", "queue_wait_seconds", "latency_seconds")
 
     def snapshot(self) -> dict:

@@ -92,6 +92,17 @@ class ParseService:
             hard per-request limit.
         admission: ``"reject"`` (raise :class:`ServiceOverloaded` when
             full) or ``"block"`` (make ``submit`` wait for space).
+        workers_mode: ``"thread"`` (default — each worker thread parses
+            in-process through its session) or ``"process"`` — worker
+            threads keep the same admission/batching/metrics/drain
+            lifecycle but dispatch each batch to a pool of worker
+            *processes* that attach templates from a shared-memory
+            store (see :mod:`repro.parallel`), putting real cores
+            behind the batch instead of GIL-interleaved threads.
+            Process mode requires an engine *name* (instances cannot
+            cross the process boundary).
+        start_method: multiprocessing start method for process mode
+            (``None`` = fork where available, else spawn).
         max_batch_size / max_linger: the dynamic batcher's flush rules
             (see :class:`ShapeBatcher`).
         default_timeout: deadline in seconds applied to requests that
@@ -115,6 +126,8 @@ class ParseService:
         default_timeout: float | None = None,
         filter_limit: int | None = None,
         template_cache_size: int = DEFAULT_TEMPLATE_CACHE,
+        workers_mode: str = "thread",
+        start_method: str | None = None,
         clock=time.monotonic,
     ):
         if workers < 1:
@@ -125,13 +138,27 @@ class ParseService:
             raise ValueError(f"max_memory_bytes must be >= 1, got {max_memory_bytes}")
         if admission not in ("reject", "block"):
             raise ValueError(f"admission must be 'reject' or 'block', got {admission!r}")
-        if isinstance(engine, ParserEngine) and workers > 1:
+        if workers_mode not in ("thread", "process"):
             raise ValueError(
-                "an engine instance cannot be shared across workers; "
-                "pass an engine name (each worker then builds its own)"
+                f"workers_mode must be 'thread' or 'process', got {workers_mode!r}"
             )
+        if isinstance(engine, ParserEngine):
+            if workers_mode == "process":
+                raise ValueError(
+                    "process workers need an engine name from the registry; "
+                    "engine instances cannot be shipped to child processes"
+                )
+            if workers > 1:
+                raise ValueError(
+                    "an engine instance cannot be shared across workers; "
+                    "pass an engine name (each worker then builds its own)"
+                )
         self.grammar = grammar
         self.n_workers = workers
+        self.workers_mode = workers_mode
+        self._start_method = start_method
+        self._pool = None  # set by start() in process mode
+        self._store = None
         self.max_queue = max_queue
         self.max_memory_bytes = max_memory_bytes
         self.admission = admission
@@ -163,6 +190,21 @@ class ParseService:
                     f"service is {self._state}; a ParseService starts exactly once"
                 )
             self._state = "running"
+        if self.workers_mode == "process":
+            # Fork/spawn the process pool *before* any worker thread
+            # exists (forking a multi-threaded parent copies lock state
+            # mid-flight), and create the store the worker threads will
+            # export templates into.  Shutdown order is the reverse:
+            # pool first, store (unlink) second.
+            from repro.parallel import ProcessPool, SharedTemplateStore
+
+            self._store = SharedTemplateStore()
+            self._pool = ProcessPool(
+                self.grammar,
+                self._engine_spec,
+                workers=self.n_workers,
+                start_method=self._start_method,
+            )
         for index in range(self.n_workers):
             # A string spec makes each session build its own engine
             # instance via the registry; an instance spec (workers=1
@@ -226,6 +268,10 @@ class ParseService:
                 )
         for worker in self._workers:
             worker.join(timeout)
+        if self._pool is not None:
+            self._pool.shutdown(wait=wait)
+        if self._store is not None:
+            self._store.close()
 
     def __enter__(self) -> "ParseService":
         return self.start()
@@ -351,6 +397,7 @@ class ParseService:
         snap["service"] = {
             "state": self._state,
             "workers": len(self._workers),
+            "workers_mode": self.workers_mode,
             "queued": len(self._batcher),
             "in_flight": self._in_flight,
             "template_cache": {
@@ -361,6 +408,7 @@ class ParseService:
                 "max_memory_bytes": self.max_memory_bytes,
                 "queued_bytes": self._queued_bytes,
                 "template_cache_bytes": cache_bytes,
+                "shared_store_bytes": 0 if self._store is None else self._store.nbytes(),
                 "shapes_profiled": len(self._shape_bytes),
             },
         }

@@ -14,6 +14,13 @@ executes the batch request by request — every sentence after the first
 is a template-cache hit, since batches are single-shape — and resolves
 each request's future with the :class:`ParseResult` or the engine's
 exception.
+
+Under ``workers_mode="process"`` the same thread instead *dispatches*
+the batch: it exports the batch's (single) template to the service's
+shared store, ships the word lists to the process pool, blocks on the
+chunk, and rebinds the wire results — so admission, deadlines,
+cancellation, metrics and drain behave identically in both modes while
+the parsing itself runs on other cores.
 """
 
 from __future__ import annotations
@@ -60,6 +67,9 @@ class Worker:
                 self._service._batch_done(len(batch))
 
     def _execute(self, batch: "list[ParseRequest]") -> None:
+        if self._service._pool is not None:
+            self._execute_process(batch)
+            return
         metrics = self._service.metrics
         clock = self._service._clock
         for request in batch:
@@ -84,3 +94,43 @@ class Worker:
                 nbytes = result.stats.extra.get("network_bytes")
                 if nbytes:
                     self._service._note_network_bytes(request.key, nbytes)
+
+    def _execute_process(self, batch: "list[ParseRequest]") -> None:
+        """Dispatch one single-shape batch to the service's process pool."""
+        from repro.parallel.pool import materialize_result
+
+        service = self._service
+        metrics = service.metrics
+        clock = service._clock
+        live: list[ParseRequest] = []
+        for request in batch:
+            if request.future.set_running_or_notify_cancel():
+                live.append(request)
+            else:
+                metrics.cancelled.inc()
+        if not live:
+            return
+        try:
+            # Batches are single-shape by construction, so one template
+            # covers the batch; the export is idempotent per shape.
+            template = self.session.template_for(live[0].sentence)
+            handle = service._store.export(template, self.session.compiled)
+            metrics.shared_store_bytes.set(service._store.nbytes())
+            wires = service._pool.run_chunk(
+                handle,
+                [request.sentence.words for request in live],
+                service._filter_limit,
+            )
+        except BaseException as error:  # noqa: BLE001 - delivered via futures
+            for request in live:
+                request.future.set_exception(error)
+                metrics.failed.inc()
+            return
+        for request, wire in zip(live, wires, strict=True):
+            result = materialize_result(template, request.sentence, wire)
+            request.future.set_result(result)
+            metrics.completed.inc()
+            metrics.latency_seconds.observe(clock() - request.enqueued)
+            nbytes = result.stats.extra.get("network_bytes")
+            if nbytes:
+                service._note_network_bytes(request.key, nbytes)

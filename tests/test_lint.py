@@ -369,6 +369,52 @@ class TestThawFrozenRPR009:
         assert lint_source(source, select={"RPR009"}) == []
 
 
+class TestWriteThroughAttachedRPR010:
+    def test_trigger_item_write_through_attach_result(self):
+        source = (
+            "def f(handle, grammar, compiled):\n"
+            "    template, shm = attach_template(handle, grammar, compiled)\n"
+            "    template.base_bits[0, 0] = 0\n"
+        )
+        assert codes(lint_source(source, select={"RPR010"})) == ["RPR010"]
+
+    def test_trigger_augassign_through_tuple_entry(self):
+        source = (
+            "def f(handle, grammar, compiled, mask):\n"
+            "    entry = attach_template(handle, grammar, compiled)\n"
+            "    entry[0].base_bits &= mask\n"
+        )
+        assert codes(lint_source(source, select={"RPR010"})) == ["RPR010"]
+
+    def test_trigger_out_kwarg_targets_attached(self):
+        source = (
+            "import numpy as np\n"
+            "def f(store, handle, other):\n"
+            "    view = store.attach(handle)\n"
+            "    np.bitwise_and(view, other, out=view)\n"
+        )
+        assert codes(lint_source(source, select={"RPR010"})) == ["RPR010"]
+
+    def test_pass_reads_and_copies(self):
+        source = (
+            "def f(handle, grammar, compiled, mask):\n"
+            "    template, shm = attach_template(handle, grammar, compiled)\n"
+            "    network = template.bind(mask)\n"
+            "    scratch = template.base_bits.copy()\n"
+            "    scratch &= mask\n"
+            "    return network, template.nbytes()\n"
+        )
+        assert lint_source(source, select={"RPR010"}) == []
+
+    def test_pass_unrelated_writes(self):
+        source = (
+            "def f(handle, grammar, compiled, buffer):\n"
+            "    entry = attach_template(handle, grammar, compiled)\n"
+            "    buffer[0] = entry[0].nv\n"
+        )
+        assert lint_source(source, select={"RPR010"}) == []
+
+
 class TestRepoIsClean:
     def test_src_tree_lints_clean(self):
         findings = lint_paths([REPO_SRC])

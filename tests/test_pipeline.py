@@ -166,6 +166,47 @@ class TestLRUBounds:
         cache.get("b")
         assert (cache.hits, cache.misses, cache.evictions) == (1, 1, 0)
 
+    def test_parse_many_groups_shapes_before_parsing(self):
+        """Shape pre-sort: a shape-interleaved batch through a 1-slot
+        template cache misses once per *distinct* shape, not once per
+        alternation — and results still come back in arrival order."""
+        session = ParserSession(english_grammar(), engine="vector", template_cache_size=1)
+        sentences = [sentence_of_length(3 if i % 2 == 0 else 5) for i in range(8)]
+        results = session.parse_many(sentences)
+        info = session.cache_info()
+        assert info["misses"] == 2  # one per distinct shape, not 8
+        assert info["evictions"] == 1
+        # Arrival order is restored after grouped execution.
+        for result, sentence in zip(results, sentences, strict=True):
+            assert result.network.n_words == len(sentence)
+
+    def test_on_evict_fires_on_displacement_and_clear(self):
+        evicted: list[int] = []
+        cache: LRUCache[int] = LRUCache(2, on_evict=evicted.append)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)  # LRU eviction of "a"
+        assert evicted == [1]
+        cache.put("b", 20)  # displacement of the old value
+        assert evicted == [1, 2]
+        cache.clear()
+        assert sorted(evicted) == [1, 2, 3, 20]
+
+    def test_pickled_cache_starts_empty(self):
+        """Fork/pickle contract: a cache crossing a process boundary
+        arrives empty (entries may hold process-local resources)."""
+        import pickle
+
+        cache: LRUCache[int] = LRUCache(4, on_evict=lambda v: None)
+        cache.put("a", 1)
+        cache.get("a")
+        clone = pickle.loads(pickle.dumps(cache))
+        assert clone.maxsize == 4
+        assert len(clone) == 0
+        assert (clone.hits, clone.misses, clone.evictions) == (0, 0, 0)
+        clone.put("b", 2)  # still a working cache after the round-trip
+        assert clone.get("b") == 2
+
 
 class TestSessionEquivalence:
     @pytest.mark.parametrize("engine", ["serial", "vector", "pram"])
