@@ -47,13 +47,20 @@ from repro.errors import (
     NetworkError,
     ReproError,
     SexprSyntaxError,
+    StreamError,
 )
 from repro.grammar import CDGGrammar, GrammarBuilder, Sentence, load_grammar, load_grammar_file
 from repro.mesh.engine import MeshEngine
 from repro.network import ConstraintNetwork, RoleValue
 from repro.parallel import ParallelSession, SharedTemplateStore
 from repro.parsec.parser import MasParEngine
-from repro.pipeline import CompiledGrammar, NetworkTemplate, ParserSession, compile_grammar
+from repro.pipeline import (
+    CompiledGrammar,
+    NetworkTemplate,
+    ParserSession,
+    StreamingParse,
+    compile_grammar,
+)
 from repro.search import PrecedenceGraph, accepts, count_parses, extract_parses
 from repro.serve import (
     DeadlineExceeded,
@@ -64,7 +71,7 @@ from repro.serve import (
     ServiceUnavailable,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 # Opt-in runtime invariant checking (REPRO_SANITIZE=1); see
 # repro.analysis.sanitizer.  A no-op unless the variable is set.
@@ -99,6 +106,7 @@ __all__ = [
     "register_engine",
     # pipeline
     "ParserSession",
+    "StreamingParse",
     "CompiledGrammar",
     "compile_grammar",
     "NetworkTemplate",
@@ -126,4 +134,5 @@ __all__ = [
     "NetworkError",
     "MachineError",
     "ExtractionError",
+    "StreamError",
 ]

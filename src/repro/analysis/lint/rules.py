@@ -1,4 +1,4 @@
-"""The built-in rule catalogue (codes ``RPR001``..``RPR010``).
+"""The built-in rule catalogue (codes ``RPR001``..``RPR011``).
 
 Each rule encodes one repo invariant:
 
@@ -28,6 +28,9 @@ RPR009    thaw-frozen             no ``setflags(write=True)`` on shared arrays
 RPR010    write-through-attached  no writes through arrays attached from a
                                   ``SharedTemplateStore`` segment (taint from
                                   ``attach``/``attach_template`` results)
+RPR011    extend-must-not-thaw    ``extend*`` methods grow new state from a frozen
+                                  predecessor; no in-place writes to arrays
+                                  reachable from the predecessor's parameters
 ========  ======================  ==================================================
 
 Rules are registered by importing this module (the package ``__init__``
@@ -854,4 +857,149 @@ class WriteThroughAttached(LintRule):
                     node.iter, tainted
                 ):
                     tainted.update(target_names(node.target))
+        return tainted
+
+
+@register_rule
+class ExtendMustNotThaw(LintRule):
+    """RPR011: the streaming core's contract is that ``extend*`` methods
+    grow *new* state from a frozen predecessor — ``NetworkTemplate.extend``
+    scatters the prefix's packed base matrix into a fresh layout,
+    ``ConstraintNetwork.extend_from`` embeds the previous network's bits
+    into a freshly bound one — and the predecessor stays bit-identical
+    throughout (the prefix template stays cached; the prior network is
+    the streaming layer's retained truth).  Any in-place write to an
+    array reachable from an ``extend*`` function's parameters (item
+    assignment, ``&=``, in-place ndarray methods, ``out=``) thaws that
+    frozen input and silently corrupts every other holder of it.
+
+    Taint starts at the parameters and flows only through plain alias
+    chains (``bits = prev.alive_bits``) and view-preserving calls
+    (``.view``, ``asarray``); a constructor or factory call result
+    (``template.bind(...)``, ``np.zeros(...)``) is fresh state and is
+    free to mutate.  Plain attribute rebinding (``new.masks = ...``) is
+    likewise allowed — building the successor is the whole point."""
+
+    code = "RPR011"
+    name = "extend-must-not-thaw"
+    description = "in-place write to a predecessor's arrays inside an extend* method"
+
+    #: Calls whose result aliases their input's buffer (taint passes through).
+    _VIEWISH = frozenset({"view", "asarray", "ascontiguousarray", "reshape", "ravel"})
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ) and node.name.lstrip("_").startswith("extend"):
+                yield from self._check_function(module, node)
+
+    def _check_function(
+        self, module: SourceModule, func: "ast.FunctionDef | ast.AsyncFunctionDef"
+    ) -> Iterator[Finding]:
+        own = list(_own_nodes(func))
+        tainted = self._tainted_names(func, own)
+
+        def root_tainted(node: ast.AST) -> bool:
+            while isinstance(node, (ast.Attribute, ast.Subscript)):
+                node = node.value
+            return isinstance(node, ast.Name) and node.id in tainted
+
+        for node in own:
+            if isinstance(node, ast.AugAssign) and root_tainted(node.target):
+                yield self._report(module, node, func.name)
+            elif isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Subscript) and root_tainted(t)
+                for t in node.targets
+            ):
+                yield self._report(module, node, func.name)
+            elif isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _INPLACE_METHODS
+                    and root_tainted(node.func.value)
+                ):
+                    yield self._report(module, node, func.name)
+                for keyword in node.keywords:
+                    if keyword.arg == "out" and any(
+                        isinstance(n, ast.Name) and n.id in tainted
+                        for n in ast.walk(keyword.value)
+                    ):
+                        yield self._report(module, node, func.name)
+
+    def _report(self, module: SourceModule, node: ast.AST, func_name: str) -> Finding:
+        return self.finding(
+            module,
+            node,
+            f"in-place write to an array reachable from '{func_name}'s parameters; "
+            "extend* grows new state from a frozen predecessor — scatter into a "
+            "fresh array (np.zeros + fancy-index assignment) instead of thawing "
+            "the input",
+        )
+
+    def _tainted_names(
+        self,
+        func: "ast.FunctionDef | ast.AsyncFunctionDef",
+        own: list[ast.AST],
+    ) -> set[str]:
+        """Parameter names plus aliases reached through chains and views.
+
+        Unlike RPR003/RPR010, taint does *not* propagate through general
+        call results: ``network = template.bind(sent)`` binds fresh
+        state a grower may mutate.  Only bare alias chains
+        (Name/Attribute/Subscript compositions over a tainted root) and
+        the view-preserving numpy calls in ``_VIEWISH`` keep the taint.
+        """
+        args = func.args
+        tainted = {
+            arg.arg
+            for arg in (
+                *args.posonlyargs, *args.args, *args.kwonlyargs,
+                *filter(None, (args.vararg, args.kwarg)),
+            )
+        }
+
+        def aliases_tainted(expr: ast.AST) -> bool:
+            node = expr
+            while True:
+                if isinstance(node, (ast.Attribute, ast.Subscript)):
+                    node = node.value
+                elif (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in self._VIEWISH
+                ):
+                    node = node.func.value
+                elif (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id in self._VIEWISH
+                    and node.args
+                ):
+                    node = node.args[0]
+                else:
+                    break
+            return isinstance(node, ast.Name) and node.id in tainted
+
+        def target_names(target: ast.AST) -> Iterator[str]:
+            if isinstance(target, ast.Name):
+                yield target.id
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                for element in target.elts:
+                    yield from target_names(element)
+            elif isinstance(target, ast.Starred):
+                yield from target_names(target.value)
+
+        rebound: set[str] = set()
+        for _ in range(2):
+            for node in own:
+                if isinstance(node, ast.Assign):
+                    names = [n for t in node.targets for n in target_names(t)]
+                    if aliases_tainted(node.value):
+                        tainted.update(names)
+                    else:
+                        # A name rebound to fresh state sheds its taint
+                        # (parameters shadowed by e.g. ``prev = None``).
+                        rebound.update(n for n in names if n in tainted)
+        tainted -= rebound
         return tainted

@@ -13,7 +13,11 @@ Commands:
     Re-derive the paper's worked example (Figures 1-7) on the terminal.
 ``serve-bench``
     Drive a :class:`~repro.serve.ParseService` under synthetic load and
-    print its throughput plus a full metrics snapshot.
+    print its throughput plus a full metrics snapshot; ``--streaming``
+    drives word-at-a-time service streams instead of whole sentences.
+``stream``
+    Parse word-at-a-time from the arguments or stdin, printing the
+    running verdict and domain sizes after every token.
 
 ``--engine`` values are validated against the live registry (not a
 frozen argparse choice list), so engines registered at runtime work and
@@ -212,6 +216,77 @@ def _cmd_figures(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace, out) -> int:
+    grammar = _resolve_grammar(args.grammar)
+    session = ParserSession(grammar, engine=args.engine)
+    stream = session.stream()
+
+    def tokens():
+        if args.words:
+            words = list(args.words)
+            if len(words) == 1 and " " in words[0]:
+                words = words[0].split()
+            yield from words
+        else:
+            for line in sys.stdin:
+                yield from line.split()
+
+    for word in tokens():
+        result = stream.extend(word)
+        network = result.network
+        verdict = "consistent" if result.locally_consistent else "REJECTED"
+        flavor = " (ambiguous)" if result.ambiguous else ""
+        print(
+            f"[{stream.n_words:>3}] {word:<16} {verdict}{flavor}  "
+            f"alive {network.alive_count()}/{network.nv} role values, "
+            f"domains {'/'.join(str(s) for s in network.domain_sizes())}",
+            file=out,
+        )
+    if stream.n_words == 0:
+        print("no tokens received", file=out)
+        return 1
+    builds = session.template_builds()
+    print(
+        f"{stream.n_words} words: {builds['full']} full + "
+        f"{builds['extended']} prefix-extended template build(s)",
+        file=out,
+    )
+    return 0 if stream.result().locally_consistent else 1
+
+
+def _serve_bench_streaming(args: argparse.Namespace, service, out) -> int:
+    from repro.workloads import sentence_of_length
+
+    words = sentence_of_length(10)
+    with service:
+        start = time.perf_counter()
+        streams = [service.submit_stream() for _ in range(args.shapes)]
+        futures = []
+        # Round-robin feeding interleaves every stream's tokens through
+        # one admission queue — the owner-affinity scheduling case.
+        for word in words:
+            futures.extend(stream.feed(word) for stream in streams)
+        results = [future.result() for future in futures]
+        for stream in streams:
+            stream.close()
+        service.drain()
+        elapsed = time.perf_counter() - start
+        snapshot = service.snapshot()
+
+    final = results[-len(streams):]
+    print(
+        f"{len(streams)} stream(s) x {len(words)} tokens on {args.workers} "
+        f"{args.workers_mode} worker(s): "
+        f"{elapsed:.3f}s = {len(results) / elapsed:.1f} tokens/s "
+        f"({sum(1 for r in final if r.locally_consistent)} of {len(streams)} "
+        f"final prefixes locally consistent)",
+        file=out,
+    )
+    print(file=out)
+    print(service.metrics.render(snapshot), file=out)
+    return 0
+
+
 def _cmd_serve_bench(args: argparse.Namespace, out) -> int:
     from repro.serve import ParseService
     from repro.workloads import sentence_of_length
@@ -233,6 +308,8 @@ def _cmd_serve_bench(args: argparse.Namespace, out) -> int:
         max_linger=args.linger_ms / 1000.0,
         admission="block",
     )
+    if args.streaming:
+        return _serve_bench_streaming(args, service, out)
     with service:
         start = time.perf_counter()
         futures = [service.submit(words) for words in sentences]
@@ -356,9 +433,26 @@ def build_parser() -> argparse.ArgumentParser:
                          help="distinct sentence shapes interleaved in the load")
     p_serve.add_argument("--batch-size", type=int, default=16,
                          help="dynamic batcher flush size")
+    p_serve.add_argument("--streaming", action="store_true",
+                         help="drive word-at-a-time streams (one per --shapes) "
+                              "instead of whole-sentence requests")
     p_serve.add_argument("--linger-ms", type=float, default=2.0,
                          help="dynamic batcher max linger (milliseconds)")
     p_serve.set_defaults(func=_cmd_serve_bench)
+
+    p_stream = sub.add_parser(
+        "stream",
+        help="parse word-at-a-time (incremental streaming core)",
+        description="Feed words one at a time — as arguments, or from stdin "
+        "when none are given — and print the running verdict and domain "
+        "sizes after each token.  Templates are grown by prefix extension, "
+        "so the whole stream costs one cumulative template build.",
+    )
+    p_stream.add_argument("words", nargs="*",
+                          help="tokens (or one quoted sentence); default: read stdin")
+    p_stream.add_argument("--grammar", "-g", default="english")
+    p_stream.add_argument("--engine", "-e", default="vector", help=engine_help)
+    p_stream.set_defaults(func=_cmd_stream)
 
     p_explain = sub.add_parser(
         "explain", help="trace a parse and show what each constraint eliminated"

@@ -58,6 +58,11 @@ class VectorEnv:
     x: FieldArrays
     y: FieldArrays | None
     canbe: np.ndarray
+    #: Memoized broadcast result shape — envs are reused across every
+    #: constraint of a template build, and each expression node needs
+    #: the same answer, so it is computed once per env rather than per
+    #: node (per-node ``broadcast_shapes`` calls dominated small builds).
+    _shape: "tuple[int, ...] | None" = None
 
 
 VectorFn = Callable[[VectorEnv], np.ndarray]
@@ -69,10 +74,23 @@ def compile_vector(constraint: TypedConstraint) -> VectorFn:
 
 
 def _broadcast_shape(env: VectorEnv) -> tuple[int, ...]:
-    shapes = [env.x["pos"].shape]
-    if env.y is not None:
-        shapes.append(env.y["pos"].shape)
-    return np.broadcast_shapes(*shapes)
+    if env._shape is None:
+        shapes = [env.x["pos"].shape]
+        if env.y is not None:
+            shapes.append(env.y["pos"].shape)
+        env._shape = np.broadcast_shapes(*shapes)
+    return env._shape
+
+
+def _expand(out: np.ndarray, env: VectorEnv) -> np.ndarray:
+    """*out* broadcast to the env's result shape (a no-op when it fits).
+
+    Equal-shape results pass through untouched: ``np.broadcast_to`` has
+    measurable per-call cost, and at sentence-sized NV the expression
+    walk is call-overhead-bound, not element-bound.
+    """
+    shape = _broadcast_shape(env)
+    return out if out.shape == shape else np.broadcast_to(out, shape)
 
 
 def _compile_bool(expr: TExpr) -> VectorFn:
@@ -80,7 +98,7 @@ def _compile_bool(expr: TExpr) -> VectorFn:
         parts = [_compile_bool(part) for part in expr.parts]
 
         def run_and(env: VectorEnv) -> np.ndarray:
-            out = np.broadcast_to(parts[0](env), _broadcast_shape(env)).copy()
+            out = _expand(parts[0](env), env).copy()
             for part in parts[1:]:
                 out &= part(env)
             return out
@@ -90,7 +108,7 @@ def _compile_bool(expr: TExpr) -> VectorFn:
         parts = [_compile_bool(part) for part in expr.parts]
 
         def run_or(env: VectorEnv) -> np.ndarray:
-            out = np.broadcast_to(parts[0](env), _broadcast_shape(env)).copy()
+            out = _expand(parts[0](env), env).copy()
             for part in parts[1:]:
                 out |= part(env)
             return out
@@ -126,7 +144,7 @@ def _compile_eq(expr: TEq) -> VectorFn:
         right = _compile_value(expr.right)
 
         def run_eq(env: VectorEnv) -> np.ndarray:
-            return np.broadcast_to(np.asarray(left(env) == right(env)), _broadcast_shape(env))
+            return _expand(np.asarray(left(env) == right(env)), env)
 
         return run_eq
     if expr.mode == EqMode.CATSET_CODE:
@@ -138,9 +156,9 @@ def _compile_eq(expr: TEq) -> VectorFn:
             pos = np.asarray(position(env))
             cat = code(env)
             if isinstance(cat, (int, np.integer)):
-                return np.broadcast_to(env.canbe[pos, cat], _broadcast_shape(env))
+                return _expand(env.canbe[pos, cat], env)
             pos_b, cat_b = np.broadcast_arrays(pos, cat)
-            return np.broadcast_to(env.canbe[pos_b, cat_b], _broadcast_shape(env))
+            return _expand(env.canbe[pos_b, cat_b], env)
 
         return run_member
     if expr.mode == EqMode.CATSET_CATSET:
@@ -151,7 +169,7 @@ def _compile_eq(expr: TEq) -> VectorFn:
         def run_intersect(env: VectorEnv) -> np.ndarray:
             lsets = env.canbe[np.asarray(lpos(env))]
             rsets = env.canbe[np.asarray(rpos(env))]
-            return np.broadcast_to((lsets & rsets).any(axis=-1), _broadcast_shape(env))
+            return _expand((lsets & rsets).any(axis=-1), env)
 
         return run_intersect
     raise AssertionError(f"unhandled eq mode {expr.mode}")  # pragma: no cover
@@ -172,6 +190,6 @@ def _compile_cmp(expr: TCmp) -> VectorFn:
             out = out & (lv != 0)
         if guard_right:
             out = out & (rv != 0)
-        return np.broadcast_to(out, _broadcast_shape(env))
+        return _expand(out, env)
 
     return run_cmp

@@ -62,6 +62,15 @@ class ConcurrentSessionUse(ReproError):
     """
 
 
+class StreamError(ReproError):
+    """Invalid operation on a streaming parse.
+
+    Raised when a :class:`~repro.pipeline.streaming.StreamingParse` is
+    used before any word arrived, or after an earlier ``extend`` failed
+    (a broken stream's retained state cannot be trusted; open a new one).
+    """
+
+
 class MachineError(ReproError):
     """Invalid operation on a simulated machine (PRAM or MasPar)."""
 

@@ -10,14 +10,19 @@ Three layers, mirroring what is fixed at each timescale:
   ``(grammar, n, category-signature)``, cached behind a bounded LRU;
   ``template.bind(sentence)`` stamps out a network cheaply.
 * **execute** (per sentence): :class:`ParserSession` — owns the caches
-  and an engine, exposes ``parse`` / ``parse_many``.
+  and an engine, exposes ``parse`` / ``parse_many``; for a sentence
+  arriving a word at a time, ``session.stream()`` opens a
+  :class:`StreamingParse` whose per-token ``extend`` rides
+  prefix-extended templates instead of rebuilding.
 
-See ``docs/architecture.md`` ("Pipeline: compile -> bind -> execute").
+See ``docs/architecture.md`` ("Pipeline: compile -> bind -> execute"
+and "Incremental streaming core").
 """
 
 from repro.pipeline.cache import LRUCache
 from repro.pipeline.compiled import CompiledConstraint, CompiledGrammar, compile_grammar
 from repro.pipeline.session import ParserSession
+from repro.pipeline.streaming import StreamingParse
 from repro.pipeline.template import NetworkTemplate, VectorMasks
 
 __all__ = [
@@ -28,4 +33,5 @@ __all__ = [
     "NetworkTemplate",
     "VectorMasks",
     "ParserSession",
+    "StreamingParse",
 ]

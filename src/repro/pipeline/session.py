@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.engines.base import ParseResult, ParserEngine, TraceHook
 from repro.engines.registry import create_engine
@@ -36,6 +36,9 @@ from repro.network.network import ConstraintNetwork
 from repro.pipeline.cache import LRUCache
 from repro.pipeline.compiled import CompiledGrammar, compile_grammar
 from repro.pipeline.template import NetworkTemplate
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.pipeline.streaming import StreamingParse
 
 #: Sentinel distinguishing "not passed" from an explicit None.
 _UNSET = object()
@@ -72,6 +75,7 @@ class ParserSession:
         self.engine: ParserEngine = create_engine(engine)
         self.filter_limit = filter_limit
         self._templates: LRUCache[NetworkTemplate] = LRUCache(template_cache_size)
+        self._builds = {"full": 0, "extended": 0}
         self._parse_guard = threading.Lock()
 
     # -- bind --------------------------------------------------------------
@@ -81,13 +85,36 @@ class ParserSession:
             return sentence
         return self.grammar.tokenize(sentence)
 
-    def template_for(self, sentence: "Sentence | str | Sequence[str]") -> NetworkTemplate:
-        """The (cached) template for *sentence*'s shape."""
+    def template_for(
+        self,
+        sentence: "Sentence | str | Sequence[str]",
+        *,
+        prefix: "NetworkTemplate | None" = None,
+    ) -> NetworkTemplate:
+        """The (cached) template for *sentence*'s shape.
+
+        With *prefix* — the template of the sentence minus its last
+        word, as the streaming layer holds it — a cache miss extends
+        the prefix template (scattering its frozen packed base matrix
+        and cached constraint masks into the enlarged layout) instead
+        of rebuilding the O(NV^2) artifacts from scratch; streaming a
+        sentence costs one cumulative build, not one per prefix.
+        ``template_builds()`` breaks the two build kinds out.
+        """
         sent = self.tokenize(sentence)
         key = sent.category_sets
         template = self._templates.get(key)
         if template is None:
-            template = NetworkTemplate.build(self.grammar, sent.category_sets)
+            if (
+                prefix is not None
+                and prefix.grammar is self.grammar
+                and prefix.category_sets == key[:-1]
+            ):
+                template = prefix.extend(key[-1], compiled=self.compiled)
+                self._builds["extended"] += 1
+            else:
+                template = NetworkTemplate.build(self.grammar, sent.category_sets)
+                self._builds["full"] += 1
             self._templates.put(key, template)
         return template
 
@@ -95,6 +122,22 @@ class ParserSession:
         """A fresh, unpropagated network for *sentence* (cached shape)."""
         sent = self.tokenize(sentence)
         return self.template_for(sent).bind(sent)
+
+    def stream(self, words: Iterable[str] = ()) -> "StreamingParse":
+        """Open a word-at-a-time incremental parse.
+
+        Each ``extend(word)`` on the returned handle settles the grown
+        prefix and returns its :class:`~repro.engines.base.ParseResult`,
+        bit-identical to ``parse()`` of the same words; templates are
+        grown by prefix extension rather than rebuilt per length.  Any
+        *words* given here are fed immediately.
+        """
+        from repro.pipeline.streaming import StreamingParse
+
+        stream = StreamingParse(self)
+        for word in words:
+            stream.extend(word)
+        return stream
 
     # -- execute -----------------------------------------------------------
 
@@ -178,6 +221,10 @@ class ParserSession:
     def cache_info(self) -> dict[str, int]:
         """Template-cache counters (hits/misses/evictions/size)."""
         return self._templates.info()
+
+    def template_builds(self) -> dict[str, int]:
+        """Template constructions by kind: ``full`` vs prefix-``extended``."""
+        return dict(self._builds)
 
     def cached_bytes(self) -> int:
         """Approximate bytes held by the cached templates."""

@@ -1,0 +1,204 @@
+"""Word-at-a-time incremental parsing: the streaming execute layer.
+
+The CN representation is monotone — propagation only ever eliminates
+role values — which makes incremental parsing natural: extending an
+n-word network to n+1 words only *adds* role domains and arc-matrix
+blocks, so prior eliminations remain valid and propagation can resume
+instead of reparsing from scratch.
+
+What actually carries over is the **pre-fixpoint** state: the network
+after sequential unary kills and the fused binary mask, *before*
+consistency maintenance.  That state is prefix-stable — elementwise
+constraint evaluation over the old role values does not depend on
+sentence length, so every old-value elimination (and every surviving
+matrix bit) is exactly what a fresh parse of the longer prefix would
+produce at the same point.  The *settled* state is not: consistency
+kills are support-based, and the new word's role values can restore
+support to a value an earlier fixpoint eliminated.
+
+Prefix-stability has a sharper consequence the fast path exploits: the
+pre-fixpoint state is a *pure function of the extended template's
+masks*.  Binding the extended template fresh and re-applying the
+(incrementally extended) masks reconstructs it bit for bit, without
+touching the predecessor network — so the carried state a stream needs
+is exactly the masks the prefix-extended template already caches, and
+the per-token arc-matrix work stays on the cheap word-wide AND path.
+The explicit embedding form
+(:meth:`~repro.network.network.ConstraintNetwork.extend_from` +
+:func:`~repro.propagation.incremental.resume_propagation`) exists for
+the state that is **not** recomputable from grammar masks — a network
+refined by staged extra constraints
+(:func:`~repro.propagation.incremental.apply_constraint`) — and
+reaches the identical settled network on plain grammar state, which the
+streaming tests assert.  Either way the consistency fixpoint reruns in
+full; determinism of the sweep then makes the settled network, the
+verdict, and every elimination counter bit-identical to a fresh full
+parse of the prefix.  Tests sweep that invariant per word, per engine.
+
+The fast resumable path engages exactly when the session's engine is
+the fused packed :class:`~repro.engines.vector.VectorEngine` with no
+filter limit — the same gate the engine itself uses for its fused
+kernel.  Any other configuration falls back to a fresh
+``session.parse`` of the prefix (still sharing the prefix-extended
+template, so the O(NV^2) build work is incremental either way).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING
+
+from repro.engines.base import EngineStats, ParseResult
+from repro.engines.vector import VectorEngine
+from repro.errors import ConcurrentSessionUse, StreamError
+from repro.grammar.grammar import Sentence
+from repro.propagation.incremental import apply_masks, run_filtering
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.pipeline.session import ParserSession
+    from repro.pipeline.template import NetworkTemplate
+
+
+class StreamingParse:
+    """A handle over one growing sentence: ``extend(word)`` per token.
+
+    Open one with :meth:`ParserSession.stream`.  Each ``extend`` returns
+    the :class:`~repro.engines.base.ParseResult` of the prefix parsed so
+    far (also available as :meth:`result`), bit-identical to
+    ``session.parse`` of the same words.  Handles are single-threaded,
+    like the sessions they ride on.  An unknown word is rejected at the
+    door (:class:`~repro.errors.LexiconError`) and leaves the stream
+    usable; an error *during* the parse step marks the stream
+    ``broken`` — retained incremental state cannot be trusted past a
+    partial application — and every later ``extend`` raises
+    :class:`~repro.errors.StreamError`.
+    """
+
+    def __init__(self, session: "ParserSession"):
+        self._session = session
+        self._words: list[str] = []
+        self._template: "NetworkTemplate | None" = None
+        self._result: ParseResult | None = None
+        self._broken = False
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def words(self) -> tuple[str, ...]:
+        return tuple(self._words)
+
+    @property
+    def n_words(self) -> int:
+        return len(self._words)
+
+    @property
+    def broken(self) -> bool:
+        return self._broken
+
+    def result(self) -> ParseResult:
+        """The settled result of the current prefix."""
+        if self._result is None:
+            raise StreamError("stream holds no words yet; call extend() first")
+        return self._result
+
+    # -- the streaming step ------------------------------------------------
+
+    def extend(self, word: str) -> ParseResult:
+        """Append *word* and return the settled result of the new prefix."""
+        return self._advance(word)
+
+    def _advance(self, word: str) -> ParseResult:
+        if self._broken:
+            raise StreamError(
+                "stream is broken by an earlier error; open a new stream"
+            )
+        session = self._session
+        # Tokenization failures (an unknown word) reject at the door and
+        # leave the stream usable: nothing was applied, so the retained
+        # state is still the truth of the accepted prefix.  Failures
+        # past this point break the stream instead.
+        sent = session.tokenize([*self._words, word])
+        try:
+            template = session.template_for(sent, prefix=self._template)
+            if self._fast_path():
+                result = self._advance_fast(sent, template)
+            else:
+                result = session.parse(sent)
+        except BaseException:
+            self._broken = True
+            raise
+        self._words.append(word)
+        self._template = template
+        self._result = result
+        return result
+
+    def _fast_path(self) -> bool:
+        """True when the resumable packed/fused path applies.
+
+        The gate mirrors the vector engine's own fused-kernel gate: the
+        packed fused schedule with no filter limit.  Everything else
+        (interleaved, boolean, serial, simulated machines, bounded
+        filtering) reparses the prefix fresh through ``session.parse``
+        — bit-identical by engine determinism, just not incremental in
+        the propagation.
+        """
+        engine = self._session.engine
+        return (
+            isinstance(engine, VectorEngine)
+            and engine.packed
+            and engine.fused
+            and self._session.filter_limit is None
+        )
+
+    def _advance_fast(
+        self, sent: Sentence, template: "NetworkTemplate"
+    ) -> ParseResult:
+        session = self._session
+        if not session._parse_guard.acquire(blocking=False):
+            raise ConcurrentSessionUse(
+                "StreamingParse.extend entered while another parse is running; "
+                "sessions are single-threaded — use repro.serve.ParseService "
+                "streams to feed tokens from multiple threads"
+            )
+        try:
+            started = time.perf_counter()
+            compiled = session.compiled
+            masks = template.vector_masks(compiled)
+            # The pre-fixpoint state is a pure function of the extended
+            # masks (prefix-stability, see the module docstring), so the
+            # resume is a fresh bind of the prefix-extended template plus
+            # the mask application — the incremental work already
+            # happened when the template extended its cached masks.
+            network = template.bind(sent)
+            mask_stats = apply_masks(network, masks.unary, masks.fused)
+            fixpoint = run_filtering(network)
+
+            nv = template.nv
+            stats = EngineStats()
+            stats.engine = session.engine.name
+            alive_before = nv
+            for killed in mask_stats.unary_killed:
+                stats.unary_checks += alive_before
+                alive_before -= killed
+            stats.pair_checks = nv * nv * len(compiled.binary)
+            stats.role_values_killed = (
+                sum(mask_stats.unary_killed) + fixpoint.role_values_killed
+            )
+            stats.matrix_entries_zeroed = mask_stats.matrix_entries_zeroed
+            stats.consistency_passes = fixpoint.consistency_passes
+            stats.filtering_iterations = fixpoint.filtering_iterations
+            if masks.fused is not None:
+                stats.extra["fused_binary_kernel"] = True
+            stats.extra["streamed"] = True
+            stats.extra["network_bytes"] = network.state_nbytes()
+            stats.extra["template_cache_bytes"] = session.cached_bytes()
+            stats.wall_seconds = time.perf_counter() - started
+
+            return ParseResult(
+                network=network,
+                locally_consistent=network.all_domains_nonempty(),
+                ambiguous=network.is_ambiguous(),
+                stats=stats,
+            )
+        finally:
+            session._parse_guard.release()

@@ -28,7 +28,8 @@ corrupting later parses.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+import functools
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -71,21 +72,44 @@ class VectorMasks:
     and run a single consistency fixpoint instead of interleaving
     ``k_b`` mask applications with ``k_b`` full sweeps — bit-identical
     at the fixpoint, ~``k_b``x fewer sweeps.
+
+    Prefix-extended templates build ``unary`` and ``fused`` eagerly but
+    defer the per-constraint ``binary`` tuple behind *binary_thunk*: the
+    fused fast path never reads it, and materializing ``k_b`` full
+    ``(NV, NV)`` masks is the dominant cost of an extension step.  The
+    first ``binary`` access (interleaved/boolean engines, the process
+    store, introspection) evaluates and memoizes them.
     """
 
-    __slots__ = ("unary", "binary", "fused", "packed")
+    __slots__ = ("unary", "_binary", "_binary_thunk", "fused", "packed")
 
     def __init__(
         self,
         unary: tuple[np.ndarray, ...],
-        binary: tuple[np.ndarray, ...],
+        binary: "tuple[np.ndarray, ...] | None",
         packed: bool,
         fused: np.ndarray | None = None,
+        binary_thunk: "Callable[[], tuple[np.ndarray, ...]] | None" = None,
     ):
+        if binary is None and binary_thunk is None:
+            raise ValueError("deferred binary masks need a binary_thunk")
         self.unary = unary
-        self.binary = binary
+        self._binary = binary
+        self._binary_thunk = binary_thunk
         self.fused = fused
         self.packed = packed
+
+    @property
+    def binary(self) -> tuple[np.ndarray, ...]:
+        if self._binary is None:
+            self._binary = tuple(self._binary_thunk())  # type: ignore[misc]
+            self._binary_thunk = None
+        return self._binary
+
+    @property
+    def binary_materialized(self) -> bool:
+        """True once ``binary`` has been (or was eagerly) computed."""
+        return self._binary is not None
 
 
 class NetworkTemplate:
@@ -97,7 +121,10 @@ class NetworkTemplate:
         category_sets: ShapeKey,
         *,
         base_bits: np.ndarray | None = None,
+        prefix: "NetworkTemplate | None" = None,
     ):
+        if prefix is not None and base_bits is not None:
+            raise NetworkError("pass either a prefix template or precomputed base_bits")
         self.grammar = grammar
         self.category_sets: ShapeKey = tuple(category_sets)
         n = len(self.category_sets)
@@ -143,7 +170,15 @@ class NetworkTemplate:
         # caller holding an already-packed copy — a worker process
         # attaching a SharedTemplateStore block — passes it in and skips
         # the quadratic recompute; everything above this point is O(NV).
-        self.bit_layout = BitLayout(self.role_slices)
+        self.bit_layout = (
+            BitLayout(self.role_slices)
+            if prefix is None
+            else prefix.bit_layout.extend(self.role_slices)
+        )
+        self.prefix_map: np.ndarray | None = None
+        self.prefix_new: np.ndarray | None = None
+        if prefix is not None:
+            self._extend_maps(prefix)
         if base_bits is None:
             same_role = self.role_index[:, None] == self.role_index[None, :]
             base = ~same_role
@@ -190,6 +225,7 @@ class NetworkTemplate:
         self._masks_bool_for: CompiledGrammar | None = None
         self._scratch: np.ndarray | None = None
         self._scratch_bits: np.ndarray | None = None
+        self._nbytes_cache: "tuple[tuple, int] | None" = None
 
     @property
     def base_matrix(self) -> np.ndarray:
@@ -232,6 +268,182 @@ class NetworkTemplate:
     def key(self) -> ShapeKey:
         """The per-grammar cache key: the sentence's category signature."""
         return self.category_sets
+
+    # -- prefix extension (the streaming build path) -----------------------
+
+    def _extend_maps(self, prefix: "NetworkTemplate") -> None:
+        """Carry the old-to-new index maps of a one-word extension.
+
+        Extending the sentence interleaves fresh role values between the
+        surviving ones: each old role gains its ``mod = n`` candidates
+        and the new word adds whole roles.  Enumeration is ordered by
+        (position, role, label, mod), so the survivors are exactly the
+        values with ``pos != n and mod != n``, in preserved order — two
+        vectorized comparisons, no per-value hashing.  The maps are
+        stored as ``prefix_map`` / ``prefix_new`` for mask extension and
+        for :meth:`ConstraintNetwork.extend_from`.
+
+        The base matrix is *not* scattered from the prefix: it is pure
+        position/role arithmetic, and at sentence-sized NV the
+        vectorized formula is cheaper than moving the old packed block.
+        The expensive carried artifacts are the constraint masks
+        (:meth:`_extend_masks`) and the propagation state
+        (:meth:`ConstraintNetwork.extend_from`).
+        """
+        if prefix.grammar is not self.grammar:
+            raise NetworkError("prefix template was built under a different grammar")
+        if prefix.category_sets != self.category_sets[:-1]:
+            raise NetworkError(
+                "prefix template shape is not a one-word prefix of this shape "
+                f"(n={prefix.n_words} vs n={self.n_words})"
+            )
+        old = (self.pos != self.n_words) & (self.mod != self.n_words)
+        idx_map = np.nonzero(old)[0]
+        if idx_map.size != prefix.nv:
+            raise NetworkError(
+                "extension did not preserve the prefix's role values "
+                f"({idx_map.size} surviving vs {prefix.nv} expected)"
+            )
+        self.prefix_map = _frozen(idx_map)
+        self.prefix_new = _frozen(np.nonzero(~old)[0])
+
+    def extend(
+        self, category_set: frozenset[int], *, compiled: CompiledGrammar | None = None
+    ) -> "NetworkTemplate":
+        """The (n+1)-word template sharing this n-word template's work.
+
+        When *compiled* is given and this template has already evaluated
+        its vector masks for it, the unary vectors and the fused binary
+        AND are extended instead of re-evaluated: old entries are
+        scattered through the preserved-order index maps, and only the
+        cross strips where at least one side is a new role value are
+        evaluated.  The per-constraint binary masks stay deferred — the
+        fused fast path never reads them, and a non-fused consumer
+        triggers a full evaluation on first access.  Nothing reachable
+        from the predecessor is mutated — extension only reads frozen
+        state.
+        """
+        extended = NetworkTemplate(
+            self.grammar,
+            self.category_sets + (frozenset(category_set),),
+            prefix=self,
+        )
+        if compiled is not None and self._masks is not None and self._masks_for is compiled:
+            extended._extend_masks(self, compiled)
+        return extended
+
+    #: Below this many *saved* pair evaluations an incremental mask
+    #: extension loses to the plain full evaluation: the scatter
+    #: bookkeeping (index maps, strip assigns, fused unpack/repack) has
+    #: a fixed cost that small prefixes never amortize.  Expressed in
+    #: matrix elements; tuned on the english grammar's n <= 10 sweep.
+    _EXTEND_MIN_SAVED_PAIRS = 16384
+
+    def _extend_masks(self, prefix: "NetworkTemplate", compiled: CompiledGrammar) -> None:
+        """Extend *prefix*'s cached vector masks into this template.
+
+        Constraint evaluation is elementwise over the field arrays and
+        the category table, and the old values' fields (and ``canbe``
+        rows) are unchanged by extension, so the prefix's evaluations
+        are scattered verbatim; only the rectangular blocks where at
+        least one side is a new role value are evaluated.  Bit-identical
+        to :meth:`vector_masks` from scratch — a test invariant.
+
+        Small shapes fall back to the plain full evaluation: the cross
+        region (``2 * new * NV`` of ``NV^2`` pairs) must undercut the
+        full matrix by enough to pay for the scatter bookkeeping.  The
+        template is still a prefix *extension* either way — the index
+        maps and resumable propagation are untouched; only the mask
+        computation strategy switches.
+        """
+        from repro.constraints.vector import VectorEnv
+
+        idx_map = self.prefix_map
+        new_idx = self.prefix_new
+        saved = self.nv * self.nv - 2 * new_idx.size * self.nv
+        if saved < self._EXTEND_MIN_SAVED_PAIRS:
+            self._compute_masks_full(compiled)
+            return
+
+        old_masks = prefix._masks
+        fields = self._field_arrays()
+        new_fields = {k: v[new_idx] for k, v in fields.items()}
+        unary_env = VectorEnv(x=new_fields, y=None, canbe=self.canbe_array)
+        unary: list[np.ndarray] = []
+        if compiled.unary:
+            # One batched scatter for every unary constraint: the old
+            # vectors land through idx_map, only new values are evaluated.
+            unary_all = np.zeros((len(compiled.unary), self.nv), dtype=bool)
+            unary_all[:, idx_map] = old_masks.unary
+            for i, cc in enumerate(compiled.unary):
+                unary_all[i, new_idx] = np.broadcast_to(cc.vector(unary_env), new_idx.shape)
+            unary = [_frozen(row) for row in unary_all]
+
+        # The new entries of a symmetrized mask (permitted & permitted.T)
+        # need both orientations of the cross: rows = (new x, all y) and
+        # the transpose of (all x, new y).  The sym-AND distributes over
+        # the per-constraint fold — AND_c [c(i,j) & c(j,i)] equals
+        # [AND_c c(i,j)] & [AND_c c(j,i)] — so each orientation is
+        # folded separately and combined once; the column strip then
+        # only needs the *old* x side (the prefix's own field arrays,
+        # direct views), because the new-by-new corner is already in the
+        # row fold.  Rectangular broadcast envs keep the field arrays as
+        # cheap views — no O(new * NV) gathers.
+        row_env = VectorEnv(
+            x={k: v[:, None] for k, v in new_fields.items()},
+            y={k: v[None, :] for k, v in fields.items()},
+            canbe=self.canbe_array,
+        )
+        col_env = VectorEnv(
+            x={k: v[:, None] for k, v in prefix._field_arrays().items()},
+            y={k: v[None, :] for k, v in new_fields.items()},
+            canbe=self.canbe_array,
+        )
+        shape = (new_idx.size, self.nv)
+        old_shape = (idx_map.size, new_idx.size)
+        fused: np.ndarray | None = None
+        binary: tuple[np.ndarray, ...] | None = ()
+        binary_thunk = None
+        if compiled.binary:
+            # Only the FUSED mask is materialized in the extended
+            # layout: the per-constraint cross strips are AND-folded as
+            # they are evaluated, the prefix's fused block is scattered
+            # through idx_map, and one pack covers the result.  The
+            # per-constraint tuple stays deferred (``binary_thunk``) —
+            # scattering k_b full (NV, NV) masks costs more than the
+            # whole rest of the extension, and the fused fast path
+            # never reads them.
+            rows_acc: np.ndarray | None = None
+            cols_acc: np.ndarray | None = None
+            for cc in compiled.binary:
+                rows = np.broadcast_to(cc.vector(row_env), shape)
+                cols = np.broadcast_to(cc.vector(col_env), old_shape)
+                if rows_acc is None:
+                    rows_acc, cols_acc = rows.copy(), cols.copy()
+                else:
+                    rows_acc &= rows
+                    cols_acc &= cols
+            acc = rows_acc
+            corner = acc[:, new_idx]  # fancy index: a copy of the pure row fold
+            acc[:, idx_map] &= cols_acc.T
+            acc[:, new_idx] = corner & corner.T
+            sym = np.zeros((self.nv, self.nv), dtype=bool)
+            sym[np.ix_(idx_map, idx_map)] = bitset.unpack_rows(
+                old_masks.fused, prefix.bit_layout
+            )
+            sym[new_idx, :] = acc
+            sym[:, new_idx] = acc.T
+            fused = _frozen(bitset.pack_rows(sym, self.bit_layout))
+            binary = None
+            binary_thunk = functools.partial(self._binary_masks_packed, compiled)
+        self._masks = VectorMasks(
+            unary=tuple(unary),
+            binary=binary,
+            packed=True,
+            fused=fused,
+            binary_thunk=binary_thunk,
+        )
+        self._masks_for = compiled
 
     # -- binding -----------------------------------------------------------
 
@@ -289,35 +501,55 @@ class NetworkTemplate:
         """
         if self._masks is not None and self._masks_for is compiled:
             return self._masks
+        self._compute_masks_full(compiled)
+        return self._masks
+
+    def _compute_masks_full(self, compiled: CompiledGrammar) -> None:
+        """Evaluate and cache the masks over all O(NV^2) pairs."""
         from repro.constraints.vector import VectorEnv
 
-        fields = {
-            "pos": self.pos,
-            "role": self.role_kind,
-            "cat": self.cat,
-            "lab": self.lab,
-            "mod": self.mod,
-        }
-        unary_env = VectorEnv(x=fields, y=None, canbe=self.canbe_array)
-        pair_env = VectorEnv(
-            x={k: v[:, None] for k, v in fields.items()},
-            y={k: v[None, :] for k, v in fields.items()},
-            canbe=self.canbe_array,
-        )
+        unary_env = VectorEnv(x=self._field_arrays(), y=None, canbe=self.canbe_array)
         unary = tuple(_frozen(cc.vector(unary_env)) for cc in compiled.unary)
-        binary: list[np.ndarray] = []
-        for cc in compiled.binary:
-            permitted = cc.vector(pair_env)
-            binary.append(_frozen(bitset.pack_rows(permitted & permitted.T, self.bit_layout)))
+        binary = self._binary_masks_packed(compiled)
         fused: np.ndarray | None = None
         if binary:
             acc = binary[0].copy()
             for mask in binary[1:]:
                 acc &= mask
             fused = _frozen(acc)
-        self._masks = VectorMasks(unary=unary, binary=tuple(binary), packed=True, fused=fused)
+        self._masks = VectorMasks(unary=unary, binary=binary, packed=True, fused=fused)
         self._masks_for = compiled
-        return self._masks
+
+    def _field_arrays(self) -> dict[str, np.ndarray]:
+        """The role-value field arrays, keyed as constraint variables."""
+        return {
+            "pos": self.pos,
+            "role": self.role_kind,
+            "cat": self.cat,
+            "lab": self.lab,
+            "mod": self.mod,
+        }
+
+    def _binary_masks_packed(self, compiled: CompiledGrammar) -> tuple[np.ndarray, ...]:
+        """Symmetrized packed masks of every binary constraint, full eval.
+
+        Shared by :meth:`vector_masks` and by the deferred ``binary``
+        of an extended template (:meth:`_extend_masks`), where it runs
+        only if a non-fused consumer actually asks for the tuple.
+        """
+        from repro.constraints.vector import VectorEnv
+
+        fields = self._field_arrays()
+        pair_env = VectorEnv(
+            x={k: v[:, None] for k, v in fields.items()},
+            y={k: v[None, :] for k, v in fields.items()},
+            canbe=self.canbe_array,
+        )
+        binary: list[np.ndarray] = []
+        for cc in compiled.binary:
+            permitted = cc.vector(pair_env)
+            binary.append(_frozen(bitset.pack_rows(permitted & permitted.T, self.bit_layout)))
+        return tuple(binary)
 
     def vector_masks_bool(self, compiled: CompiledGrammar) -> VectorMasks:
         """Boolean expansions of :meth:`vector_masks`, for the byte engine.
@@ -356,7 +588,23 @@ class NetworkTemplate:
         return self._scratch_bits
 
     def nbytes(self) -> int:
-        """Approximate resident size, for cache-accounting tests."""
+        """Approximate resident size, for cache-accounting tests.
+
+        Memoized per lazy-artifact state: sessions report cache bytes on
+        every parse/extend, and the arrays counted here are frozen — the
+        total only changes when a lazy artifact appears (or deferred
+        binary masks materialize), which the state key captures.
+        """
+        state = (
+            self._base_bool is not None,
+            self._scratch is not None,
+            self._scratch_bits is not None,
+            self._masks is not None,
+            self._masks is not None and self._masks.binary_materialized,
+            self._masks_bool is not None,
+        )
+        if self._nbytes_cache is not None and self._nbytes_cache[0] == state:
+            return self._nbytes_cache[1]
         total = self.base_bits.nbytes + self.canbe_array.nbytes
         total += self.bit_layout.nbytes()
         for arr in (self.pos, self.role_kind, self.cat, self.lab, self.mod, self.role_index):
@@ -369,11 +617,15 @@ class NetworkTemplate:
             total += self._scratch_bits.nbytes
         if self._masks is not None:
             total += sum(m.nbytes for m in self._masks.unary)
-            total += sum(m.nbytes for m in self._masks.binary)
+            if self._masks.binary_materialized:
+                # Deferred binary masks of an extended template are not
+                # resident (and must not be materialized by accounting).
+                total += sum(m.nbytes for m in self._masks.binary)
             if self._masks.fused is not None:
                 total += self._masks.fused.nbytes
         if self._masks_bool is not None:
             total += sum(m.nbytes for m in self._masks_bool.binary)
+        self._nbytes_cache = (state, total)
         return total
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

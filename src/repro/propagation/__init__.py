@@ -7,11 +7,24 @@ from repro.propagation.consistency import (
     unsupported_vector,
 )
 from repro.propagation.filtering import filter_network
-from repro.propagation.incremental import apply_constraint, apply_constraints
+from repro.propagation.incremental import (
+    FixpointStats,
+    MaskStats,
+    apply_constraint,
+    apply_constraints,
+    apply_masks,
+    resume_propagation,
+    run_filtering,
+)
 
 __all__ = [
     "apply_constraint",
     "apply_constraints",
+    "apply_masks",
+    "run_filtering",
+    "resume_propagation",
+    "MaskStats",
+    "FixpointStats",
     "consistency_step_serial",
     "consistency_step_vector",
     "unsupported_serial",

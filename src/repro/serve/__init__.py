@@ -12,7 +12,12 @@ concurrent producers*:
   template cache key) and releases single-shape batches on a
   size-or-linger rule, so every batch binds one cached template;
 * :class:`ServiceMetrics` — request counters by outcome, queue-depth
-  gauge, batch-size and latency histograms, via ``snapshot()``.
+  gauge, batch-size and latency histograms, via ``snapshot()``;
+* :class:`ServiceStream` — a server-side incremental parse opened with
+  ``submit_stream()``: ``feed(word)`` queues one token through the same
+  admission/deadline/metrics machinery and resolves to the grown
+  prefix's result, executed word-at-a-time on the owning worker's
+  session via :class:`~repro.pipeline.streaming.StreamingParse`.
 
 See ``docs/architecture.md`` ("Serving layer") and
 ``benchmarks/bench_service.py`` for the throughput record.
@@ -26,11 +31,12 @@ from repro.serve.errors import (
     ServiceUnavailable,
 )
 from repro.serve.metrics import Counter, Gauge, Histogram, ServiceMetrics
-from repro.serve.service import ParseService
+from repro.serve.service import ParseService, ServiceStream
 from repro.serve.worker import Worker
 
 __all__ = [
     "ParseService",
+    "ServiceStream",
     "ParseRequest",
     "ShapeBatcher",
     "Worker",

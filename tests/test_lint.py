@@ -415,6 +415,52 @@ class TestWriteThroughAttachedRPR010:
         assert lint_source(source, select={"RPR010"}) == []
 
 
+class TestExtendMustNotThawRPR011:
+    def test_trigger_item_write_to_predecessor_array(self):
+        source = (
+            "def extend_from(prev, template, sentence):\n"
+            "    prev.alive_bits[0] = 0\n"
+        )
+        assert codes(lint_source(source, select={"RPR011"})) == ["RPR011"]
+
+    def test_trigger_augassign_through_alias_chain(self):
+        source = (
+            "def extend(self, category_set):\n"
+            "    bits = self.base_bits\n"
+            "    bits &= 0\n"
+        )
+        assert codes(lint_source(source, select={"RPR011"})) == ["RPR011"]
+
+    def test_trigger_out_kwarg_and_view_laundering(self):
+        source = (
+            "import numpy as np\n"
+            "def _extend_masks(self, prefix, compiled):\n"
+            "    rows = prefix.matrix_bits.view()\n"
+            "    np.bitwise_or(rows, rows, out=rows)\n"
+        )
+        assert codes(lint_source(source, select={"RPR011"})) == ["RPR011"]
+
+    def test_pass_scatter_into_fresh_arrays(self):
+        source = (
+            "import numpy as np\n"
+            "def extend_from(prev, template, sentence):\n"
+            "    network = template.bind(sentence)\n"
+            "    base = np.zeros((template.nv, template.nv), dtype=bool)\n"
+            "    base[prev.prefix_map] = prev.alive_bits\n"
+            "    network.alive_bits = base\n"
+            "    network.matrix_bits[0] = 0\n"
+            "    return network\n"
+        )
+        assert lint_source(source, select={"RPR011"}) == []
+
+    def test_pass_outside_extend_methods(self):
+        source = (
+            "def apply(prev):\n"
+            "    prev.alive_bits[0] = 0\n"
+        )
+        assert lint_source(source, select={"RPR011"}) == []
+
+
 class TestRepoIsClean:
     def test_src_tree_lints_clean(self):
         findings = lint_paths([REPO_SRC])
