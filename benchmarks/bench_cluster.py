@@ -1,0 +1,78 @@
+"""CLUSTER — networked sharded parsing: bit-identity, load, log-derived latency.
+
+The cluster's claims, in falsifiability order:
+
+* **Bit-identity** (always checkable): every verdict and packed network
+  bit that crosses the wire must equal a single-process parse of the
+  same corpus — including a word-at-a-time streaming session.  The
+  bench *gates* on this before timing anything; a cluster that is fast
+  but wrong writes no record.
+* **Throughput and latency** (log-derived): the published numbers come
+  from the merged per-shard logs (earliest-timestamp merge, p50/p95/p99
+  over recv→done pairs), not from the load generator's bookkeeping —
+  the BFT-MVBA ``LogParser`` discipline.
+* **Scaling** (host-gated): a shard fleet on a host with fewer cores
+  than cluster processes time-shares one core; the record then carries
+  an annotation instead of a claim (the PR-5 lesson, now enforced by
+  :func:`repro.analysis.host.scaling_claim_allowed`).
+
+Run standalone to (re)generate the committed record::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py [--quick]
+
+which writes ``BENCH_cluster.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.cluster.bench import print_report, run_bench
+
+
+def test_cluster_bench(report):
+    """CLUSTER: 2 shards over localhost sockets vs one in-process session."""
+    record = run_bench(shards=2, quick=True)
+    assert record["bit_identity"]["ok"], record["bit_identity"]
+    closed = record["closed_loop"]
+    logs = record["shard_logs"]
+    assert closed["completed"] == closed["requests"], closed
+    assert logs["completed"] > 0 and len(logs["shards"]) == 2, logs
+    report(
+        f"Cluster bench (2 shards, quick, {record['host']['cpu_count']} CPU host)",
+        ["source", "completed", "req/s", "p50 ms", "p95 ms", "p99 ms"],
+        [
+            ["closed loop", closed["completed"], closed["throughput_rps"],
+             closed["p50_ms"], closed["p95_ms"], closed["p99_ms"]],
+            ["open loop", record["open_loop"]["completed"],
+             record["open_loop"]["throughput_rps"], record["open_loop"]["p50_ms"],
+             record["open_loop"]["p95_ms"], record["open_loop"]["p99_ms"]],
+            ["shard logs", logs["completed"], logs["throughput_rps"],
+             logs["latency"]["p50_ms"], logs["latency"]["p95_ms"],
+             logs["latency"]["p99_ms"]],
+        ],
+        notes=(
+            "bit-identity (incl. one streaming session) asserted before timing; "
+            + (record.get("scaling_note") or "host cores cover the fleet")
+        ),
+    )
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small corpus and short loops (CI smoke + artifact)")
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--workers", type=int, default=1)
+    args = parser.parse_args()
+
+    out = Path(__file__).resolve().parents[1] / "BENCH_cluster.json"
+    record = run_bench(
+        shards=args.shards, workers=args.workers, quick=args.quick, out_path=out
+    )
+    print_report(record, sys.stdout)
+    print(f"wrote {out}")
+    raise SystemExit(0 if record["bit_identity"]["ok"] else 1)

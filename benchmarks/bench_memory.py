@@ -34,6 +34,7 @@ import time
 from pathlib import Path
 
 from repro import ParserSession
+from repro.analysis.host import host_metadata
 from repro.grammar.builtin.english import english_grammar
 from repro.workloads import sentence_of_length
 
@@ -86,6 +87,7 @@ def measure(n: int, *, batch: int = BATCH, repeats: int = REPEATS) -> dict:
 def run_bench(*, batch: int = BATCH, repeats: int = REPEATS) -> dict:
     return {
         "bench": "memory",
+        "host": host_metadata(),
         "grammar": "english",
         "engines": list(ENGINES),
         "batch": batch,

@@ -35,6 +35,7 @@ from pathlib import Path
 import numpy as np
 
 from repro import ParallelSession, ParserSession
+from repro.analysis.host import host_metadata, scaling_claim_allowed
 from repro.grammar.builtin.english import english_grammar
 from repro.workloads import sentence_of_length
 
@@ -119,6 +120,9 @@ def run_process_scaling(n_requests: int = REQUESTS) -> dict:
                 "workers": workers,
                 "sps": round(sps, 1),
                 "speedup_vs_single": round(sps / baseline_sps, 2),
+                # Only a *claim* when the host has the cores to back it;
+                # otherwise the ratio documents dispatch overhead.
+                "scaling_claim": scaling_claim_allowed(workers),
                 "shared_bytes": shared,
             }
         )
@@ -136,6 +140,7 @@ def run_bench(batch: int = FUSED_BATCH, n_requests: int = REQUESTS) -> dict:
         "bench": "parallel",
         "grammar": "english",
         "engine": "vector",
+        "host": host_metadata(),
         "host_cpus": cpus,
         "correctness": (
             "fused fixpoints bit-identical to interleaved; ParallelSession "
@@ -205,8 +210,14 @@ if __name__ == "__main__":
     scaling = record["process_scaling"]
     print(f"single-process baseline: {scaling['baseline_sps']:8.1f} sents/s")
     for row in scaling["rows"]:
-        print(
-            f"workers={row['workers']}: {row['sps']:8.1f} sents/s  "
-            f"({row['speedup_vs_single']:.2f}x vs single)"
-        )
+        if row["scaling_claim"]:
+            ratio = f"({row['speedup_vs_single']:.2f}x vs single)"
+        else:
+            # Refuse the "Nx" claim on a host without the cores for it.
+            ratio = (
+                f"(ratio {row['speedup_vs_single']:.2f} on a "
+                f"{record['host_cpus']}-CPU host: dispatch overhead, "
+                "not a scaling claim)"
+            )
+        print(f"workers={row['workers']}: {row['sps']:8.1f} sents/s  {ratio}")
     print(f"wrote {out}  (host CPUs: {record['host_cpus']})")

@@ -43,6 +43,7 @@ from pathlib import Path
 import numpy as np
 
 from repro import ParserSession
+from repro.analysis.host import host_metadata
 from repro.grammar.builtin.english import english_grammar
 from repro.serve import ParseService
 from repro.workloads import sentence_of_length
@@ -173,6 +174,7 @@ def run_bench(n_requests: int = REQUESTS) -> dict:
         closed_loop.append(closed)
     return {
         "bench": "service",
+        "host": host_metadata(),
         "grammar": "english",
         "engine": "vector",
         "requests": n_requests,

@@ -33,6 +33,7 @@ from pathlib import Path
 import numpy as np
 
 from repro import ParserSession
+from repro.analysis.host import host_metadata
 from repro.grammar.builtin.english import english_grammar
 from repro.workloads import sentence_of_length
 
@@ -137,6 +138,7 @@ def iter_stream(session: ParserSession, words) -> "list":
 def run_bench(repeats: int = REPEATS) -> dict:
     return {
         "bench": "streaming",
+        "host": host_metadata(),
         "grammar": "english",
         "engine": "vector",
         "correctness": (

@@ -21,6 +21,7 @@ import time
 from pathlib import Path
 
 from repro import ParserSession, VectorEngine
+from repro.analysis.host import host_metadata
 from repro.grammar.builtin.english import english_grammar
 from repro.workloads import sentence_of_length
 from repro.workloads.sentences import ADJS, NOUNS, PREPS, VERBS_INTRANS, VERBS_TRANS
@@ -90,6 +91,7 @@ def measure(n: int) -> dict:
 def run_bench() -> dict:
     return {
         "bench": "throughput",
+        "host": host_metadata(),
         "grammar": "english",
         "engine": "vector",
         "repeats": REPEATS,

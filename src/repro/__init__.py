@@ -49,6 +49,13 @@ from repro.errors import (
     SexprSyntaxError,
     StreamError,
 )
+from repro.cluster import (
+    ClusterClient,
+    ClusterError,
+    ClusterLauncher,
+    ParseServer,
+    ShardRouter,
+)
 from repro.grammar import CDGGrammar, GrammarBuilder, Sentence, load_grammar, load_grammar_file
 from repro.mesh.engine import MeshEngine
 from repro.network import ConstraintNetwork, RoleValue
@@ -71,7 +78,7 @@ from repro.serve import (
     ServiceUnavailable,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 # Opt-in runtime invariant checking (REPRO_SANITIZE=1); see
 # repro.analysis.sanitizer.  A no-op unless the variable is set.
@@ -125,6 +132,12 @@ __all__ = [
     "DeadlineExceeded",
     "ServiceUnavailable",
     "ConcurrentSessionUse",
+    # networked cluster
+    "ClusterClient",
+    "ClusterError",
+    "ClusterLauncher",
+    "ParseServer",
+    "ShardRouter",
     # errors
     "ReproError",
     "SexprSyntaxError",

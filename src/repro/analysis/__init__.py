@@ -10,6 +10,7 @@ Three members, deliberately not imported eagerly where they are heavy:
 """
 
 from repro.analysis.fitting import PowerLawFit, fit_log_growth, fit_power_law
+from repro.analysis.host import host_metadata, scaling_claim_allowed, scaling_note
 from repro.analysis.profiler import ConstraintRecord, ParseProfile, profile_parse
 from repro.analysis.reporting import format_seconds, format_table
 
@@ -22,4 +23,7 @@ __all__ = [
     "ConstraintRecord",
     "ParseProfile",
     "profile_parse",
+    "host_metadata",
+    "scaling_claim_allowed",
+    "scaling_note",
 ]

@@ -1,4 +1,4 @@
-"""The built-in rule catalogue (codes ``RPR001``..``RPR011``).
+"""The built-in rule catalogue (codes ``RPR001``..``RPR012``).
 
 Each rule encodes one repo invariant:
 
@@ -31,6 +31,10 @@ RPR010    write-through-attached  no writes through arrays attached from a
 RPR011    extend-must-not-thaw    ``extend*`` methods grow new state from a frozen
                                   predecessor; no in-place writes to arrays
                                   reachable from the predecessor's parameters
+RPR012    socket-lifecycle        sockets/servers opened in ``repro.cluster`` are
+                                  closed via context manager, a reachable
+                                  ``close``/``shutdown`` path, or lifecycle
+                                  registration
 ========  ======================  ==================================================
 
 Rules are registered by importing this module (the package ``__init__``
@@ -1003,3 +1007,182 @@ class ExtendMustNotThaw(LintRule):
                         rebound.update(n for n in names if n in tainted)
         tainted -= rebound
         return tainted
+
+
+@register_rule
+class SocketLifecycle(LintRule):
+    """RPR012: the cluster layer is the only place the repo opens real
+    sockets, and every one of them must have a close path that survives
+    review: a socket that leaks keeps its port, its FD, and (server
+    side) its accept loop alive past the lifecycle that owned it.  An
+    opener call (``socket(...)``, ``create_connection``,
+    ``create_server``, ``start_server``, ``open_connection``) passes
+    only when it is (a) a ``with``/``async with`` context item, (b)
+    bound to names on which a ``close``/``wait_closed``/``shutdown``/
+    ``abort`` call appears in the same function, (c) bound to a
+    ``self.<attr>`` that some method of the same class closes, or (d)
+    handed to a lifecycle registrar (a call whose name contains
+    ``register`` or ``track``) — either the call's result directly or
+    the names it was unpacked into.  Anything else is a leak."""
+
+    code = "RPR012"
+    name = "socket-lifecycle"
+    description = "socket/server opened in repro.cluster without a close path"
+
+    _OPENERS = frozenset(
+        {"socket", "create_connection", "create_server", "start_server",
+         "open_connection"}
+    )
+    _CLOSERS = frozenset({"close", "wait_closed", "shutdown", "abort"})
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        if "cluster/" not in module.rel:
+            return
+        yield from self._visit(module, module.tree, None)
+
+    def _visit(
+        self, module: SourceModule, node: ast.AST, cls: "ast.ClassDef | None"
+    ) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                yield from self._visit(module, child, child)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(module, child, cls)
+                yield from self._visit(module, child, cls)
+            else:
+                yield from self._visit(module, child, cls)
+
+    def _opener_calls(self, expr: ast.AST) -> "list[ast.Call]":
+        return [
+            node
+            for node in ast.walk(expr)
+            if isinstance(node, ast.Call)
+            and _terminal_name(node.func) in self._OPENERS
+        ]
+
+    def _check_function(
+        self, module: SourceModule, func: ast.AST, cls: "ast.ClassDef | None"
+    ) -> Iterator[Finding]:
+        own = list(_own_nodes(func))
+        handled: "set[ast.Call]" = set()
+
+        # (a) context-managed openers close themselves.
+        for node in own:
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    handled.update(self._opener_calls(item.context_expr))
+
+        # (b)/(c)/(d) assigned openers need a reachable close path.
+        for node in own:
+            if not isinstance(node, ast.Assign):
+                continue
+            calls = [c for c in self._opener_calls(node.value) if c not in handled]
+            if not calls:
+                continue
+            handled.update(calls)
+            names: "set[str]" = set()
+            self_attrs: "set[str]" = set()
+            for target in node.targets:
+                for leaf in self._leaf_targets(target):
+                    if isinstance(leaf, ast.Name):
+                        names.add(leaf.id)
+                    elif (
+                        isinstance(leaf, ast.Attribute)
+                        and isinstance(leaf.value, ast.Name)
+                        and leaf.value.id == "self"
+                    ):
+                        self_attrs.add(leaf.attr)
+            ok = bool(names) and self._names_closed_or_registered(own, names)
+            if not ok and self_attrs and cls is not None:
+                ok = self._attrs_closed_in_class(cls, self_attrs)
+            if not ok:
+                for call in calls:
+                    yield self._report(module, call)
+
+        # Bare openers: allowed only when fed straight to a registrar.
+        parents: "dict[ast.AST, ast.AST]" = {}
+        for parent in ast.walk(func):
+            for child in ast.iter_child_nodes(parent):
+                parents[child] = parent
+        for node in own:
+            if (
+                isinstance(node, ast.Call)
+                and _terminal_name(node.func) in self._OPENERS
+                and node not in handled
+            ):
+                if not self._inside_registrar(node, parents):
+                    yield self._report(module, node)
+
+    def _report(self, module: SourceModule, node: ast.AST) -> Finding:
+        return self.finding(
+            module,
+            node,
+            "socket/server opened without a close path: use a context "
+            "manager, call close()/shutdown() on it in this function, "
+            "close the self-attribute elsewhere in the class, or hand it "
+            "to a lifecycle registrar",
+        )
+
+    def _leaf_targets(self, target: ast.AST) -> Iterator[ast.AST]:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                yield from self._leaf_targets(element)
+        elif isinstance(target, ast.Starred):
+            yield from self._leaf_targets(target.value)
+        else:
+            yield target
+
+    def _names_closed_or_registered(
+        self, own: "list[ast.AST]", names: "set[str]"
+    ) -> bool:
+        for node in own:
+            if not isinstance(node, ast.Call):
+                continue
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._CLOSERS
+            ):
+                root = node.func.value
+                while isinstance(root, (ast.Attribute, ast.Subscript)):
+                    root = root.value
+                if isinstance(root, ast.Name) and root.id in names:
+                    return True
+            terminal = _terminal_name(node.func)
+            if terminal and ("register" in terminal or "track" in terminal):
+                arguments = list(node.args) + [kw.value for kw in node.keywords]
+                for argument in arguments:
+                    for sub in ast.walk(argument):
+                        if isinstance(sub, ast.Name) and sub.id in names:
+                            return True
+        return False
+
+    def _attrs_closed_in_class(
+        self, cls: ast.ClassDef, attrs: "set[str]"
+    ) -> bool:
+        for node in ast.walk(cls):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._CLOSERS
+            ):
+                target = node.func.value
+                if (
+                    isinstance(target, ast.Attribute)
+                    and target.attr in attrs
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    return True
+        return False
+
+    def _inside_registrar(
+        self, node: ast.AST, parents: "dict[ast.AST, ast.AST]"
+    ) -> bool:
+        current = parents.get(node)
+        while current is not None:
+            if isinstance(current, ast.Call):
+                terminal = _terminal_name(current.func)
+                if terminal and ("register" in terminal or "track" in terminal):
+                    return True
+            current = parents.get(current)
+        return False

@@ -18,6 +18,11 @@ Commands:
 ``stream``
     Parse word-at-a-time from the arguments or stdin, printing the
     running verdict and domain sizes after every token.
+``cluster``
+    The networked sharded parse cluster: ``cluster shard`` runs one
+    shard server (the launcher's entry point), ``cluster up`` spawns a
+    local fleet, and ``cluster bench`` runs the bit-identity-gated
+    load benchmark and writes ``BENCH_cluster.json``.
 
 ``--engine`` values are validated against the live registry (not a
 frozen argparse choice list), so engines registered at runtime work and
@@ -352,6 +357,73 @@ def _cmd_serve_bench(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_cluster_shard(args: argparse.Namespace, out) -> int:
+    from repro.cluster import ParseServer
+
+    grammar = _resolve_grammar(args.grammar)
+    server = ParseServer(
+        grammar,
+        engine=args.engine,
+        host=args.host,
+        port=args.port,
+        shard_id=args.shard_id,
+        workers=args.workers,
+        workers_mode=args.workers_mode,
+        max_batch_size=args.max_batch_size,
+        max_linger=args.max_linger,
+        log_path=args.log,
+        port_file=args.port_file,
+    )
+    # Blocks until SIGTERM/SIGINT, then drains and shuts the service down.
+    server.serve_forever()
+    return 0
+
+
+def _cmd_cluster_up(args: argparse.Namespace, out) -> int:
+    from repro.cluster import ClusterLauncher
+
+    launcher = ClusterLauncher(
+        args.grammar,
+        shards=args.shards,
+        engine=args.engine,
+        workers=args.workers,
+        workers_mode=args.workers_mode,
+        run_dir=args.run_dir,
+    )
+    with launcher:
+        print(f"cluster up: {args.shards} shard(s), logs in {launcher.log_dir}", file=out)
+        for index, address in enumerate(launcher.addresses):
+            print(f"  shard {index}: {address}", file=out)
+        print("Ctrl-C to drain and shut down.", file=out)
+        try:
+            while all(launcher.alive()):
+                time.sleep(0.5)
+            down = [i for i, ok in enumerate(launcher.alive()) if not ok]
+            print(f"shard(s) {down} exited; shutting the cluster down", file=out)
+            return 1
+        except KeyboardInterrupt:
+            print("shutting down...", file=out)
+    return 0
+
+
+def _cmd_cluster_bench(args: argparse.Namespace, out) -> int:
+    from repro.cluster.bench import print_report, run_bench
+
+    record = run_bench(
+        grammar=args.grammar,
+        engine=args.engine,
+        shards=args.shards,
+        workers=args.workers,
+        workers_mode=args.workers_mode,
+        quick=args.quick,
+        concurrency=args.concurrency,
+        out_path=args.out,
+    )
+    print_report(record, out)
+    print(f"record written to {args.out}", file=out)
+    return 0 if record["bit_identity"]["ok"] else 1
+
+
 def _cmd_explain(args: argparse.Namespace, out) -> int:
     from repro.debugging import TraceRecorder
 
@@ -453,6 +525,65 @@ def build_parser() -> argparse.ArgumentParser:
     p_stream.add_argument("--grammar", "-g", default="english")
     p_stream.add_argument("--engine", "-e", default="vector", help=engine_help)
     p_stream.set_defaults(func=_cmd_stream)
+
+    p_cluster = sub.add_parser(
+        "cluster",
+        help="networked sharded parse cluster (shard / up / bench)",
+        description="Run the repro.cluster subsystem: a consistent-hash "
+        "router fanning parse and stream requests across shard servers, "
+        "each fronting its own ParseService on a localhost socket.",
+    )
+    cluster_sub = p_cluster.add_subparsers(dest="cluster_command", required=True)
+
+    p_shard = cluster_sub.add_parser(
+        "shard", help="run one shard server (used by the launcher)"
+    )
+    p_shard.add_argument("--grammar", "-g", default="english")
+    p_shard.add_argument("--engine", "-e", default="vector", help=engine_help)
+    p_shard.add_argument("--host", default="127.0.0.1")
+    p_shard.add_argument("--port", type=int, default=0,
+                         help="TCP port; 0 asks the OS (announced via --port-file)")
+    p_shard.add_argument("--shard-id", type=int, default=0)
+    p_shard.add_argument("--workers", "-w", type=int, default=1)
+    p_shard.add_argument("--workers-mode", choices=("thread", "process"), default="thread")
+    p_shard.add_argument("--max-batch-size", type=int, default=16)
+    p_shard.add_argument("--max-linger", type=float, default=0.002,
+                         help="dynamic batcher max linger (seconds)")
+    p_shard.add_argument("--log", default=None, help="structured shard log path")
+    p_shard.add_argument("--port-file", default=None,
+                         help="file to write host:port into once listening")
+    p_shard.set_defaults(func=_cmd_cluster_shard)
+
+    p_up = cluster_sub.add_parser(
+        "up", help="launch a local cluster of shard subprocesses"
+    )
+    p_up.add_argument("--grammar", "-g", default="english")
+    p_up.add_argument("--engine", "-e", default="vector", help=engine_help)
+    p_up.add_argument("--shards", type=int, default=2)
+    p_up.add_argument("--workers", "-w", type=int, default=1,
+                      help="service workers per shard")
+    p_up.add_argument("--workers-mode", choices=("thread", "process"), default="thread")
+    p_up.add_argument("--run-dir", default=None,
+                      help="directory for port files and shard logs")
+    p_up.set_defaults(func=_cmd_cluster_up)
+
+    p_cbench = cluster_sub.add_parser(
+        "bench",
+        help="cluster load benchmark: bit-identity gate, closed+open loop, "
+        "log-derived latency percentiles",
+    )
+    p_cbench.add_argument("--grammar", "-g", default="english")
+    p_cbench.add_argument("--engine", "-e", default="vector", help=engine_help)
+    p_cbench.add_argument("--shards", type=int, default=2)
+    p_cbench.add_argument("--workers", "-w", type=int, default=1)
+    p_cbench.add_argument("--workers-mode", choices=("thread", "process"), default="thread")
+    p_cbench.add_argument("--concurrency", type=int, default=4,
+                          help="closed-loop concurrent callers")
+    p_cbench.add_argument("--quick", action="store_true",
+                          help="small corpus and short loops (CI smoke)")
+    p_cbench.add_argument("--out", default="BENCH_cluster.json",
+                          help="where to write the JSON record")
+    p_cbench.set_defaults(func=_cmd_cluster_bench)
 
     p_explain = sub.add_parser(
         "explain", help="trace a parse and show what each constraint eliminated"

@@ -1,0 +1,202 @@
+"""The cluster benchmark: spin a fleet, load it, believe only the logs.
+
+:func:`run_bench` is the one entry point (`repro cluster bench`, the
+``benchmarks/bench_cluster.py`` wrapper, and the CI smoke job all call
+it): launch N shard subprocesses, gate on *bit-identity* — every
+verdict and packed network bit from the cluster must equal a
+single-process parse of the same corpus, including a streaming
+session — then drive closed- and open-loop load, and derive the
+published throughput/latency numbers from the merged shard logs
+(:mod:`repro.cluster.logs`), not from the generator's own bookkeeping.
+
+The record is honest by construction: it embeds
+:func:`~repro.analysis.host.host_metadata`, and on hosts with fewer
+cores than cluster processes the scaling claim is *refused* and
+replaced with an annotation (the PR-5 lesson — a 1-CPU container can
+report a ratio, but that ratio measures scheduling, not scaling).
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro.analysis.host import host_metadata, scaling_claim_allowed, scaling_note
+from repro.cluster.launcher import ClusterLauncher
+from repro.cluster.loadgen import closed_loop, open_loop, seeded_corpus
+from repro.cluster.logs import ClusterLogParser
+from repro.pipeline.session import ParserSession
+
+#: The built-in grammar resolver lives in the CLI; imported lazily in
+#: :func:`_resolve` to keep bench importable without argparse baggage.
+
+
+def _resolve(grammar_spec: str):
+    from repro.cli import _resolve_grammar
+
+    return _resolve_grammar(grammar_spec)
+
+
+def _bits_equal(a, b) -> bool:
+    import numpy as np
+
+    return (
+        a.locally_consistent == b.locally_consistent
+        and a.ambiguous == b.ambiguous
+        and np.array_equal(a.network.alive_bits, b.network.alive_bits)
+        and np.array_equal(a.network.matrix_bits, b.network.matrix_bits)
+    )
+
+
+def _check_bit_identity(client, grammar, engine: str, sentences) -> dict:
+    """Cluster results vs one in-process session, bit for bit."""
+    reference = ParserSession(grammar, engine=engine).parse_many(sentences)
+    clustered = client.parse_many(sentences)
+    mismatches = [
+        index
+        for index, (ours, theirs) in enumerate(zip(clustered, reference))
+        if not _bits_equal(ours, theirs)
+    ]
+    # One streaming session rides along: per-prefix verdicts must match
+    # the in-process incremental parse word for word.
+    stream_sentence = max(sentences, key=len)
+    session = ParserSession(grammar, engine=engine)
+    stream_ok = True
+    with client.submit_stream() as stream:
+        local = session.stream()
+        for word in stream_sentence:
+            ours = stream.feed(word).result()
+            theirs = local.extend(word)
+            if not _bits_equal(ours, theirs):
+                stream_ok = False
+    return {
+        "sentences": len(sentences),
+        "mismatches": mismatches,
+        "stream_ok": stream_ok,
+        "ok": not mismatches and stream_ok,
+    }
+
+
+def run_bench(
+    *,
+    grammar: str = "english",
+    engine: str = "vector",
+    shards: int = 2,
+    workers: int = 1,
+    workers_mode: str = "thread",
+    quick: bool = False,
+    requests: "int | None" = None,
+    concurrency: int = 4,
+    open_rate: "float | None" = None,
+    open_duration: "float | None" = None,
+    corpus_seed: int = 0,
+    run_dir: "Path | str | None" = None,
+    out_path: "Path | str | None" = None,
+) -> dict:
+    """Run the full cluster benchmark; returns (and optionally writes) the record."""
+    if requests is None:
+        requests = 32 if quick else 160
+    if open_rate is None:
+        open_rate = 40.0 if quick else 120.0
+    if open_duration is None:
+        open_duration = 0.5 if quick else 2.0
+    host = host_metadata()
+    grammar_obj = _resolve(grammar)
+    sentences = seeded_corpus(seed=corpus_seed, size=24 if quick else 48)
+    cluster_procs = shards * max(1, workers)
+
+    owned_dir = None
+    if run_dir is None:
+        owned_dir = tempfile.TemporaryDirectory(prefix="repro-cluster-bench-")
+        run_dir = owned_dir.name
+    try:
+        with ClusterLauncher(
+            grammar, shards=shards, engine=engine, workers=workers,
+            workers_mode=workers_mode, run_dir=run_dir,
+        ) as launcher, launcher.client(grammar_obj) as client:
+            identity = _check_bit_identity(client, grammar_obj, engine, sentences)
+            closed = closed_loop(
+                client, sentences, requests=requests, concurrency=concurrency
+            )
+            opened = open_loop(
+                client, sentences, rate=open_rate, duration=open_duration
+            )
+            client.drain()
+            log_dir = launcher.log_dir
+        # Shards have exited (logs are flushed and closed) — now parse them.
+        logs = ClusterLogParser.from_directory(log_dir).summary()
+    finally:
+        # The logs were parsed inside the try; the run directory can go.
+        if owned_dir is not None:
+            owned_dir.cleanup()
+
+    claim_allowed = scaling_claim_allowed(cluster_procs, cpus=host["cpu_count"])
+    record = {
+        "bench": "cluster",
+        "host": host,
+        "config": {
+            "grammar": grammar,
+            "engine": engine,
+            "shards": shards,
+            "workers_per_shard": workers,
+            "workers_mode": workers_mode,
+            "quick": quick,
+            "corpus_seed": corpus_seed,
+            "corpus_size": len(sentences),
+        },
+        "bit_identity": identity,
+        "closed_loop": closed.to_record(),
+        "open_loop": opened.to_record(),
+        "shard_logs": logs,
+        "scaling_claim_allowed": claim_allowed,
+    }
+    if not claim_allowed:
+        record["scaling_note"] = scaling_note(cluster_procs, cpus=host["cpu_count"])
+    if out_path is not None:
+        Path(out_path).write_text(json.dumps(record, indent=2) + "\n")
+    return record
+
+
+def print_report(record: dict, out) -> None:
+    """Human-readable summary of a :func:`run_bench` record."""
+    config = record["config"]
+    identity = record["bit_identity"]
+    print(
+        f"cluster bench: {config['shards']} shard(s) x {config['workers_per_shard']} "
+        f"worker(s) [{config['workers_mode']}], grammar={config['grammar']}, "
+        f"engine={config['engine']}",
+        file=out,
+    )
+    verdict = "OK" if identity["ok"] else "FAILED"
+    print(
+        f"  bit-identity vs single process: {verdict} "
+        f"({identity['sentences']} sentences, stream "
+        f"{'ok' if identity['stream_ok'] else 'MISMATCH'})",
+        file=out,
+    )
+    for name in ("closed_loop", "open_loop"):
+        loop = record[name]
+        print(
+            f"  {loop['mode']} loop: {loop['completed']}/{loop['requests']} ok, "
+            f"{loop['throughput_rps']} req/s, "
+            f"p50 {loop['p50_ms']} ms / p95 {loop['p95_ms']} ms / p99 {loop['p99_ms']} ms",
+            file=out,
+        )
+    logs = record["shard_logs"]
+    print(
+        f"  shard logs: {logs['completed']} completed on shards {logs['shards']}, "
+        f"{logs['throughput_rps']} req/s over {logs['window_seconds']}s, "
+        f"p50 {logs['latency']['p50_ms']} ms / p95 {logs['latency']['p95_ms']} ms "
+        f"/ p99 {logs['latency']['p99_ms']} ms",
+        file=out,
+    )
+    if record["scaling_claim_allowed"]:
+        host = record["host"]
+        print(
+            f"  scaling: measured on {host['cpu_count']} CPUs — "
+            "ratios are eligible as scaling claims",
+            file=out,
+        )
+    else:
+        print(f"  scaling: {record['scaling_note']}", file=out)

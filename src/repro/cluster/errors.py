@@ -1,0 +1,54 @@
+"""Typed errors raised by the networked cluster layer.
+
+All derive from :class:`ClusterError` (itself a
+:class:`~repro.errors.ReproError`).  The wire protocol carries typed
+failure *kinds* rather than pickled exceptions, and the router maps
+each kind back onto the richest local type it knows — a shard replying
+``deadline`` surfaces as the serving layer's own
+:class:`~repro.serve.errors.DeadlineExceeded`, ``lexicon`` as
+:class:`~repro.errors.LexiconError`, and so on — so callers migrating
+from the in-process :class:`~repro.serve.ParseService` catch the same
+exceptions they already handle.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+class ClusterError(ReproError):
+    """Base class for all cluster-layer errors."""
+
+
+class WireError(ClusterError):
+    """A frame or payload violated the wire protocol (malformed bytes,
+    unknown tag, missing field, empty frame).  The *connection* survives
+    a recoverable wire error: the offender is answered with a typed
+    error frame and the stream stays framed."""
+
+
+class FrameTooLarge(WireError):
+    """A frame's declared length exceeds the negotiated maximum.
+
+    ``recoverable`` is True when the oversized payload was drained off
+    the stream (so later frames still parse) and False when the
+    declared length was too absurd to drain — the connection must be
+    dropped to stay safe.
+    """
+
+    def __init__(self, length: int, max_frame: int, *, recoverable: bool):
+        self.length = length
+        self.max_frame = max_frame
+        self.recoverable = recoverable
+        super().__init__(
+            f"frame of {length} bytes exceeds max_frame={max_frame}"
+            + ("" if recoverable else " (unrecoverably; dropping connection)")
+        )
+
+
+class ConnectionClosed(ClusterError):
+    """The peer closed the connection (EOF mid-frame or before one)."""
+
+
+class ShardUnavailable(ClusterError):
+    """A shard connection is gone; requests routed to it cannot complete."""

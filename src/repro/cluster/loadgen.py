@@ -1,0 +1,207 @@
+"""Closed- and open-loop load generation against a cluster client.
+
+Two loops because they measure different things:
+
+* :func:`closed_loop` — N workers, each waiting for its reply before
+  sending the next request.  Concurrency is fixed, offered rate adapts
+  to the cluster: this measures *capacity* (max sustainable throughput
+  at a given parallelism) and its latencies are uncontended.
+* :func:`open_loop` — requests fire on a fixed schedule whether or not
+  earlier replies arrived.  Offered rate is fixed, queueing is allowed
+  to happen: this measures *latency under load*, including the queueing
+  the closed loop structurally cannot see (the coordinated-omission
+  trap: a closed loop slows its own offered rate exactly when the
+  system is slow).
+
+Both return a :class:`LoadReport` of client-observed numbers.  The
+cluster's *own* story — per-shard receive/done timelines — comes from
+the shard logs via :mod:`repro.cluster.logs`; the bench harness records
+both and they should agree.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.workloads import corpus, sentence_of_length
+
+
+def seeded_corpus(seed: int = 0, size: int = 48) -> "list[list[str]]":
+    """A deterministic multi-shape corpus for cluster workloads.
+
+    Mixes the random grammatical corpus with a length sweep so the
+    shape space is wide enough for consistent hashing to spread it
+    across shards (a single-shape corpus routes to a single shard by
+    design — that is placement working, but a terrible load test).
+    """
+    sentences = corpus(seed=seed, size=max(1, size - size // 3))
+    for n in range(2, 2 + size // 3):
+        sentences.append(sentence_of_length(2 + (n % 9)))
+    return sentences[:size]
+
+
+def _percentile(sorted_values: "list[float]", q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample (q in [0, 100])."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, round(q / 100.0 * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+@dataclass
+class LoadReport:
+    """One load run's client-observed outcome."""
+
+    mode: str
+    requests: int = 0
+    completed: int = 0
+    failed: int = 0
+    elapsed_seconds: float = 0.0
+    offered_rate: "float | None" = None
+    latencies_ms: "list[float]" = field(default_factory=list, repr=False)
+    errors: "dict[str, int]" = field(default_factory=dict)
+
+    @property
+    def throughput_rps(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.completed / self.elapsed_seconds
+
+    def percentiles(self) -> "dict[str, float]":
+        ordered = sorted(self.latencies_ms)
+        return {
+            "p50_ms": _percentile(ordered, 50),
+            "p95_ms": _percentile(ordered, 95),
+            "p99_ms": _percentile(ordered, 99),
+            "max_ms": ordered[-1] if ordered else 0.0,
+        }
+
+    def to_record(self) -> dict:
+        """A JSON-safe summary (raw latency samples are not embedded)."""
+        record = {
+            "mode": self.mode,
+            "requests": self.requests,
+            "completed": self.completed,
+            "failed": self.failed,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "throughput_rps": round(self.throughput_rps, 3),
+            "errors": dict(self.errors),
+        }
+        if self.offered_rate is not None:
+            record["offered_rate_rps"] = round(self.offered_rate, 3)
+        record.update({key: round(value, 3) for key, value in self.percentiles().items()})
+        return record
+
+
+def closed_loop(
+    client,
+    sentences: "list[list[str]]",
+    *,
+    requests: int = 96,
+    concurrency: int = 4,
+    timeout: "float | None" = None,
+) -> LoadReport:
+    """Fixed concurrency, adaptive rate: each worker waits for its reply."""
+    report = LoadReport(mode="closed", requests=requests)
+    lock = threading.Lock()
+    counter = itertools.count()
+    cycle = itertools.cycle(sentences)
+
+    def worker() -> None:
+        while True:
+            with lock:
+                index = next(counter)
+                if index >= requests:
+                    return
+                sentence = next(cycle)
+            begin = time.monotonic()
+            try:
+                client.submit(sentence, timeout=timeout).result()
+            except Exception as error:  # noqa: BLE001 - tallied, run continues
+                with lock:
+                    report.failed += 1
+                    name = type(error).__name__
+                    report.errors[name] = report.errors.get(name, 0) + 1
+                continue
+            latency = (time.monotonic() - begin) * 1000.0
+            with lock:
+                report.completed += 1
+                report.latencies_ms.append(latency)
+
+    started = time.monotonic()
+    threads = [threading.Thread(target=worker, daemon=True) for _ in range(concurrency)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report.elapsed_seconds = time.monotonic() - started
+    return report
+
+
+def open_loop(
+    client,
+    sentences: "list[list[str]]",
+    *,
+    rate: float = 100.0,
+    duration: float = 1.0,
+    timeout: "float | None" = None,
+    drain_timeout: float = 60.0,
+) -> LoadReport:
+    """Fixed offered rate: submissions are paced, replies are asynchronous.
+
+    Latency is measured from each request's *scheduled* send time, so a
+    slow cluster cannot hide queueing by slowing the generator down.
+    """
+    if rate <= 0:
+        raise ValueError(f"open-loop rate must be positive, got {rate}")
+    report = LoadReport(mode="open", offered_rate=rate)
+    lock = threading.Lock()
+    interval = 1.0 / rate
+    cycle = itertools.cycle(sentences)
+    pending: "list[threading.Event]" = []
+
+    def finished(begin: float, done_event: threading.Event):
+        def callback(future) -> None:
+            error = future.exception()
+            with lock:
+                if error is None:
+                    report.completed += 1
+                    report.latencies_ms.append((time.monotonic() - begin) * 1000.0)
+                else:
+                    report.failed += 1
+                    name = type(error).__name__
+                    report.errors[name] = report.errors.get(name, 0) + 1
+            done_event.set()
+
+        return callback
+
+    started = time.monotonic()
+    deadline = started + duration
+    tick = started
+    while tick < deadline:
+        scheduled = tick
+        now = time.monotonic()
+        if scheduled > now:
+            time.sleep(scheduled - now)
+        done_event = threading.Event()
+        pending.append(done_event)
+        report.requests += 1
+        try:
+            future = client.submit(next(cycle), timeout=timeout)
+        except Exception as error:  # noqa: BLE001 - tallied, run continues
+            with lock:
+                report.failed += 1
+                name = type(error).__name__
+                report.errors[name] = report.errors.get(name, 0) + 1
+            done_event.set()
+        else:
+            future.add_done_callback(finished(scheduled, done_event))
+        tick += interval
+    wait_until = time.monotonic() + drain_timeout
+    for done_event in pending:
+        done_event.wait(max(0.0, wait_until - time.monotonic()))
+    report.elapsed_seconds = time.monotonic() - started
+    return report

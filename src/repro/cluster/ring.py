@@ -1,0 +1,105 @@
+"""Consistent-hash routing by sentence shape.
+
+The cluster's unit of placement is the *shape* — a sentence's category
+signature, which is also the :class:`~repro.pipeline.template.NetworkTemplate`
+cache key and the :class:`~repro.serve.batcher.ShapeBatcher` group key.
+Routing every sentence of one shape to one shard means each shard's
+template cache (and, in process mode, its
+:class:`~repro.parallel.shared.SharedTemplateStore`) owns a *slice* of
+the shape space instead of replicating all of it, and every batch a
+shard dispatches stays single-shape.
+
+A :class:`HashRing` places each node at ``replicas`` pseudo-random
+points on a 64-bit circle (SHA-1 of ``"node#i"``) and routes a key to
+the first node clockwise of the key's own point.  Adding or removing a
+node therefore remaps only the keys that fell between the changed
+node's points and their predecessors — roughly ``1/n`` of the space —
+which is the property that makes shard-count changes cheap.
+
+Hashes are derived from canonical byte strings, never from Python's
+randomized ``hash()``: the same shape routes to the same shard across
+processes, restarts, and interpreter versions, so a router restart does
+not reshuffle every shard's warmed template cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Hashable, Sequence
+
+#: Virtual points per node.  64 keeps the max/min shape-count ratio per
+#: node low (empirically < 2 at a few nodes) while the ring stays tiny.
+DEFAULT_REPLICAS = 64
+
+
+def _digest(raw: bytes) -> int:
+    return int.from_bytes(hashlib.sha1(raw).digest()[:8], "big")
+
+
+def hash_key(key: Hashable) -> int:
+    """A stable 64-bit point for *key* (shape tuples, strings, ints).
+
+    Frozenset iteration order is insertion-dependent, so shape keys
+    (tuples of frozensets of category codes) are canonicalized by
+    sorting each set before hashing.
+    """
+    if isinstance(key, (tuple, list)):
+        parts = []
+        for element in key:
+            if isinstance(element, (frozenset, set)):
+                parts.append(tuple(sorted(element)))
+            else:
+                parts.append(element)
+        canonical = repr(tuple(parts))
+    else:
+        canonical = repr(key)
+    return _digest(canonical.encode("utf-8"))
+
+
+class HashRing:
+    """An immutable consistent-hash ring over named nodes.
+
+    Args:
+        nodes: node identifiers (the router uses ``"host:port"``
+            address strings).  Order does not matter; placement depends
+            only on the identifiers themselves.
+        replicas: virtual points per node.
+    """
+
+    def __init__(self, nodes: Sequence[str], replicas: int = DEFAULT_REPLICAS):
+        if not nodes:
+            raise ValueError("a HashRing needs at least one node")
+        if len(set(nodes)) != len(nodes):
+            raise ValueError(f"duplicate ring nodes: {sorted(nodes)}")
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.nodes = tuple(nodes)
+        self.replicas = replicas
+        points: list[tuple[int, str]] = []
+        for node in nodes:
+            for index in range(replicas):
+                points.append((_digest(f"{node}#{index}".encode()), node))
+        points.sort()
+        self._points = [point for point, _ in points]
+        self._owners = [node for _, node in points]
+
+    def node_for(self, key: Hashable) -> str:
+        """The node owning *key*: first ring point clockwise of its hash."""
+        index = bisect_right(self._points, hash_key(key))
+        if index == len(self._points):
+            index = 0
+        return self._owners[index]
+
+    def spread(self, keys: Sequence[Hashable]) -> dict[str, int]:
+        """How many of *keys* each node owns (diagnostics and tests)."""
+        counts = {node: 0 for node in self.nodes}
+        for key in keys:
+            counts[self.node_for(key)] += 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HashRing({len(self.nodes)} nodes x {self.replicas} replicas)"

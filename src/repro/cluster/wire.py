@@ -1,0 +1,302 @@
+"""The cluster wire protocol: framing, a small binary codec, packed stats.
+
+Frames are length-prefixed: a 4-byte big-endian payload length followed
+by the payload.  :func:`read_frame` tolerates the failure modes a real
+socket has — partial reads (``readexactly`` semantics), EOF mid-frame
+(:class:`~repro.cluster.errors.ConnectionClosed`), and oversized
+declarations, which are *drained* off the stream when boundedly sized so
+one bad frame never poisons the connection
+(:class:`~repro.cluster.errors.FrameTooLarge` with ``recoverable=True``).
+
+Payloads use a deliberately tiny self-describing binary codec instead of
+pickle: pickle over a socket executes the peer's bytes, while this codec
+can only produce ``None`` / bools / 64-bit ints / floats / strings /
+bytes / lists / string-keyed dicts / whitelisted numpy arrays, and every
+malformed input raises :class:`~repro.cluster.errors.WireError` instead
+of running code.  Numpy arrays travel as dtype + shape + raw
+little-endian bytes, which is exactly what the packed execution core
+needs: a settled network is two small ``uint64`` arrays
+(``alive_bits`` / ``matrix_bits``), so results cross the wire in
+kilobytes while the megabyte template artifacts never leave the shard.
+
+Messages are plain dicts with a ``"type"`` key; :func:`pack_stats` /
+:func:`unpack_stats` flatten :class:`~repro.engines.base.EngineStats`
+into codec-safe scalars (non-scalar ``extra`` entries are dropped).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+
+import numpy as np
+
+from repro.cluster.errors import ConnectionClosed, FrameTooLarge, WireError
+from repro.engines.base import EngineStats
+
+#: Default bound on one frame's payload.  Results are packed-bit
+#: kilobytes; 8 MiB leaves room for large batches without letting a
+#: corrupt length prefix allocate unbounded memory.
+DEFAULT_MAX_FRAME = 8 * 1024 * 1024
+
+#: Oversized frames up to this multiple of ``max_frame`` are drained
+#: (read and discarded) so the stream stays framed; beyond it the
+#: declared length is treated as corruption and the connection drops.
+_DRAIN_FACTOR = 4
+
+_HEADER = struct.Struct("!I")
+_I64 = struct.Struct("!q")
+_F64 = struct.Struct("!d")
+_U32 = struct.Struct("!I")
+
+_I64_MIN, _I64_MAX = -(2**63), 2**63 - 1
+
+#: Wire dtype codes — the only array dtypes allowed across the wire.
+_DTYPES = {b"U": np.uint64, b"B": np.bool_, b"q": np.int64, b"d": np.float64}
+_DTYPE_CODES = {np.dtype(dtype): code for code, dtype in _DTYPES.items()}
+
+
+# -- the codec ---------------------------------------------------------------
+
+
+def encode(obj) -> bytes:
+    """Encode *obj* (None/bool/int/float/str/bytes/list/tuple/dict/ndarray)."""
+    out = bytearray()
+    _enc(obj, out)
+    return bytes(out)
+
+
+def _enc(obj, out: bytearray) -> None:
+    if obj is None:
+        out += b"N"
+    elif obj is True:
+        out += b"T"
+    elif obj is False:
+        out += b"F"
+    elif isinstance(obj, int):
+        if not _I64_MIN <= obj <= _I64_MAX:
+            raise WireError(f"integer {obj} does not fit the wire's 64 bits")
+        out += b"i"
+        out += _I64.pack(obj)
+    elif isinstance(obj, float):
+        out += b"f"
+        out += _F64.pack(obj)
+    elif isinstance(obj, str):
+        raw = obj.encode("utf-8")
+        out += b"s"
+        out += _U32.pack(len(raw))
+        out += raw
+    elif isinstance(obj, (bytes, bytearray)):
+        out += b"b"
+        out += _U32.pack(len(obj))
+        out += bytes(obj)
+    elif isinstance(obj, (list, tuple)):
+        out += b"l"
+        out += _U32.pack(len(obj))
+        for item in obj:
+            _enc(item, out)
+    elif isinstance(obj, dict):
+        out += b"d"
+        out += _U32.pack(len(obj))
+        for key, value in obj.items():
+            if not isinstance(key, str):
+                raise WireError(f"dict keys must be str on the wire, got {type(key).__name__}")
+            raw = key.encode("utf-8")
+            out += _U32.pack(len(raw))
+            out += raw
+            _enc(value, out)
+    elif isinstance(obj, np.ndarray):
+        code = _DTYPE_CODES.get(obj.dtype)
+        if code is None:
+            raise WireError(f"array dtype {obj.dtype} is not wire-encodable")
+        if obj.ndim > 255:
+            raise WireError(f"array rank {obj.ndim} exceeds the wire limit")
+        out += b"a"
+        out += code
+        out += bytes([obj.ndim])
+        for dim in obj.shape:
+            out += _U32.pack(dim)
+        out += np.ascontiguousarray(obj).tobytes()
+    elif isinstance(obj, (np.integer,)):
+        _enc(int(obj), out)
+    elif isinstance(obj, (np.floating,)):
+        _enc(float(obj), out)
+    elif isinstance(obj, (np.bool_,)):
+        _enc(bool(obj), out)
+    else:
+        raise WireError(f"{type(obj).__name__} is not wire-encodable")
+
+
+def decode(data: bytes):
+    """Decode one codec payload; raises :class:`WireError` on any malformation."""
+    value, offset = _dec(data, 0)
+    if offset != len(data):
+        raise WireError(f"{len(data) - offset} trailing bytes after payload")
+    return value
+
+
+def _take(data: bytes, offset: int, n: int) -> tuple[bytes, int]:
+    end = offset + n
+    if end > len(data):
+        raise WireError("payload truncated")
+    return data[offset:end], end
+
+
+def _dec(data: bytes, offset: int):
+    tag, offset = _take(data, offset, 1)
+    if tag == b"N":
+        return None, offset
+    if tag == b"T":
+        return True, offset
+    if tag == b"F":
+        return False, offset
+    if tag == b"i":
+        raw, offset = _take(data, offset, 8)
+        return _I64.unpack(raw)[0], offset
+    if tag == b"f":
+        raw, offset = _take(data, offset, 8)
+        return _F64.unpack(raw)[0], offset
+    if tag in (b"s", b"b"):
+        raw, offset = _take(data, offset, 4)
+        raw, offset = _take(data, offset, _U32.unpack(raw)[0])
+        if tag == b"b":
+            return raw, offset
+        try:
+            return raw.decode("utf-8"), offset
+        except UnicodeDecodeError as error:
+            raise WireError(f"invalid utf-8 string payload: {error}") from None
+    if tag == b"l":
+        raw, offset = _take(data, offset, 4)
+        count = _U32.unpack(raw)[0]
+        items = []
+        for _ in range(count):
+            item, offset = _dec(data, offset)
+            items.append(item)
+        return items, offset
+    if tag == b"d":
+        raw, offset = _take(data, offset, 4)
+        count = _U32.unpack(raw)[0]
+        table = {}
+        for _ in range(count):
+            raw, offset = _take(data, offset, 4)
+            raw, offset = _take(data, offset, _U32.unpack(raw)[0])
+            try:
+                key = raw.decode("utf-8")
+            except UnicodeDecodeError as error:
+                raise WireError(f"invalid utf-8 dict key: {error}") from None
+            table[key], offset = _dec(data, offset)
+        return table, offset
+    if tag == b"a":
+        code, offset = _take(data, offset, 1)
+        dtype = _DTYPES.get(code)
+        if dtype is None:
+            raise WireError(f"unknown wire dtype code {code!r}")
+        raw, offset = _take(data, offset, 1)
+        shape = []
+        for _ in range(raw[0]):
+            raw_dim, offset = _take(data, offset, 4)
+            shape.append(_U32.unpack(raw_dim)[0])
+        count = 1
+        for dim in shape:
+            count *= dim
+        nbytes = count * np.dtype(dtype).itemsize
+        raw, offset = _take(data, offset, nbytes)
+        # Copy: frombuffer views are read-only and the decoded arrays
+        # become live network state the caller may mutate.
+        array = np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+        return array, offset
+    raise WireError(f"unknown wire tag {tag!r}")
+
+
+# -- framing -----------------------------------------------------------------
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, *, max_frame: int = DEFAULT_MAX_FRAME
+) -> bytes:
+    """Read one length-prefixed frame; survives what sockets do.
+
+    Raises:
+        ConnectionClosed: EOF before or inside a frame (partial reads
+            of an honest peer are absorbed by ``readexactly``; a short
+            read at EOF is a closed connection, not garbage data).
+        WireError: zero-length frame (nothing to drain; recoverable).
+        FrameTooLarge: declared length above *max_frame*.  When the
+            length is boundedly oversized the payload is drained first,
+            so the caller can answer with an error frame and keep the
+            connection; an absurd length is unrecoverable.
+    """
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except (asyncio.IncompleteReadError, ConnectionResetError) as error:
+        raise ConnectionClosed("peer closed the connection") from error
+    (length,) = _HEADER.unpack(header)
+    if length == 0:
+        raise WireError("zero-length frame")
+    if length > max_frame:
+        if length <= _DRAIN_FACTOR * max_frame:
+            remaining = length
+            while remaining:
+                chunk = await reader.read(min(65536, remaining))
+                if not chunk:
+                    raise ConnectionClosed("peer closed while draining an oversized frame")
+                remaining -= len(chunk)
+            raise FrameTooLarge(length, max_frame, recoverable=True)
+        raise FrameTooLarge(length, max_frame, recoverable=False)
+    try:
+        return await reader.readexactly(length)
+    except (asyncio.IncompleteReadError, ConnectionResetError) as error:
+        raise ConnectionClosed("peer closed mid-frame") from error
+
+
+def write_frame(writer: asyncio.StreamWriter, payload: bytes) -> None:
+    """Queue one frame on *writer* (callers ``await writer.drain()``)."""
+    writer.write(_HEADER.pack(len(payload)) + payload)
+
+
+def frame_bytes(message) -> bytes:
+    """Encode *message* and prepend the length header (for raw sockets)."""
+    payload = encode(message)
+    return _HEADER.pack(len(payload)) + payload
+
+
+# -- packed stats ------------------------------------------------------------
+
+_STAT_FIELDS = (
+    "engine",
+    "unary_checks",
+    "pair_checks",
+    "role_values_killed",
+    "matrix_entries_zeroed",
+    "consistency_passes",
+    "filtering_iterations",
+    "parallel_steps",
+    "processors",
+    "wall_seconds",
+    "simulated_seconds",
+)
+
+_SCALARS = (bool, int, float, str, type(None))
+
+
+def pack_stats(stats: EngineStats) -> dict:
+    """Flatten *stats* into codec-safe scalars (non-scalar extras drop)."""
+    packed = {field: getattr(stats, field) for field in _STAT_FIELDS}
+    packed["extra"] = {
+        key: value
+        for key, value in stats.extra.items()
+        if isinstance(value, _SCALARS)
+    }
+    return packed
+
+
+def unpack_stats(payload: dict) -> EngineStats:
+    """Rebuild an :class:`EngineStats` from a :func:`pack_stats` payload."""
+    if not isinstance(payload, dict):
+        raise WireError(f"packed stats must be a dict, got {type(payload).__name__}")
+    fields = {field: payload.get(field) for field in _STAT_FIELDS if field in payload}
+    extra = payload.get("extra")
+    stats = EngineStats(**fields)
+    if isinstance(extra, dict):
+        stats.extra.update(extra)
+    return stats

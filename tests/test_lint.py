@@ -461,6 +461,82 @@ class TestExtendMustNotThawRPR011:
         assert lint_source(source, select={"RPR011"}) == []
 
 
+class TestSocketLifecycleRPR012:
+    CLUSTER = "src/repro/cluster/conn.py"
+
+    def test_trigger_assigned_socket_never_closed(self):
+        source = (
+            "import asyncio\n"
+            "async def connect(host, port):\n"
+            "    reader, writer = await asyncio.open_connection(host, port)\n"
+            "    return reader\n"
+        )
+        findings = lint_source(source, path=self.CLUSTER, select={"RPR012"})
+        assert codes(findings) == ["RPR012"]
+
+    def test_trigger_bare_server_call(self):
+        source = (
+            "import asyncio\n"
+            "async def serve(handler, host, port):\n"
+            "    await asyncio.start_server(handler, host, port)\n"
+        )
+        findings = lint_source(source, path=self.CLUSTER, select={"RPR012"})
+        assert codes(findings) == ["RPR012"]
+
+    def test_pass_context_managed_socket(self):
+        source = (
+            "import socket\n"
+            "def probe(address):\n"
+            "    with socket.create_connection(address) as sock:\n"
+            "        return sock.recv(4)\n"
+        )
+        assert lint_source(source, path=self.CLUSTER, select={"RPR012"}) == []
+
+    def test_pass_names_closed_in_function(self):
+        source = (
+            "import asyncio\n"
+            "async def connect(host, port):\n"
+            "    reader, writer = await asyncio.open_connection(host, port)\n"
+            "    try:\n"
+            "        return await reader.read(4)\n"
+            "    finally:\n"
+            "        writer.close()\n"
+            "        await writer.wait_closed()\n"
+        )
+        assert lint_source(source, path=self.CLUSTER, select={"RPR012"}) == []
+
+    def test_pass_self_attribute_closed_elsewhere_in_class(self):
+        source = (
+            "import asyncio\n"
+            "class Server:\n"
+            "    async def start(self, host, port):\n"
+            "        self._server = await asyncio.start_server(None, host, port)\n"
+            "    async def stop(self):\n"
+            "        self._server.close()\n"
+            "        await self._server.wait_closed()\n"
+        )
+        assert lint_source(source, path=self.CLUSTER, select={"RPR012"}) == []
+
+    def test_pass_handed_to_lifecycle_registrar(self):
+        source = (
+            "import asyncio\n"
+            "async def connect(self, host, port):\n"
+            "    reader, writer = await asyncio.open_connection(host, port)\n"
+            "    self._register_socket(reader, writer)\n"
+        )
+        assert lint_source(source, path=self.CLUSTER, select={"RPR012"}) == []
+
+    def test_rule_is_scoped_to_the_cluster_package(self):
+        source = (
+            "import asyncio\n"
+            "async def connect(host, port):\n"
+            "    reader, writer = await asyncio.open_connection(host, port)\n"
+            "    return reader\n"
+        )
+        outside = lint_source(source, path="src/repro/serve/conn.py", select={"RPR012"})
+        assert outside == []
+
+
 class TestRepoIsClean:
     def test_src_tree_lints_clean(self):
         findings = lint_paths([REPO_SRC])
