@@ -1,4 +1,4 @@
-"""The built-in rule catalogue (codes ``RPR001``..``RPR012``).
+"""The built-in rule catalogue (codes ``RPR001``..``RPR013``).
 
 Each rule encodes one repo invariant:
 
@@ -35,6 +35,11 @@ RPR012    socket-lifecycle        sockets/servers opened in ``repro.cluster`` ar
                                   closed via context manager, a reachable
                                   ``close``/``shutdown`` path, or lifecycle
                                   registration
+RPR013    kernel-bit-arith        word-level bit arithmetic (``np.bitwise_and`` /
+                                  ``or``/``xor``/``count``, ``packbits`` /
+                                  ``unpackbits``) lives in ``repro/kernels/`` and
+                                  ``repro/network/bitset.py``; everyone else calls
+                                  the kernel API
 ========  ======================  ==================================================
 
 Rules are registered by importing this module (the package ``__init__``
@@ -1186,3 +1191,78 @@ class SocketLifecycle(LintRule):
                     return True
             current = parents.get(current)
         return False
+
+
+@register_rule
+class KernelBitArith(LintRule):
+    """RPR013: word-level bit arithmetic stays inside the kernel core.
+
+    The packed execution core owns one copy of every bitwise primitive
+    (``repro.kernels``), and the layout layer
+    (``repro/network/bitset.py``) is the only other module allowed to
+    touch numpy's bit machinery directly.  A ``np.bitwise_and`` or
+    ``np.packbits`` anywhere else is a second, unreviewed kernel: it
+    will drift from the canonical one (padding invariants, endianness,
+    delta counting) exactly the way the pre-1.8 CYK did.  Call the
+    kernel API instead.
+    """
+
+    code = "RPR013"
+    name = "kernel-bit-arith"
+    description = "word-level bit arithmetic outside the kernel core"
+
+    _BANNED = frozenset(
+        {
+            "bitwise_and",
+            "bitwise_or",
+            "bitwise_xor",
+            "bitwise_count",
+            "packbits",
+            "unpackbits",
+        }
+    )
+    _ALLOWED_DIRS = ("/kernels/",)
+    _ALLOWED_FILES = ("network/bitset.py",)
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        rel = "/" + module.rel
+        if any(piece in rel for piece in self._ALLOWED_DIRS):
+            return
+        if module.located_in(*self._ALLOWED_FILES):
+            return
+        from_numpy_imports = {
+            alias.asname or alias.name
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.ImportFrom) and node.module == "numpy"
+            for alias in node.names
+            if alias.name in self._BANNED
+        }
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            used = self._banned_numpy_call(node.func, from_numpy_imports)
+            if used:
+                yield self.finding(
+                    module,
+                    node,
+                    f"np.{used} outside repro/kernels/ (or the bitset layout "
+                    f"layer); word-level bit arithmetic goes through the "
+                    f"kernel API (repro.kernels.bitops / the kernel backend)",
+                )
+
+    def _banned_numpy_call(
+        self, func: ast.AST, from_numpy_imports: "set[str]"
+    ) -> "str | None":
+        """The banned ufunc a call resolves to, walking np.X(.at/.reduceat)."""
+        if isinstance(func, ast.Name) and func.id in from_numpy_imports:
+            return func.id
+        chain: list[str] = []
+        current = func
+        while isinstance(current, ast.Attribute):
+            chain.append(current.attr)
+            current = current.value
+        if isinstance(current, ast.Name) and current.id in ("np", "numpy"):
+            for attr in chain:
+                if attr in self._BANNED:
+                    return attr
+        return None

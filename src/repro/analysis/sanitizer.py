@@ -40,6 +40,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.kernels import bitops
+
 #: Environment variable that switches the sanitizer on at import time.
 ENV_VAR = "REPRO_SANITIZE"
 
@@ -80,8 +82,7 @@ def _new_bits(old: np.ndarray, new: np.ndarray) -> int:
     """How many bits are set in *new* that were clear in *old*."""
     if old.shape != new.shape:
         return 0  # shape changed: not a monotonicity question
-    raised = np.bitwise_and(new, np.bitwise_not(old))
-    return int(np.unpackbits(raised.view(np.uint8)).sum())
+    return bitops.count_ones(np.asarray(new & ~old))
 
 
 def _describe_network(network) -> str:

@@ -23,10 +23,14 @@ Commands:
     shard server (the launcher's entry point), ``cluster up`` spawns a
     local fleet, and ``cluster bench`` runs the bit-identity-gated
     load benchmark and writes ``BENCH_cluster.json``.
+``bench-bmm``
+    Run the identity-gated kernel benchmark (BMM microbench + both
+    parsers on the shared kernel core) and write ``BENCH_bmm.json``.
 
 ``--engine`` values are validated against the live registry (not a
 frozen argparse choice list), so engines registered at runtime work and
-an unknown name reports the registered ones.
+an unknown name reports the registered ones; ``--kernel-backend``
+values resolve through :mod:`repro.kernels.backend` the same way.
 """
 
 from __future__ import annotations
@@ -40,6 +44,7 @@ from repro import ParserSession, __version__, extract_parses
 from repro.analysis import format_seconds, format_table
 from repro.engines.registry import available_engines
 from repro.errors import ReproError
+from repro.kernels import available_backends
 from repro.grammar import CDGGrammar, load_grammar_file
 from repro.grammar.builtin import (
     abcd_grammar,
@@ -75,7 +80,12 @@ def _resolve_grammar(name: str) -> CDGGrammar:
 
 def _cmd_parse(args: argparse.Namespace, out) -> int:
     grammar = _resolve_grammar(args.grammar)
-    session = ParserSession(grammar, engine=args.engine, filter_limit=args.filter_limit)
+    session = ParserSession(
+        grammar,
+        engine=args.engine,
+        backend=args.kernel_backend,
+        filter_limit=args.filter_limit,
+    )
     words = list(args.words)
     if len(words) == 1 and " " in words[0]:
         words = words[0].split()
@@ -305,6 +315,7 @@ def _cmd_serve_bench(args: argparse.Namespace, out) -> int:
     service = ParseService(
         grammar,
         engine=args.engine,
+        kernel_backend=args.kernel_backend,
         workers=args.workers,
         workers_mode=args.workers_mode,
         start_method=args.start_method,
@@ -424,6 +435,15 @@ def _cmd_cluster_bench(args: argparse.Namespace, out) -> int:
     return 0 if record["bit_identity"]["ok"] else 1
 
 
+def _cmd_bench_bmm(args: argparse.Namespace, out) -> int:
+    from repro.kernels.bench import print_report, run_bench
+
+    record = run_bench(quick=args.quick, out_path=args.out)
+    print_report(record, out)
+    print(f"record written to {args.out}", file=out)
+    return 0 if record["bit_identity"]["ok"] else 1
+
+
 def _cmd_explain(args: argparse.Namespace, out) -> int:
     from repro.debugging import TraceRecorder
 
@@ -453,11 +473,16 @@ def build_parser() -> argparse.ArgumentParser:
     # Engine names are validated at dispatch time by the registry (so
     # runtime-registered engines work); the help text lists built-ins.
     engine_help = f"engine name; registered: {', '.join(available_engines())}"
+    backend_help = (
+        "kernel backend name (resolved through repro.kernels.backend, so "
+        f"runtime registrations work); registered: {', '.join(available_backends())}"
+    )
 
     p_parse = sub.add_parser("parse", help="parse a sentence")
     p_parse.add_argument("words", nargs="+", help="the sentence (words or one quoted string)")
     p_parse.add_argument("--grammar", "-g", default="english")
     p_parse.add_argument("--engine", "-e", default="vector", help=engine_help)
+    p_parse.add_argument("--kernel-backend", default=None, help=backend_help)
     p_parse.add_argument("--max-parses", type=int, default=5)
     p_parse.add_argument("--filter-limit", type=int, default=None)
     p_parse.add_argument("--network", action="store_true", help="print the settled CN")
@@ -491,6 +516,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="grammar whose lexicon covers the workload generator "
                               "(english / english-extended)")
     p_serve.add_argument("--engine", "-e", default="vector", help=engine_help)
+    p_serve.add_argument("--kernel-backend", default=None, help=backend_help)
     p_serve.add_argument("--workers", "-w", type=int, default=2)
     p_serve.add_argument("--workers-mode", choices=("thread", "process"),
                          default="thread",
@@ -584,6 +610,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_cbench.add_argument("--out", default="BENCH_cluster.json",
                           help="where to write the JSON record")
     p_cbench.set_defaults(func=_cmd_cluster_bench)
+
+    p_bmm = sub.add_parser(
+        "bench-bmm",
+        help="kernel benchmark: BMM microbench + both parsers on the "
+        "shared kernel core (bit-identity gated)",
+    )
+    p_bmm.add_argument("--quick", action="store_true",
+                       help="small operands and short loops (CI smoke)")
+    p_bmm.add_argument("--out", default="BENCH_bmm.json",
+                       help="where to write the JSON record")
+    p_bmm.set_defaults(func=_cmd_bench_bmm)
 
     p_explain = sub.add_parser(
         "explain", help="trace a parse and show what each constraint eliminated"

@@ -1,0 +1,53 @@
+"""Boolean-linear-algebra kernels: the word-level core under both parsers.
+
+Lee 1997 ("Fast Context-Free Parsing Requires Fast BMM", via Valiant)
+shows the asymptotic ceiling of this parser family *is* Boolean matrix
+multiplication.  This package owns every primitive that touches packed
+little-endian uint64 bit-planes, so the CDG side (consistency sweep,
+fused binary-mask apply) and the CFG side (packed CYK) run on one
+shared kernel core instead of three disconnected inner loops:
+
+* :mod:`repro.kernels.bitops` — word-level primitives: popcounts,
+  AND-accumulate with exact delta counting, segmented OR/popcount
+  reductions, row/column clears, dense bit pack/unpack.
+* :mod:`repro.kernels.bmm` — Boolean matrix multiplication over packed
+  words: a blocked four-Russians kernel and a plain-numpy bit-plane
+  fallback.
+* :mod:`repro.kernels.backend` — the kernel-backend registry (mirrors
+  :mod:`repro.engines.registry`): ``packed`` (default), ``numpy``
+  (bit-plane matmul oracle) and a ``cupy`` scaffold that falls back
+  cleanly when CuPy is absent.  Selected via the
+  ``REPRO_KERNEL_BACKEND`` environment variable or the ``backend=``
+  argument of :class:`repro.pipeline.session.ParserSession`.
+
+Layering: ``kernels`` sits *below* :mod:`repro.network.bitset` — the
+layout layer packs/unpacks and delegates its word-level work here —
+which sits below propagation/template, which sits below the engines.
+``repro.cfg`` reaches the kernels directly (no BitLayout involved).
+"""
+
+from repro.kernels.backend import (
+    KernelBackend,
+    KernelBackendUnavailable,
+    available_backends,
+    create_backend,
+    default_backend,
+    register_backend,
+)
+from repro.kernels.bitops import WORD_BITS, WORD_BYTES, WORD_DTYPE
+from repro.kernels.bmm import bmm_four_russians, bmm_planes, bmm_reference
+
+__all__ = [
+    "KernelBackend",
+    "KernelBackendUnavailable",
+    "available_backends",
+    "create_backend",
+    "default_backend",
+    "register_backend",
+    "WORD_BITS",
+    "WORD_BYTES",
+    "WORD_DTYPE",
+    "bmm_four_russians",
+    "bmm_planes",
+    "bmm_reference",
+]

@@ -1,10 +1,21 @@
-"""Packed-bitset kernels: the word-level substrate of the execution core.
+"""Packed-bitset layout: the pack/unpack layer of the execution core.
 
 The MP-1 moves *bits*: 4-bit PEs, ``scanAnd``/``scanOr`` over single-bit
 flags, arc matrices that are pure boolean state.  Storing every matrix
 entry as a numpy byte makes the O(n^4) arc matrices 8x larger than the
 information they carry; this module packs them 8-per-byte and gives the
 layers above word-wide bitwise kernels.
+
+This module owns the *layout* concerns — how a template's role-value
+index space maps onto packed rows (:class:`BitLayout`), packing and
+unpacking against that map, and scattering between index spaces.  The
+word-level bit arithmetic itself (popcounts, AND-accumulate, segmented
+reductions, row/column clears) lives in :mod:`repro.kernels.bitops`;
+the layout-parameterized helpers here delegate to it, translating
+``BitLayout`` fields into the plain offset arrays the kernels take.
+The pre-1.8 kernel entry points (``count_ones``, ``and_accumulate``,
+``or_segments``, ``segment_counts``, ``clear_rows_and_columns``) remain
+importable from here as :class:`DeprecationWarning` shims.
 
 Layout
 ------
@@ -37,26 +48,32 @@ axis 1 = packed words).
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
-#: Words are explicit little-endian so uint8 views are host-independent.
-WORD_DTYPE = np.dtype("<u8")
-WORD_BYTES = 8
-WORD_BITS = 64
+from repro.kernels import bitops
 
-if hasattr(np, "bitwise_count"):  # numpy >= 2: native popcount
-    def _popcount_u8(view8: np.ndarray) -> np.ndarray:
-        return np.bitwise_count(view8)
-else:  # pragma: no cover - numpy < 2 fallback
-    _POP8 = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
+#: Re-exported from repro.kernels.bitops (the canonical home since 1.8).
+WORD_DTYPE = bitops.WORD_DTYPE
+WORD_BYTES = bitops.WORD_BYTES
+WORD_BITS = bitops.WORD_BITS
 
-    def _popcount_u8(view8: np.ndarray) -> np.ndarray:
-        return _POP8[view8]
+#: Layout-internal aliases; external word-level callers should use
+#: repro.kernels.bitops directly.
+_popcount_u8 = bitops.popcount_bytes
+_bytes_view = bitops.bytes_view
 
 
-def _bytes_view(words: np.ndarray) -> np.ndarray:
-    """The uint8 view of a word array (rows must be C-contiguous)."""
-    return np.ascontiguousarray(words).view(np.uint8)
+def _deprecated_kernel(name: str) -> None:
+    warnings.warn(
+        f"repro.network.bitset.{name} is deprecated since 1.8: the "
+        f"word-level kernels moved to repro.kernels.bitops; import "
+        f"from there (layout-aware callers can keep using BitLayout "
+        f"fields such as seg_byte_starts)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 class BitLayout:
@@ -157,36 +174,26 @@ def get_bit(row_words: np.ndarray, index: int, layout: BitLayout) -> bool:
     return bool(_bytes_view(row_words)[..., layout.pbyte[index]] & layout.pmask8[index])
 
 
-# -- counting ----------------------------------------------------------------
+# -- counting (deprecated shims; see repro.kernels.bitops) -------------------
 
 def count_ones(words: np.ndarray) -> int:
-    """Total population count of a packed array (any shape)."""
-    return int(_popcount_u8(_bytes_view(words)).sum())
+    """Deprecated: use :func:`repro.kernels.bitops.count_ones`."""
+    _deprecated_kernel("count_ones")
+    return bitops.count_ones(words)
 
 
 def segment_counts(row_words: np.ndarray, layout: BitLayout) -> np.ndarray:
-    """Per-role popcounts of one packed row, for the non-empty roles.
+    """Deprecated: use :func:`repro.kernels.bitops.segment_counts`
+    with ``layout.seg_byte_starts``."""
+    _deprecated_kernel("segment_counts")
+    return bitops.segment_counts(row_words, layout.seg_byte_starts)
 
-    Byte-aligned segments make this a byte-popcount followed by one
-    ``add.reduceat`` at the segment starts; slack bits are zero by
-    construction so the counts are exact.
-    """
-    per_byte = _popcount_u8(_bytes_view(row_words)).astype(np.int64)
-    return np.add.reduceat(per_byte, layout.seg_byte_starts)
-
-
-# -- segmented OR (the consistency-maintenance row sweep) --------------------
 
 def or_segments(matrix_words: np.ndarray, layout: BitLayout) -> np.ndarray:
-    """OR each packed row within each role segment: (NV, n_segments) uint8.
-
-    A nonzero entry ``[a, j]`` means row *a* keeps at least one set bit
-    in role segment *j* — the OR-along-rows half of the paper's
-    scanOr/scanAnd sweep, one ``bitwise_or.reduceat`` over the byte view.
-    """
-    return np.bitwise_or.reduceat(
-        _bytes_view(matrix_words), layout.seg_byte_starts, axis=-1
-    )
+    """Deprecated: use :func:`repro.kernels.bitops.or_segments`
+    with ``layout.seg_byte_starts``."""
+    _deprecated_kernel("or_segments")
+    return bitops.or_segments(matrix_words, layout.seg_byte_starts)
 
 
 def embed_rows(
@@ -215,25 +222,25 @@ def embed_rows(
     return pack_rows(out, new_layout)
 
 
-# -- mutation kernels --------------------------------------------------------
+# -- layout-parameterized mutation helpers -----------------------------------
 
 def member_mask(indices: np.ndarray, layout: BitLayout) -> np.ndarray:
     """A packed (n_words,) row with exactly the given indices' bits set."""
-    mask8 = np.zeros(layout.row_bytes, dtype=np.uint8)
-    np.bitwise_or.at(mask8, layout.pbyte[indices], layout.pmask8[indices])
-    return mask8.view(WORD_DTYPE)
+    return bitops.scatter_mask(
+        layout.pbyte[indices], layout.pmask8[indices], layout.row_bytes
+    )
+
+
+def keep_mask(indices: np.ndarray, layout: BitLayout) -> np.ndarray:
+    """The packed complement of :func:`member_mask`: every *valid* bit
+    except *indices* (padding stays clear, preserving the invariant)."""
+    return member_mask(indices, layout) ^ layout.full_words
 
 
 def and_accumulate(target_words: np.ndarray, mask_words: np.ndarray) -> int:
-    """AND *mask* into *target* in place; return the number of bits cleared.
-
-    The delta is exact popcount arithmetic (padding is zero on both
-    sides), replacing the boolean path's ``count_nonzero(M & ~mask)``
-    materialization with two popcounts over 8x less memory.
-    """
-    before = count_ones(target_words)
-    np.bitwise_and(target_words, mask_words, out=target_words)
-    return before - count_ones(target_words)
+    """Deprecated: use :func:`repro.kernels.bitops.and_accumulate`."""
+    _deprecated_kernel("and_accumulate")
+    return bitops.and_accumulate(target_words, mask_words)
 
 
 def clear_rows_and_columns(
@@ -242,14 +249,9 @@ def clear_rows_and_columns(
     indices: np.ndarray,
     layout: BitLayout,
 ) -> None:
-    """Kill *indices*: clear their alive bits, matrix rows and columns.
-
-    The numpy analogue of MasPar design decision 4 ("zero the rows or
-    columns ... rather than reducing their dimensions"), as three
-    word-wide operations: one broadcast column-clear AND, one fancy-index
-    row clear, one alive-vector AND.
-    """
-    keep = ~member_mask(indices, layout)
-    alive_words &= keep
-    matrix_words &= keep  # broadcast over rows: clears the columns
-    matrix_words[indices] = 0  # clears the rows
+    """Deprecated: use :func:`repro.kernels.bitops.clear_rows_and_columns`
+    with a precomputed keep mask (:func:`keep_mask`)."""
+    _deprecated_kernel("clear_rows_and_columns")
+    bitops.clear_rows_and_columns(
+        alive_words, matrix_words, indices, keep_mask(indices, layout)
+    )

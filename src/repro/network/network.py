@@ -55,6 +55,8 @@ import numpy as np
 
 from repro.errors import NetworkError
 from repro.grammar.grammar import CDGGrammar, Sentence
+from repro.kernels import bitops
+from repro.kernels.backend import KernelBackend, default_backend
 from repro.network import bitset
 from repro.network.bitset import BitLayout
 from repro.network.rolevalue import RoleValue
@@ -111,6 +113,15 @@ class ConstraintNetwork:
     _bool_mode: bool = False
     _alive_cache: "np.ndarray | None" = None
     _matrix_cache: "np.ndarray | None" = None
+
+    #: Kernel backend the packed paths run on; None means "resolve the
+    #: process default" (REPRO_KERNEL_BACKEND, else packed).  Stamped by
+    #: NetworkTemplate.fill when a session threads an explicit backend.
+    kernel_backend: "KernelBackend | None" = None
+
+    def kernels(self) -> KernelBackend:
+        """The kernel backend this network's packed operations run on."""
+        return self.kernel_backend or default_backend()
 
     def __init__(self, grammar: CDGGrammar, sentence: Sentence):
         from repro.pipeline.template import NetworkTemplate
@@ -230,8 +241,11 @@ class ConstraintNetwork:
         # their fresh rows/columns against the new word's values too.
         dead = idx_map[~bitset.unpack_rows(prev.alive_bits, old_layout)]
         if dead.size:
-            bitset.clear_rows_and_columns(
-                network.alive_bits, network.matrix_bits, dead, layout
+            bitops.clear_rows_and_columns(
+                network.alive_bits,
+                network.matrix_bits,
+                dead,
+                bitset.keep_mask(dead, layout),
             )
         network._invalidate_views()
         return network
@@ -320,8 +334,8 @@ class ConstraintNetwork:
                 self.alive, template.nonempty_starts, dtype=np.int64
             )
         else:
-            counts[template.nonempty_roles] = bitset.segment_counts(
-                self.alive_bits, self.bit_layout
+            counts[template.nonempty_roles] = bitops.segment_counts(
+                self.alive_bits, self.bit_layout.seg_byte_starts
             )
         return counts
 
@@ -338,7 +352,7 @@ class ConstraintNetwork:
     def alive_count(self) -> int:
         if self._bool_mode:
             return int(self._alive_cache.sum())
-        return bitset.count_ones(self.alive_bits)
+        return self.kernels().count_ones(self.alive_bits)
 
     # -- arc queries -------------------------------------------------------------
 
@@ -389,8 +403,11 @@ class ConstraintNetwork:
             self._matrix_cache[indices, :] = False
             self._matrix_cache[:, indices] = False
             return
-        bitset.clear_rows_and_columns(
-            self.alive_bits, self.matrix_bits, indices, self.bit_layout
+        bitops.clear_rows_and_columns(
+            self.alive_bits,
+            self.matrix_bits,
+            indices,
+            bitset.keep_mask(indices, self.bit_layout),
         )
         self._invalidate_views()
 
@@ -435,7 +452,7 @@ class ConstraintNetwork:
                 f"packed pair mask shape {permitted_bits.shape} does not match "
                 f"{self.matrix_bits.shape}"
             )
-        newly_zeroed = bitset.and_accumulate(self.matrix_bits, permitted_bits)
+        newly_zeroed = self.kernels().and_accumulate(self.matrix_bits, permitted_bits)
         self._invalidate_views()
         return newly_zeroed
 

@@ -35,6 +35,10 @@ class ParallelSession:
         engine: an engine *name* from the registry (instances cannot
             cross the process boundary).
         workers: worker process count.
+        kernel_backend: a kernel-backend *name* from
+            :mod:`repro.kernels.backend`, exported to every worker
+            (instances cannot cross the process boundary); None keeps
+            each process's own default.
         start_method: ``"fork"`` / ``"spawn"`` / ``"forkserver"``;
             defaults to fork where the platform has it.
         filter_limit: session-default filtering bound, shipped with
@@ -52,6 +56,7 @@ class ParallelSession:
         engine: str = "vector",
         *,
         workers: int = 2,
+        kernel_backend: "str | None" = None,
         start_method: str | None = None,
         filter_limit: int | None = None,
         template_cache_size: int = DEFAULT_TEMPLATE_CACHE,
@@ -66,6 +71,7 @@ class ParallelSession:
         self._session = ParserSession(
             grammar,
             engine=engine,
+            backend=kernel_backend,
             filter_limit=filter_limit,
             template_cache_size=template_cache_size,
         )
@@ -77,6 +83,7 @@ class ParallelSession:
             workers=workers,
             start_method=start_method,
             child_cache_size=child_cache_size,
+            kernel_backend=kernel_backend,
         )
         self._closed = False
 

@@ -31,6 +31,7 @@ from typing import TYPE_CHECKING, Iterable, Sequence
 from repro.engines.base import ParseResult, ParserEngine, TraceHook
 from repro.engines.registry import create_engine
 from repro.errors import ConcurrentSessionUse
+from repro.kernels.backend import KernelBackend, create_backend
 from repro.grammar.grammar import CDGGrammar, Sentence
 from repro.network.network import ConstraintNetwork
 from repro.pipeline.cache import LRUCache
@@ -57,6 +58,12 @@ class ParserSession:
         engine: an engine name from the registry (``"serial"``,
             ``"vector"``, ``"pram"``, ``"maspar"``, ``"mesh"``, ...)
             or a :class:`~repro.engines.base.ParserEngine` instance.
+        backend: a kernel-backend name from
+            :mod:`repro.kernels.backend` (``"packed"``, ``"numpy"``,
+            ...) or a :class:`~repro.kernels.backend.KernelBackend`
+            instance; None consults ``REPRO_KERNEL_BACKEND`` and
+            defaults to ``"packed"``.  Every network the session binds
+            runs its packed inner loops on this backend.
         filter_limit: session-default filtering bound (design decision
             5); individual calls may override it.
         template_cache_size: bound on the per-shape template LRU.
@@ -67,12 +74,14 @@ class ParserSession:
         grammar: CDGGrammar,
         engine: "str | ParserEngine" = "vector",
         *,
+        backend: "str | KernelBackend | None" = None,
         filter_limit: int | None = None,
         template_cache_size: int = DEFAULT_TEMPLATE_CACHE,
     ):
         self.grammar = grammar
         self.compiled: CompiledGrammar = compile_grammar(grammar)
         self.engine: ParserEngine = create_engine(engine)
+        self.kernel_backend: KernelBackend = create_backend(backend)
         self.filter_limit = filter_limit
         self._templates: LRUCache[NetworkTemplate] = LRUCache(template_cache_size)
         self._builds = {"full": 0, "extended": 0}
@@ -116,6 +125,7 @@ class ParserSession:
                 template = NetworkTemplate.build(self.grammar, sent.category_sets)
                 self._builds["full"] += 1
             self._templates.put(key, template)
+        template.kernel_backend = self.kernel_backend
         return template
 
     def network(self, sentence: "Sentence | str | Sequence[str]") -> ConstraintNetwork:
@@ -177,6 +187,7 @@ class ParserSession:
             # finally-repack; default to the settled (packed) state.
             stats.extra.setdefault("network_bytes", network.state_nbytes())
             stats.extra["template_cache_bytes"] = self.cached_bytes()
+            stats.extra.setdefault("kernel_backend", self.kernel_backend.name)
             return ParseResult(
                 network=network,
                 locally_consistent=network.all_domains_nonempty(),

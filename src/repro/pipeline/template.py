@@ -115,6 +115,12 @@ class VectorMasks:
 class NetworkTemplate:
     """The cacheable per-shape half of a constraint network."""
 
+    #: Kernel backend stamped onto every network bound from this
+    #: template (see :mod:`repro.kernels.backend`).  A ParserSession
+    #: sets it when the caller threads an explicit ``backend=``; None
+    #: means bound networks resolve the process default at use time.
+    kernel_backend = None
+
     def __init__(
         self,
         grammar: CDGGrammar,
@@ -487,6 +493,7 @@ class NetworkTemplate:
         network._bool_mode = False
         network._alive_cache = None
         network._matrix_cache = None
+        network.kernel_backend = self.kernel_backend
 
     # -- shared execute-layer artifacts ------------------------------------
 

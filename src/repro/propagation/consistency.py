@@ -10,13 +10,17 @@ their rows/columns zeroed everywhere.
 Two implementations with identical semantics:
 
 * :func:`unsupported_vector` — one numpy pass over whichever view the
-  network currently holds.  On a packed network (the default) the
-  OR along each arc-matrix row is a ``bitwise_or.reduceat`` over the
-  byte view of the bit matrix at the role segment starts, after one
-  word-wide AND with the packed alive vector — the same OR-then-AND
-  dataflow the MasPar performs with ``scanOr``/``scanAnd``, touching
-  1/8th of the memory the boolean sweep reads.  On a boolean-mode
-  network it is the original ``logical_or.reduceat`` over bytes.
+  network currently holds.  On a packed network (the default) the sweep
+  is the kernel backend's ``support_any``: mask the bit matrix with the
+  packed alive vector, then OR-reduce each row per role segment — the
+  same OR-then-AND dataflow the MasPar performs with
+  ``scanOr``/``scanAnd``, touching 1/8th of the memory the boolean
+  sweep reads.  Which kernels run depends on the network's backend
+  (:mod:`repro.kernels.backend`): ``packed`` does a word-wide AND plus
+  a byte ``reduceat``; ``numpy`` computes the identical truth table as
+  a literal Boolean matrix product against the byte-segment membership
+  matrix (the Lee/Valiant recast).  On a boolean-mode network it is the
+  original ``logical_or.reduceat`` over bytes.
 * :func:`unsupported_serial` — explicit loops over arcs and rows, used by
   the faithful sequential engine and for cross-checking.
 
@@ -29,7 +33,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.network import bitset
 from repro.network.network import ConstraintNetwork
 
 
@@ -59,13 +62,16 @@ def _unsupported_packed(net: ConstraintNetwork) -> np.ndarray:
     roles, _ = net.support_segments()
     if len(roles) < net.n_roles:
         return np.nonzero(alive)[0]
-    # Word-wide alive masking, then the segmented OR on the byte view:
-    # a nonzero byte-OR over role j's segment means a keeps an alive
-    # partner in j.
-    masked = np.bitwise_and(
-        net.matrix_bits, net.alive_bits[None, :], out=net.scratch_bits()
+    # has[a, j] = does a keep an alive partner in role j?  One kernel
+    # call: alive masking plus the segmented OR (or its BMM recast,
+    # depending on the backend); the packed scratch buffer is reused
+    # across sweeps (and, via the template, across sentences).
+    has = net.kernels().support_any(
+        net.matrix_bits,
+        net.alive_bits,
+        net.bit_layout.seg_byte_starts,
+        out=net.scratch_bits(),
     )
-    has = bitset.or_segments(masked, net.bit_layout) != 0
     has[np.arange(net.nv), net.role_index] = True
     return np.nonzero(alive & ~has.all(axis=1))[0]
 

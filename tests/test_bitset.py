@@ -21,6 +21,7 @@ import pytest
 from repro import ConstraintNetwork, SerialEngine, VectorEngine
 from repro.engines.registry import create_engine
 from repro.grammar.builtin import english_grammar, program_grammar
+from repro.kernels import bitops
 from repro.network import bitset
 from repro.network.bitset import BitLayout
 from repro.workloads.random_grammars import random_grammar, random_sentence_for
@@ -65,7 +66,7 @@ class TestKernels:
         words = bitset.pack_rows(np.ones(layout.nv, dtype=bool), layout)
         # Popcount over the raw words must equal NV exactly: any set
         # slack bit would break every popcount-delta computation.
-        assert bitset.count_ones(words) == layout.nv
+        assert bitops.count_ones(words) == layout.nv
         np.testing.assert_array_equal(words, layout.full_words)
 
     def test_get_bit(self, layout):
@@ -78,12 +79,12 @@ class TestKernels:
     def test_count_ones_matches_sum(self, layout):
         rng = np.random.default_rng(2)
         bools = random_bools(rng, (5, layout.nv))
-        assert bitset.count_ones(bitset.pack_rows(bools, layout)) == int(bools.sum())
+        assert bitops.count_ones(bitset.pack_rows(bools, layout)) == int(bools.sum())
 
     def test_segment_counts_match_boolean_reference(self, slices, layout):
         rng = np.random.default_rng(3)
         bools = random_bools(rng, layout.nv)
-        counts = bitset.segment_counts(bitset.pack_rows(bools, layout), layout)
+        counts = bitops.segment_counts(bitset.pack_rows(bools, layout), layout.seg_byte_starts)
         expected = [int(bools[sl].sum()) for sl in slices if sl.stop > sl.start]
         np.testing.assert_array_equal(counts, expected)
 
@@ -91,7 +92,7 @@ class TestKernels:
         rng = np.random.default_rng(4)
         bools = random_bools(rng, (layout.nv, layout.nv)) & (rng.random((layout.nv, 1)) < 0.7)
         words = bitset.pack_rows(bools, layout)
-        has = bitset.or_segments(words, layout) != 0
+        has = bitops.or_segments(words, layout.seg_byte_starts) != 0
         nonempty = [sl for sl in slices if sl.stop > sl.start]
         for j, sl in enumerate(nonempty):
             np.testing.assert_array_equal(
@@ -112,7 +113,7 @@ class TestKernels:
         mask_bools = random_bools(rng, (layout.nv, layout.nv))
         target = bitset.pack_rows(target_bools, layout)
         mask = bitset.pack_rows(mask_bools, layout)
-        cleared = bitset.and_accumulate(target, mask)
+        cleared = bitops.and_accumulate(target, mask)
         assert cleared == int((target_bools & ~mask_bools).sum())
         np.testing.assert_array_equal(
             bitset.unpack_rows(target, layout), target_bools & mask_bools
@@ -125,7 +126,9 @@ class TestKernels:
         alive = bitset.pack_rows(alive_bools, layout)
         matrix = bitset.pack_rows(matrix_bools, layout)
         indices = np.unique(rng.integers(0, layout.nv, size=max(1, layout.nv // 4)))
-        bitset.clear_rows_and_columns(alive, matrix, indices, layout)
+        bitops.clear_rows_and_columns(
+            alive, matrix, indices, bitset.keep_mask(indices, layout)
+        )
         alive_bools[indices] = False
         matrix_bools[indices, :] = False
         matrix_bools[:, indices] = False

@@ -15,12 +15,15 @@ from repro.cfg import (
     balanced_brackets_cfg,
     cyk_accepts,
     cyk_parse,
+    cyk_parse_sets,
     earley_accepts,
     english_cfg,
     mesh_cyk,
+    palindrome_cfg,
     random_corpus,
     random_derivation,
     to_cnf,
+    typed_brackets_cfg,
 )
 from repro.workloads import sentence_of_length
 
@@ -109,6 +112,51 @@ class TestCYK:
     def test_empty_sentence(self):
         cnf = to_cnf(balanced_brackets_cfg())
         assert cyk_parse(cnf, []).accepted
+
+    def test_records_kernel_backend(self):
+        cnf = to_cnf(anbn_cfg())
+        assert cyk_parse(cnf, ["a", "b"]).kernel_backend == "packed"
+        assert cyk_parse(cnf, ["a", "b"], backend="numpy").kernel_backend == "numpy"
+        assert cyk_parse_sets(cnf, ["a", "b"]).kernel_backend is None
+
+
+class TestCYKPackedVsSetOracle:
+    """Seeded sweep: the packed BMM chart must agree with the set-based
+    oracle bit for bit — accepted flag, every chart cell, and the
+    operation count — on every builtin CFG, for both kernel backends."""
+
+    GRAMMARS = {
+        "anbn": anbn_cfg,
+        "brackets": balanced_brackets_cfg,
+        "typed": typed_brackets_cfg,
+        "palindrome": palindrome_cfg,
+        "english": english_cfg,
+    }
+
+    @pytest.mark.parametrize("name", sorted(GRAMMARS))
+    @pytest.mark.parametrize("backend", ["packed", "numpy"])
+    def test_sweep_matches_oracle(self, name, backend):
+        grammar = self.GRAMMARS[name]()
+        cnf = to_cnf(grammar)
+        rng = random.Random(name)
+        cases: list[list[str]] = [[]]
+        for words in random_corpus(grammar, seed=13, size=6, max_symbols=14):
+            sentence = list(words)
+            if len(sentence) <= 10:
+                cases.append(sentence)
+            # A shuffled positive is usually a negative: both paths
+            # must agree on rejections too.
+            shuffled = sentence[:]
+            rng.shuffle(shuffled)
+            if len(shuffled) <= 10:
+                cases.append(shuffled)
+        assert len(cases) >= 3
+        for sentence in cases:
+            packed = cyk_parse(cnf, sentence, backend=backend)
+            oracle = cyk_parse_sets(cnf, sentence)
+            assert packed.accepted == oracle.accepted, sentence
+            assert packed.chart_sets == oracle.chart_sets, sentence
+            assert packed.split_operations == oracle.split_operations, sentence
 
 
 class TestEarley:

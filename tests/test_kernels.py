@@ -1,0 +1,294 @@
+"""The extracted kernel core: bitops, BMM, and the backend registry.
+
+Three layers:
+
+* :mod:`repro.kernels.bitops` — dense pack/unpack, single-bit access,
+  and the word-level primitives, checked against plain boolean numpy
+  over shapes with NV % 64 != 0 trailing words;
+* :mod:`repro.kernels.bmm` — the four-Russians product and the
+  bit-plane product agree with the broadcast-any reference over
+  non-square, empty, and padding-heavy operands;
+* :mod:`repro.kernels.backend` — registry resolution (env var,
+  explicit name, instance passthrough), the unavailable-backend
+  fallback contract, and end-to-end bit-identity of ``packed`` vs
+  ``numpy`` across every registered engine, plus the deprecation shims
+  left behind in :mod:`repro.network.bitset`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engines.registry import available_engines
+from repro.errors import ReproError
+from repro.grammar.builtin import program_grammar
+from repro.kernels import bitops
+from repro.kernels.backend import (
+    DEFAULT_BACKEND,
+    ENV_VAR,
+    KernelBackend,
+    KernelBackendUnavailable,
+    PackedBackend,
+    PlanesBackend,
+    available_backends,
+    create_backend,
+    default_backend,
+    register_backend,
+)
+from repro.kernels.bmm import bmm_four_russians, bmm_planes, bmm_reference
+from repro.network import bitset
+from repro.network.bitset import BitLayout
+from repro.pipeline.session import ParserSession
+
+
+def random_bools(rng: np.random.Generator, shape) -> np.ndarray:
+    return rng.random(shape) < 0.5
+
+
+# ---------------------------------------------------------------------------
+# bitops
+
+
+class TestBitops:
+    @pytest.mark.parametrize("n_bits", [1, 7, 63, 64, 65, 127, 128, 200])
+    def test_pack_unpack_roundtrip_odd_widths(self, n_bits):
+        rng = np.random.default_rng(n_bits)
+        for shape in ((n_bits,), (5, n_bits), (3, 4, n_bits)):
+            bools = random_bools(rng, shape)
+            words = bitops.pack_bits(bools)
+            assert words.dtype == bitops.WORD_DTYPE
+            # Trailing-word padding must stay clear: popcount over the
+            # raw words is exact.
+            assert bitops.count_ones(words) == int(bools.sum())
+            np.testing.assert_array_equal(bitops.unpack_bits(words, n_bits), bools)
+
+    def test_set_and_test_bit_trailing_word(self):
+        row = np.zeros(2, dtype=bitops.WORD_DTYPE)
+        for index in (0, 63, 64, 70):
+            assert not bitops.test_bit(row, index)
+            bitops.set_bit(row, index)
+            assert bitops.test_bit(row, index)
+        assert bitops.count_ones(row) == 4
+
+    def test_and_accumulate_returns_popcount_delta(self):
+        rng = np.random.default_rng(3)
+        target_bools = random_bools(rng, 130)
+        mask_bools = random_bools(rng, 130)
+        target = bitops.pack_bits(target_bools)
+        mask = bitops.pack_bits(mask_bools)
+        removed = bitops.and_accumulate(target, mask)
+        assert removed == int((target_bools & ~mask_bools).sum())
+        np.testing.assert_array_equal(
+            bitops.unpack_bits(target, 130), target_bools & mask_bools
+        )
+
+    def test_empty_operands(self):
+        empty = np.zeros(0, dtype=bitops.WORD_DTYPE)
+        assert bitops.count_ones(empty) == 0
+        assert bitops.and_accumulate(empty, empty) == 0
+        assert bitops.pack_bits(np.zeros((0, 5), dtype=bool)).shape == (0, 1)
+
+
+# ---------------------------------------------------------------------------
+# bmm
+
+
+BMM_SHAPES = [
+    (1, 1, 1),
+    (3, 70, 5),  # k spans two words; m, n tiny
+    (17, 129, 66),  # every dimension straddles a word boundary
+    (64, 64, 64),
+    (100, 200, 130),
+    (0, 10, 4),  # empty m
+    (4, 0, 7),  # empty k
+    (5, 3, 0),  # empty n
+]
+
+
+class TestBMM:
+    @pytest.mark.parametrize("shape", BMM_SHAPES, ids=str)
+    @pytest.mark.parametrize("kernel", [bmm_four_russians, bmm_planes])
+    def test_matches_reference(self, shape, kernel):
+        m, k, n = shape
+        rng = np.random.default_rng(m * 1000 + k * 10 + n)
+        a_plane = random_bools(rng, (m, k))
+        b_plane = random_bools(rng, (k, n))
+        a_bits = bitops.pack_bits(a_plane)
+        b_bits = bitops.pack_bits(b_plane)
+        out = kernel(a_bits, b_bits)
+        expected = bmm_reference(a_plane, b_plane)
+        np.testing.assert_array_equal(bitops.unpack_bits(out, n), expected)
+        # Non-square + NV % 64 != 0: padding in the product must stay
+        # clear, or downstream popcounts drift.
+        assert bitops.count_ones(out) == int(expected.sum())
+
+    def test_rejects_mismatched_inner_dimension(self):
+        a = np.zeros((2, 1), dtype=bitops.WORD_DTYPE)
+        b = np.zeros((100, 1), dtype=bitops.WORD_DTYPE)
+        with pytest.raises(ValueError):
+            bmm_four_russians(a, b)
+
+    def test_rejects_non_2d(self):
+        a = np.zeros(1, dtype=bitops.WORD_DTYPE)
+        with pytest.raises(ValueError):
+            bmm_four_russians(a, a)
+
+
+# ---------------------------------------------------------------------------
+# backend registry
+
+
+class TestBackendRegistry:
+    def test_builtins_registered(self):
+        names = available_backends()
+        assert "packed" in names
+        assert "numpy" in names
+        assert "cupy" in names
+
+    def test_unknown_name_raises_and_lists_available(self):
+        with pytest.raises(ReproError, match="packed"):
+            create_backend("no-such-backend")
+
+    def test_instance_passes_through(self):
+        instance = PlanesBackend()
+        assert create_backend(instance) is instance
+
+    def test_default_is_packed(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert create_backend(None).name == DEFAULT_BACKEND
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "numpy")
+        assert create_backend(None).name == "numpy"
+        assert default_backend().name == "numpy"
+
+    def test_unavailable_backend_falls_back_with_warning(self):
+        # CuPy is not installed in this environment, so the scaffold
+        # exercises the real fallback path.
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            backend = create_backend("cupy")
+        assert backend.name == DEFAULT_BACKEND
+
+    def test_registered_unavailable_backend_falls_back(self):
+        def factory() -> KernelBackend:
+            raise KernelBackendUnavailable("test backend never available")
+
+        register_backend("always-unavailable", factory)
+        try:
+            with pytest.warns(RuntimeWarning, match="always-unavailable"):
+                backend = create_backend("always-unavailable")
+            assert backend.name == DEFAULT_BACKEND
+        finally:
+            from repro.kernels import backend as backend_mod
+
+            backend_mod._REGISTRY.pop("always-unavailable", None)
+            backend_mod._INSTANCES.pop("always-unavailable", None)
+
+    def test_support_any_backends_agree(self):
+        role_slices = (slice(0, 5), slice(5, 17), slice(17, 90))
+        layout = BitLayout(role_slices)
+        rng = np.random.default_rng(11)
+        matrix_bools = random_bools(rng, (layout.nv, layout.nv))
+        alive_bools = random_bools(rng, layout.nv)
+        matrix = bitset.pack_rows(matrix_bools, layout)
+        alive = bitset.pack_rows(alive_bools, layout)
+        packed = PackedBackend().support_any(
+            matrix, alive, layout.seg_byte_starts
+        )
+        planes = PlanesBackend().support_any(
+            matrix, alive, layout.seg_byte_starts
+        )
+        np.testing.assert_array_equal(packed, planes)
+        # And both match the set-level truth: segment s of row a holds
+        # an alive partner.
+        live = matrix_bools & alive_bools[None, :]
+        expected = np.stack(
+            [live[:, sl].any(axis=1) for sl in role_slices], axis=1
+        )
+        np.testing.assert_array_equal(packed, expected)
+
+
+# ---------------------------------------------------------------------------
+# deprecation shims
+
+
+class TestBitsetShims:
+    def test_moved_kernels_warn_and_delegate(self):
+        layout = BitLayout((slice(0, 5), slice(5, 70)))
+        rng = np.random.default_rng(4)
+        bools = random_bools(rng, layout.nv)
+        words = bitset.pack_rows(bools, layout)
+        with pytest.warns(DeprecationWarning, match="repro.kernels.bitops"):
+            assert bitset.count_ones(words) == int(bools.sum())
+        with pytest.warns(DeprecationWarning):
+            np.testing.assert_array_equal(
+                bitset.segment_counts(words, layout),
+                bitops.segment_counts(words, layout.seg_byte_starts),
+            )
+        matrix = bitset.pack_rows(random_bools(rng, (3, layout.nv)), layout)
+        with pytest.warns(DeprecationWarning):
+            np.testing.assert_array_equal(
+                bitset.or_segments(matrix, layout),
+                bitops.or_segments(matrix, layout.seg_byte_starts),
+            )
+
+    def test_and_accumulate_and_clear_shims(self):
+        layout = BitLayout((slice(0, 66),))
+        rng = np.random.default_rng(5)
+        target = bitset.pack_rows(random_bools(rng, layout.nv), layout)
+        mask = bitset.pack_rows(random_bools(rng, layout.nv), layout)
+        oracle_target = target.copy()
+        with pytest.warns(DeprecationWarning):
+            removed = bitset.and_accumulate(target, mask)
+        assert removed == bitops.and_accumulate(oracle_target, mask)
+        np.testing.assert_array_equal(target, oracle_target)
+
+        alive = bitset.pack_rows(np.ones(layout.nv, dtype=bool), layout)
+        matrix = bitset.pack_rows(
+            random_bools(rng, (layout.nv, layout.nv)), layout
+        )
+        oracle_alive = alive.copy()
+        oracle_matrix = matrix.copy()
+        indices = np.array([1, 64, 65], dtype=np.intp)
+        with pytest.warns(DeprecationWarning):
+            bitset.clear_rows_and_columns(alive, matrix, indices, layout)
+        bitops.clear_rows_and_columns(
+            oracle_alive, oracle_matrix, indices, bitset.keep_mask(indices, layout)
+        )
+        np.testing.assert_array_equal(alive, oracle_alive)
+        np.testing.assert_array_equal(matrix, oracle_matrix)
+
+
+# ---------------------------------------------------------------------------
+# end-to-end bit-identity across engines
+
+
+class TestSessionBackendIdentity:
+    SENTENCES = [["the", "program", "runs"], ["a", "program", "runs"]]
+
+    @pytest.mark.parametrize("engine", available_engines())
+    def test_packed_and_numpy_backends_bit_identical(self, engine):
+        grammar = program_grammar()
+        for words in self.SENTENCES:
+            results = {}
+            for backend in ("packed", "numpy"):
+                session = ParserSession(grammar, engine=engine, backend=backend)
+                result = session.parse(words)
+                assert result.stats.extra["kernel_backend"] == backend
+                results[backend] = result
+            a, b = results["packed"], results["numpy"]
+            assert a.locally_consistent == b.locally_consistent
+            assert a.ambiguous == b.ambiguous
+            np.testing.assert_array_equal(
+                a.network.alive_bits, b.network.alive_bits
+            )
+            np.testing.assert_array_equal(
+                a.network.matrix_bits, b.network.matrix_bits
+            )
+
+    def test_session_records_backend_name(self):
+        session = ParserSession(program_grammar(), backend="numpy")
+        result = session.parse(["the", "program", "runs"])
+        assert result.stats.extra["kernel_backend"] == "numpy"
+        assert isinstance(session.kernel_backend, PlanesBackend)

@@ -537,6 +537,71 @@ class TestSocketLifecycleRPR012:
         assert outside == []
 
 
+class TestKernelBitArithRPR013:
+    OUTSIDE = "src/repro/serve/metrics.py"
+
+    def test_trigger_np_bitwise_outside_kernels(self):
+        source = (
+            "import numpy as np\n"
+            "def delta(a, b):\n"
+            "    return np.bitwise_and(a, np.bitwise_not(b))\n"
+        )
+        findings = lint_source(source, path=self.OUTSIDE, select={"RPR013"})
+        assert codes(findings) == ["RPR013"]
+        assert "bitwise_and" in findings[0].message
+
+    def test_trigger_unpackbits_and_ufunc_method_chain(self):
+        source = (
+            "import numpy as np\n"
+            "def scatter(bytes_, offs, masks):\n"
+            "    np.bitwise_or.at(bytes_, offs, masks)\n"
+            "    return np.unpackbits(bytes_, bitorder='little')\n"
+        )
+        findings = lint_source(source, path=self.OUTSIDE, select={"RPR013"})
+        assert sorted(codes(findings)) == ["RPR013", "RPR013"]
+
+    def test_trigger_from_import_alias(self):
+        source = (
+            "from numpy import packbits as pb\n"
+            "def pack(rows):\n"
+            "    return pb(rows, axis=1, bitorder='little')\n"
+        )
+        findings = lint_source(source, path=self.OUTSIDE, select={"RPR013"})
+        assert codes(findings) == ["RPR013"]
+
+    def test_pass_inside_kernels_package(self):
+        source = (
+            "import numpy as np\n"
+            "def bmm_accumulate(out, table, a8, t):\n"
+            "    np.bitwise_or(out, table[a8[:, t]], out=out)\n"
+        )
+        assert (
+            lint_source(source, path="src/repro/kernels/bmm.py", select={"RPR013"})
+            == []
+        )
+
+    def test_pass_inside_bitset_layout_layer(self):
+        source = (
+            "import numpy as np\n"
+            "def pack_rows(rows):\n"
+            "    return np.packbits(rows, axis=-1, bitorder='little')\n"
+        )
+        assert (
+            lint_source(
+                source, path="src/repro/network/bitset.py", select={"RPR013"}
+            )
+            == []
+        )
+
+    def test_pass_non_bit_numpy_calls_outside(self):
+        source = (
+            "import numpy as np\n"
+            "def stats(a, b):\n"
+            "    return np.logical_and(a, b).sum() + np.count_nonzero(a)\n"
+        )
+        assert lint_source(source, path=self.OUTSIDE, select={"RPR013"}) == []
+
+
 class TestRepoIsClean:
     def test_src_tree_lints_clean(self):
         findings = lint_paths([REPO_SRC])
