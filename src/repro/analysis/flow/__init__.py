@@ -1,0 +1,52 @@
+"""``repro.analysis.flow``: whole-project dataflow for the lint layer.
+
+The per-module lint rules (RPR001–RPR013) reason one file and one
+function at a time.  This package supplies the project-wide structure
+the concurrency and interprocedural-taint rules need:
+
+* :mod:`~repro.analysis.flow.callgraph` — module-resolved call graph
+  (imports, package re-exports, class registry, typed attribute chains);
+* :mod:`~repro.analysis.flow.cfg` — per-function control-flow graphs
+  and reaching definitions;
+* :mod:`~repro.analysis.flow.taint` — the shared "derived from" engine
+  behind every taint rule (RPR003/RPR010/RPR011/RPR016);
+* :mod:`~repro.analysis.flow.locks` — interprocedural lock-order graph
+  (cycle = latent deadlock; project-level ``LOCK_ORDER`` consistency);
+* :mod:`~repro.analysis.flow.blocking` — blocking primitives reachable
+  from ``repro.cluster`` coroutines.
+
+Everything here is pure AST analysis over the lint framework's
+:class:`~repro.analysis.lint.framework.Project`; nothing imports the
+runtime parser.
+"""
+
+from repro.analysis.flow.callgraph import (
+    CallEdge,
+    CallGraph,
+    ClassInfo,
+    FunctionInfo,
+    module_name_for,
+)
+from repro.analysis.flow.cfg import Block, ControlFlowGraph, ReachingDefinitions
+from repro.analysis.flow.taint import TaintResult, TaintSpec, iter_mutations, taint_names
+from repro.analysis.flow.locks import LockGraph, LockOrderEdge
+from repro.analysis.flow.blocking import BlockingAnalysis, BlockingSite
+
+__all__ = [
+    "Block",
+    "BlockingAnalysis",
+    "BlockingSite",
+    "CallEdge",
+    "CallGraph",
+    "ClassInfo",
+    "ControlFlowGraph",
+    "FunctionInfo",
+    "LockGraph",
+    "LockOrderEdge",
+    "ReachingDefinitions",
+    "TaintResult",
+    "TaintSpec",
+    "iter_mutations",
+    "taint_names",
+    "module_name_for",
+]

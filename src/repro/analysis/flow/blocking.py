@@ -1,0 +1,222 @@
+"""Blocking primitives reachable from ``repro.cluster`` coroutines.
+
+One ``time.sleep`` (or socket recv, or lock wait, or line-buffered file
+write) inside a coroutine stalls the *entire* shard: the event loop
+serves every connection from one thread, so a blocked callee freezes
+heartbeats, accepts, and every in-flight parse at once.  The rule
+precedent is flake8-async/BLE: a coroutine may only wait through
+``await``-able primitives or by shipping the blocking work to an
+executor.
+
+The analysis has two halves:
+
+* :func:`blocking_sites` — the per-function catalogue of primitives.
+  Attribute calls count only when the call graph could *not* resolve
+  them to a project function (a resolved ``self._send(...)`` is
+  whatever its body is; an unresolved ``sock.recv(...)`` is the OS).
+  ``await``-wrapped calls are exempt (``await lock.acquire()`` is the
+  asyncio primitive), as are try-acquires (``acquire(blocking=False)``
+  returns immediately) and ``.join(...)`` calls whose argument shape
+  matches ``str.join`` rather than ``Thread.join``.
+* :class:`BlockingAnalysis` — reachability: walk the call graph from
+  every coroutine defined in a ``repro.cluster`` module, collect the
+  primitive sites in everything reachable.  Lambdas handed to
+  ``run_in_executor``/``to_thread``/``Thread`` were already excluded
+  when the graph was built, so the executor escape hatch needs no
+  special casing here.
+
+Findings anchor at the *primitive site* (with one witness path in the
+message), so a single suppression covers every coroutine that reaches
+the same line.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.flow.callgraph import (
+    FILE_TYPE,
+    CallGraph,
+    FunctionInfo,
+    _own_calls,
+    _terminal_name,
+)
+
+__all__ = ["BlockingAnalysis", "BlockingSite", "blocking_sites"]
+
+_SOCKET_METHODS = frozenset(
+    {"recv", "recv_into", "recvfrom", "recvfrom_into", "send", "sendall",
+     "sendto", "accept", "connect"}
+)
+_WAIT_METHODS = frozenset({"wait", "result"})
+_FILE_METHODS = frozenset(
+    {"write", "read", "readline", "readlines", "writelines", "flush"}
+)
+_PATH_METHODS = frozenset(
+    {"write_text", "read_text", "write_bytes", "read_bytes", "mkdir",
+     "unlink", "touch", "hardlink_to", "symlink_to"}
+)
+_SUBPROCESS_CALLS = frozenset(
+    {"run", "call", "check_call", "check_output", "Popen"}
+)
+
+
+@dataclass(frozen=True)
+class BlockingSite:
+    """One blocking primitive inside one function."""
+
+    function: str  # qualname of the function containing the call
+    node: ast.Call
+    reason: str
+
+
+def _in_await(function: FunctionInfo, node: ast.AST) -> bool:
+    return any(
+        isinstance(a, ast.Await) for a in function.module.ancestors(node)
+    )
+
+
+def _str_join_shaped(call: ast.Call) -> bool:
+    """``sep.join(iterable)`` — one non-constant positional argument."""
+    return (
+        len(call.args) == 1
+        and not call.keywords
+        and not isinstance(call.args[0], ast.Constant)
+    )
+
+
+def blocking_sites(graph: CallGraph, function: FunctionInfo) -> list[BlockingSite]:
+    """Blocking primitives appearing directly in *function*'s body."""
+    module = function.module
+    info = graph._infos[module.rel]
+    env = graph.local_types(function)
+    time_imports = {
+        name
+        for name, target in info.imports.items()
+        if target in ("time.sleep",)
+    }
+    resolved_nodes = {
+        id(edge.node) for edge in graph.edges.get(function.qualname, ())
+    }
+
+    sites: list[BlockingSite] = []
+
+    def add(call: ast.Call, reason: str) -> None:
+        sites.append(
+            BlockingSite(function=function.qualname, node=call, reason=reason)
+        )
+
+    for call in _own_calls(function.node):
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id in time_imports:
+                add(call, "time.sleep()")
+            elif func.id == "open":
+                add(call, "open()")
+            elif func.id == "input":
+                add(call, "input()")
+            continue
+        if not isinstance(func, ast.Attribute):
+            continue
+        root = func.value
+        root_name = root.id if isinstance(root, ast.Name) else None
+        if root_name == "time" and func.attr == "sleep":
+            add(call, "time.sleep()")
+            continue
+        if root_name == "subprocess" and func.attr in _SUBPROCESS_CALLS:
+            add(call, f"subprocess.{func.attr}()")
+            continue
+        if root_name == "select" and func.attr == "select":
+            add(call, "select.select()")
+            continue
+        if id(call) in resolved_nodes:
+            continue  # resolved to a project function; its body decides
+        if _in_await(function, call):
+            continue  # await x.acquire()/wait() is the asyncio primitive
+        if func.attr in _PATH_METHODS:
+            add(call, f"filesystem I/O (.{func.attr}())")
+            continue
+        if func.attr in _SOCKET_METHODS:
+            add(call, f"socket I/O (.{func.attr}())")
+        elif func.attr == "acquire":
+            nonblocking = (
+                call.args
+                and isinstance(call.args[0], ast.Constant)
+                and call.args[0].value in (False, 0)
+            ) or any(
+                kw.arg == "blocking"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value in (False, 0)
+                for kw in call.keywords
+            )
+            if not nonblocking:
+                add(call, "lock .acquire()")
+        elif func.attr in _WAIT_METHODS:
+            add(call, f"thread/future .{func.attr}()")
+        elif func.attr == "join" and not _str_join_shaped(call):
+            add(call, "thread .join()")
+        elif func.attr == "communicate":
+            add(call, "subprocess .communicate()")
+        elif func.attr in _FILE_METHODS:
+            receiver_type = graph._expr_type_shallow(function, env, root)
+            if receiver_type == FILE_TYPE:
+                add(call, f"file I/O (.{func.attr}() on an open() handle)")
+    return sites
+
+
+class BlockingAnalysis:
+    """Reachability of blocking primitives from cluster coroutines."""
+
+    def __init__(self, graph: CallGraph):
+        self.graph = graph
+        self._site_cache: dict[str, list[BlockingSite]] = {}
+
+    def _sites_in(self, qualname: str) -> list[BlockingSite]:
+        cached = self._site_cache.get(qualname)
+        if cached is None:
+            function = self.graph.functions[qualname]
+            cached = blocking_sites(self.graph, function)
+            self._site_cache[qualname] = cached
+        return cached
+
+    def cluster_coroutines(self) -> list[FunctionInfo]:
+        return sorted(
+            (
+                f
+                for f in self.graph.functions.values()
+                if f.is_async and "cluster" in f.module_name.split(".")
+            ),
+            key=lambda f: f.qualname,
+        )
+
+    def findings(self) -> list[tuple[BlockingSite, str, tuple[str, ...]]]:
+        """``(site, coroutine, path)`` per blocking primitive reachable
+        from a cluster coroutine — deduplicated on the primitive site,
+        shortest witness path kept."""
+        best: dict[int, tuple[BlockingSite, str, tuple[str, ...]]] = {}
+        for coroutine in self.cluster_coroutines():
+            # BFS so the recorded path is a shortest one.
+            queue: list[tuple[str, tuple[str, ...]]] = [
+                (coroutine.qualname, (coroutine.qualname,))
+            ]
+            visited = {coroutine.qualname}
+            while queue:
+                current, path = queue.pop(0)
+                for site in self._sites_in(current):
+                    key = id(site.node)
+                    held = best.get(key)
+                    if held is None or len(path) < len(held[2]):
+                        best[key] = (site, coroutine.qualname, path)
+                for edge in self.graph.edges.get(current, ()):
+                    if edge.callee not in visited:
+                        visited.add(edge.callee)
+                        queue.append((edge.callee, (*path, edge.callee)))
+        return sorted(
+            best.values(),
+            key=lambda item: (
+                item[0].function,
+                getattr(item[0].node, "lineno", 0),
+                getattr(item[0].node, "col_offset", 0),
+            ),
+        )

@@ -1,0 +1,665 @@
+"""A module-resolved call graph over a lint :class:`Project`.
+
+The per-module rules stop at call boundaries; the concurrency rules
+(RPR014/RPR015) and the interprocedural taint rule (RPR016) cannot.
+This module builds the project-wide structure they share:
+
+* a **module registry** — every linted file gets a dotted module name
+  derived from its path (``src/repro/serve/service.py`` →
+  ``repro.serve.service``), and every module's import table is resolved
+  against the registry, *through* package ``__init__`` re-exports
+  (``from repro.serve import ParseService`` lands on
+  ``repro.serve.service.ParseService``);
+* a **class registry** with project-local MRO (bases that resolve to
+  project classes) and per-class attribute types inferred from
+  ``self.x: T`` annotations and ``self.x = Ctor(...)`` assignments;
+* a **call graph**: for every function, each call site resolved to the
+  project function it lands on, through typed attribute chains
+  (``self.metrics.batch_size.observe`` →
+  ``serve.metrics.Histogram.observe``).
+
+Resolution is deliberately *typed, never name-matched*: an attribute
+call that cannot be traced through imports or inferred types stays
+unresolved rather than being guessed by method name (a unique-name
+fallback would happily resolve ``writer.write`` onto ``ShardLog.write``
+and poison every consumer).  Unresolved calls are kept — the blocking
+analysis treats some of them (``.recv``, ``.acquire``) as primitives.
+
+Calls inside a ``lambda`` are attributed to the enclosing function —
+``lambda t: self.service.submit(words, timeout=t)`` really does run on
+the caller's thread — *except* when the lambda is an argument to a
+deferral primitive (``run_in_executor``, ``to_thread``, ``Thread``,
+``submit`` on an executor, ``call_soon``...), where the body runs on
+another thread/loop turn and must not contribute edges.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # imported lazily: lint/__init__ imports back into us
+    from repro.analysis.lint.framework import Project, SourceModule
+
+__all__ = [
+    "CallGraph",
+    "ClassInfo",
+    "FunctionInfo",
+    "FILE_TYPE",
+    "module_name_for",
+]
+
+#: Sentinel "type" for values produced by the ``open()`` builtin.
+FILE_TYPE = "<file>"
+
+#: Call names whose function-valued arguments run elsewhere (another
+#: thread, executor, or a later event-loop turn): lambdas passed to them
+#: contribute no call edges from the enclosing function.
+_DEFERRAL_CALLS = frozenset(
+    {
+        "run_in_executor",
+        "to_thread",
+        "Thread",
+        "Timer",
+        "submit",
+        "call_soon",
+        "call_soon_threadsafe",
+        "call_later",
+        "call_at",
+        "add_done_callback",
+        "apply_async",
+    }
+)
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name for a source path.
+
+    Anchors at the last ``src`` path segment when present (the repo
+    layout), else at the first ``repro`` segment (fixture paths like
+    ``src/repro/cluster/x.py`` hit the first branch already; bare
+    ``repro/...`` paths hit the second), else falls back to the stem so
+    single-file fixtures still get a usable name.
+    """
+    parts = list(PurePosixPath(path).parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if "src" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("src")
+        parts = parts[anchor + 1 :]
+    elif "repro" in parts:
+        parts = parts[parts.index("repro") :]
+    else:
+        parts = parts[-1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) if parts else path
+
+
+def _terminal_name(node: ast.AST) -> "str | None":
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _dotted(node: ast.AST) -> "str | None":
+    """``a.b.c`` for a pure Name/Attribute chain, else ``None``."""
+    chain: list[str] = []
+    while isinstance(node, ast.Attribute):
+        chain.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        chain.append(node.id)
+        return ".".join(reversed(chain))
+    return None
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition in the project."""
+
+    qualname: str
+    name: str
+    module: SourceModule
+    module_name: str
+    node: "ast.FunctionDef | ast.AsyncFunctionDef"
+    cls: "ClassInfo | None" = None
+
+    @property
+    def is_async(self) -> bool:
+        return isinstance(self.node, ast.AsyncFunctionDef)
+
+
+@dataclass
+class ClassInfo:
+    """One class definition plus its inferred attribute types."""
+
+    qualname: str
+    name: str
+    module: SourceModule
+    module_name: str
+    node: ast.ClassDef
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: attribute name -> class qualname (or FILE_TYPE) inferred from
+    #: ``self.x: T`` / ``self.x = Ctor(...)``.
+    attr_types: dict[str, str] = field(default_factory=dict)
+    base_names: list[str] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    """One resolved call site: *caller* invokes *callee* at *node*."""
+
+    caller: str
+    callee: str
+    node: ast.Call
+
+
+class _ModuleInfo:
+    """Per-module naming, import table, and top-level symbol table."""
+
+    def __init__(self, module: SourceModule):
+        self.module = module
+        self.name = module_name_for(module.rel)
+        is_package = module.rel.endswith("__init__.py")
+        self.package = self.name if is_package else self.name.rpartition(".")[0]
+        #: local name -> dotted target (module or module-qualified symbol)
+        self.imports: dict[str, str] = {}
+        for node in module.tree.body:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    self.imports[bound] = target
+            elif isinstance(node, ast.ImportFrom):
+                base = self._from_base(node, is_package)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    self.imports[alias.asname or alias.name] = (
+                        f"{base}.{alias.name}" if base else alias.name
+                    )
+
+    def _from_base(self, node: ast.ImportFrom, is_package: bool) -> "str | None":
+        if node.level == 0:
+            return node.module or ""
+        # Relative import: level 1 is the containing package.
+        base = self.name if is_package else self.package
+        for _ in range(node.level - 1):
+            base = base.rpartition(".")[0]
+        if node.module:
+            base = f"{base}.{node.module}" if base else node.module
+        return base or None
+
+
+class CallGraph:
+    """The whole-project view: modules, classes, functions, call edges."""
+
+    def __init__(self, project: Project):
+        self.project = project
+        self._infos: dict[str, _ModuleInfo] = {}
+        self.module_names: dict[str, SourceModule] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        #: caller qualname -> resolved outgoing edges.
+        self.edges: dict[str, list[CallEdge]] = {}
+        self.callers: dict[str, list[CallEdge]] = {}
+        #: caller qualname -> call nodes no project function claimed.
+        self.unresolved: dict[str, list[ast.Call]] = {}
+        self._local_types: dict[str, dict[str, str]] = {}
+
+        for module in project.modules:
+            info = _ModuleInfo(module)
+            self._infos[module.rel] = info
+            self.module_names[info.name] = module
+        for module in project.modules:
+            self._index_definitions(module)
+        for cls in self.classes.values():
+            self._infer_attr_types(cls)
+        for function in self.functions.values():
+            self._resolve_calls(function)
+
+    # -- indexing ----------------------------------------------------------
+
+    def _index_definitions(self, module: SourceModule) -> None:
+        info = self._infos[module.rel]
+
+        def visit(node: ast.AST, scope: str, cls: "ClassInfo | None") -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.ClassDef):
+                    qualname = f"{scope}.{child.name}"
+                    class_info = ClassInfo(
+                        qualname=qualname,
+                        name=child.name,
+                        module=module,
+                        module_name=info.name,
+                        node=child,
+                        base_names=[d for b in child.bases if (d := _dotted(b))],
+                    )
+                    self.classes[qualname] = class_info
+                    visit(child, qualname, class_info)
+                elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qualname = f"{scope}.{child.name}"
+                    function = FunctionInfo(
+                        qualname=qualname,
+                        name=child.name,
+                        module=module,
+                        module_name=info.name,
+                        node=child,
+                        cls=cls,
+                    )
+                    self.functions[qualname] = function
+                    if cls is not None and node is cls.node:
+                        cls.methods[child.name] = function
+                    # Nested defs are their own scope; the class context
+                    # does not extend into them.
+                    visit(child, qualname, None)
+                else:
+                    visit(child, scope, cls)
+
+        visit(module.tree, info.name, None)
+
+    # -- symbol resolution -------------------------------------------------
+
+    def resolve_symbol(self, dotted: str) -> "FunctionInfo | ClassInfo | str | None":
+        """Resolve a dotted path to a function, class, or module name.
+
+        Follows import re-exports (a package ``__init__`` importing a
+        symbol makes ``package.symbol`` resolve to the original), with a
+        visited set to survive import cycles.
+        """
+        return self._resolve(dotted, visited=set())
+
+    def _resolve(
+        self, dotted: str, visited: set[str]
+    ) -> "FunctionInfo | ClassInfo | str | None":
+        if dotted in visited:
+            return None
+        visited.add(dotted)
+        if dotted in self.functions:
+            return self.functions[dotted]
+        if dotted in self.classes:
+            return self.classes[dotted]
+        if dotted in self.module_names:
+            return dotted
+        # Longest module prefix, then follow that module's import table.
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:cut])
+            if prefix not in self.module_names:
+                continue
+            info = self._infos[self.module_names[prefix].rel]
+            head, rest = parts[cut], parts[cut + 1 :]
+            if head in info.imports:
+                target = ".".join([info.imports[head], *rest])
+                return self._resolve(target, visited)
+            # ``repro.serve.service`` imported nowhere but present as a
+            # submodule file: handled by the module_names check above.
+            return None
+        return None
+
+    def _resolve_in_module(
+        self, info: _ModuleInfo, name: str
+    ) -> "FunctionInfo | ClassInfo | str | None":
+        """Resolve a bare name as seen from inside a module."""
+        local = f"{info.name}.{name}"
+        if local in self.functions:
+            return self.functions[local]
+        if local in self.classes:
+            return self.classes[local]
+        if name in info.imports:
+            return self.resolve_symbol(info.imports[name])
+        return None
+
+    # -- type inference ----------------------------------------------------
+
+    def _annotation_type(
+        self, info: _ModuleInfo, annotation: "ast.expr | None"
+    ) -> "str | None":
+        """Class qualname an annotation denotes, unwrapping ``X | None``
+        and ``Optional[X]``; containers and unknowns resolve to None."""
+        if annotation is None:
+            return None
+        if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+            try:
+                annotation = ast.parse(annotation.value, mode="eval").body
+            except SyntaxError:
+                return None
+        if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+            for side in (annotation.left, annotation.right):
+                resolved = self._annotation_type(info, side)
+                if resolved is not None:
+                    return resolved
+            return None
+        if isinstance(annotation, ast.Subscript):
+            head = _terminal_name(annotation.value)
+            if head == "Optional":
+                return self._annotation_type(info, annotation.slice)
+            return None  # list[X]/dict[...] — container, not the element
+        if isinstance(annotation, ast.Constant) and annotation.value is None:
+            return None
+        dotted = _dotted(annotation)
+        if dotted is None:
+            return None
+        resolved = (
+            self._resolve_in_module(info, dotted)
+            if "." not in dotted
+            else self.resolve_symbol(dotted)
+        )
+        if isinstance(resolved, ClassInfo):
+            return resolved.qualname
+        return None
+
+    def _constructed_type(
+        self, info: _ModuleInfo, expr: ast.AST
+    ) -> "str | None":
+        """Type of ``Ctor(...)`` / ``open(...)`` expressions, if inferable."""
+        if not isinstance(expr, ast.Call):
+            return None
+        if isinstance(expr.func, ast.Name) and expr.func.id == "open":
+            return FILE_TYPE
+        dotted = _dotted(expr.func)
+        if dotted is None:
+            return None
+        resolved = (
+            self._resolve_in_module(info, dotted)
+            if "." not in dotted
+            else self.resolve_symbol(dotted)
+        )
+        if isinstance(resolved, ClassInfo):
+            return resolved.qualname
+        if isinstance(resolved, FunctionInfo):
+            return self._annotation_type(
+                self._infos[resolved.module.rel], resolved.node.returns
+            )
+        return None
+
+    def _infer_attr_types(self, cls: ClassInfo) -> None:
+        info = self._infos[cls.module.rel]
+        annotated: dict[str, str] = {}
+        constructed: dict[str, str] = {}
+        for method in cls.methods.values():
+            for node in ast.walk(method.node):
+                target = None
+                value = None
+                if isinstance(node, ast.AnnAssign):
+                    target, value = node.target, node.value
+                elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target, value = node.targets[0], node.value
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                if isinstance(node, ast.AnnAssign):
+                    resolved = self._annotation_type(info, node.annotation)
+                    if resolved is not None:
+                        annotated.setdefault(target.attr, resolved)
+                if value is not None:
+                    resolved = self._constructed_type(info, value)
+                    if resolved is not None:
+                        constructed.setdefault(target.attr, resolved)
+        cls.attr_types = {**constructed, **annotated}
+
+    def class_attr_type(self, cls: ClassInfo, attr: str) -> "str | None":
+        """Attribute type looked up through the project-local MRO."""
+        for klass in self._mro(cls):
+            if attr in klass.attr_types:
+                return klass.attr_types[attr]
+        return None
+
+    def class_method(self, cls: ClassInfo, name: str) -> "FunctionInfo | None":
+        for klass in self._mro(cls):
+            if name in klass.methods:
+                return klass.methods[name]
+        return None
+
+    def _mro(self, cls: ClassInfo) -> Iterator[ClassInfo]:
+        seen: set[str] = set()
+        stack = [cls]
+        while stack:
+            current = stack.pop(0)
+            if current.qualname in seen:
+                continue
+            seen.add(current.qualname)
+            yield current
+            info = self._infos[current.module.rel]
+            for base_name in current.base_names:
+                resolved = (
+                    self._resolve_in_module(info, base_name)
+                    if "." not in base_name
+                    else self.resolve_symbol(base_name)
+                )
+                if isinstance(resolved, ClassInfo):
+                    stack.append(resolved)
+
+    # -- local environments ------------------------------------------------
+
+    def local_types(self, function: FunctionInfo) -> dict[str, str]:
+        """name -> class qualname (or FILE_TYPE) for a function's locals."""
+        cached = self._local_types.get(function.qualname)
+        if cached is not None:
+            return cached
+        info = self._infos[function.module.rel]
+        env: dict[str, str] = {}
+        args = function.node.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            resolved = self._annotation_type(info, arg.annotation)
+            if resolved is not None:
+                env[arg.arg] = resolved
+        for node in _own_nodes(function.node):
+            target = None
+            value = None
+            if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                annotated = self._annotation_type(info, node.annotation)
+                if annotated is not None:
+                    env[node.target.id] = annotated
+                continue
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+            ):
+                target, value = node.targets[0], node.value
+            if target is None or value is None:
+                continue
+            constructed = self._constructed_type(info, value)
+            if constructed is not None:
+                env.setdefault(target.id, constructed)
+                continue
+            aliased = self._expr_type_shallow(function, env, value)
+            if aliased is not None:
+                env.setdefault(target.id, aliased)
+        self._local_types[function.qualname] = env
+        return env
+
+    def _expr_type_shallow(
+        self, function: FunctionInfo, env: dict[str, str], expr: ast.AST
+    ) -> "str | None":
+        """Type of ``self.a.b`` / typed-name attribute chains (no calls)."""
+        chain: list[str] = []
+        node = expr
+        while isinstance(node, ast.Attribute):
+            chain.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        chain.reverse()
+        current = self._root_type(function, env, node.id)
+        for attr in chain:
+            if current is None or current == FILE_TYPE:
+                return None
+            cls = self.classes.get(current)
+            if cls is None:
+                return None
+            current = self.class_attr_type(cls, attr)
+        return current
+
+    def _root_type(
+        self, function: FunctionInfo, env: dict[str, str], name: str
+    ) -> "str | None":
+        if name in ("self", "cls") and function.cls is not None:
+            return function.cls.qualname
+        return env.get(name)
+
+    # -- call resolution ---------------------------------------------------
+
+    def _resolve_calls(self, function: FunctionInfo) -> None:
+        env = self.local_types(function)
+        info = self._infos[function.module.rel]
+        resolved_edges: list[CallEdge] = []
+        unresolved: list[ast.Call] = []
+        for call in _own_calls(function.node):
+            target = self._resolve_call_target(function, info, env, call)
+            if target is not None:
+                edge = CallEdge(
+                    caller=function.qualname, callee=target.qualname, node=call
+                )
+                resolved_edges.append(edge)
+                self.callers.setdefault(target.qualname, []).append(edge)
+            else:
+                unresolved.append(call)
+        self.edges[function.qualname] = resolved_edges
+        self.unresolved[function.qualname] = unresolved
+
+    def _resolve_call_target(
+        self,
+        function: FunctionInfo,
+        info: _ModuleInfo,
+        env: dict[str, str],
+        call: ast.Call,
+    ) -> "FunctionInfo | None":
+        func = call.func
+        if isinstance(func, ast.Name):
+            resolved = self._resolve_in_module(info, func.id)
+            if isinstance(resolved, FunctionInfo):
+                return resolved
+            if isinstance(resolved, ClassInfo):
+                return self.class_method(resolved, "__init__")
+            # Nested function defined in an enclosing scope of this one.
+            scope = function.qualname
+            while "." in scope:
+                scope = scope.rpartition(".")[0]
+                nested = self.functions.get(f"{scope}.{func.id}")
+                if nested is not None and nested.cls is None:
+                    return nested
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+
+        chain: list[str] = []
+        node: ast.AST = func
+        while isinstance(node, ast.Attribute):
+            chain.append(node.attr)
+            node = node.value
+        chain.reverse()
+        method_name = chain[-1]
+        walk = chain[:-1]
+
+        if isinstance(node, ast.Call):
+            root_type = self._constructed_type(info, node)
+            return self._walk_typed_chain(root_type, walk, method_name)
+        if not isinstance(node, ast.Name):
+            return None
+
+        root_type = self._root_type(function, env, node.id)
+        if root_type is not None:
+            return self._walk_typed_chain(root_type, walk, method_name)
+
+        # Module-rooted chain: resolve progressively through imports.
+        resolved = self._resolve_in_module(info, node.id)
+        for index, attr in enumerate(chain):
+            if isinstance(resolved, str):  # a module name
+                resolved = self.resolve_symbol(f"{resolved}.{attr}")
+            elif isinstance(resolved, ClassInfo):
+                remaining = chain[index:]
+                return self._walk_typed_chain(
+                    resolved.qualname, remaining[:-1], remaining[-1]
+                )
+            else:
+                return None
+        if isinstance(resolved, FunctionInfo):
+            return resolved
+        if isinstance(resolved, ClassInfo):
+            return self.class_method(resolved, "__init__")
+        return None
+
+    def _walk_typed_chain(
+        self, root_type: "str | None", walk: list[str], method_name: str
+    ) -> "FunctionInfo | None":
+        current = root_type
+        for attr in walk:
+            if current is None:
+                return None
+            cls = self.classes.get(current)
+            if cls is None:
+                return None
+            current = self.class_attr_type(cls, attr)
+        if current is None:
+            return None
+        cls = self.classes.get(current)
+        if cls is None:
+            return None
+        return self.class_method(cls, method_name)
+
+    # -- traversal helpers -------------------------------------------------
+
+    def callees_of(self, qualname: str) -> list[CallEdge]:
+        return self.edges.get(qualname, [])
+
+    def transitive_callees(self, qualname: str) -> set[str]:
+        """Every function reachable from *qualname* along resolved edges."""
+        seen: set[str] = set()
+        stack = [qualname]
+        while stack:
+            current = stack.pop()
+            for edge in self.edges.get(current, ()):
+                if edge.callee not in seen:
+                    seen.add(edge.callee)
+                    stack.append(edge.callee)
+        return seen
+
+
+def _own_nodes(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body excluding nested function/class bodies
+    (lambdas included — they run in the enclosing frame)."""
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _own_calls(func: ast.AST) -> Iterator[ast.Call]:
+    """Call nodes attributable to *func*: its own body plus lambda bodies,
+    minus lambdas handed to deferral primitives (their bodies run on
+    another thread or a later loop turn)."""
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+            deferred = _terminal_name(node.func) in _DEFERRAL_CALLS
+            for child in ast.iter_child_nodes(node):
+                if deferred and isinstance(child, ast.Lambda):
+                    continue
+                if (
+                    deferred
+                    and isinstance(child, ast.keyword)
+                    and isinstance(child.value, ast.Lambda)
+                ):
+                    continue
+                stack.append(child)
+            continue
+        stack.extend(ast.iter_child_nodes(node))

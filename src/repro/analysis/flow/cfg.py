@@ -1,0 +1,374 @@
+"""Per-function control-flow graphs and reaching definitions.
+
+The lint rules that predate this module are flow-*insensitive*: RPR003's
+taint, for instance, treats a name as tainted everywhere in a function
+once any assignment taints it, so ``m = frozen(); m = np.zeros(4);
+m[0] = 1`` is a false positive.  This module supplies the missing
+precision: :class:`ControlFlowGraph` splits a function body into basic
+blocks with explicit edges for ``if``/``while``/``for``/``try``/
+``match``/``break``/``continue``/``return``, and
+:class:`ReachingDefinitions` runs the textbook forward may-analysis over
+it, so a rule can ask "which assignments to ``m`` can still be live
+here?" at any statement.
+
+Design notes, in the spirit of the rest of the lint package — small and
+deliberately boring:
+
+* Blocks hold *statements*.  A compound statement (``if``/``for``/...)
+  appears in the block that evaluates its header; its body lives in
+  successor blocks.  Header bindings (a ``for`` target, a ``with ... as``
+  name) are attributed to the header statement.
+* ``try`` is approximated conservatively: every block of the protected
+  body gets an edge to every handler, as if any statement could raise.
+  Over-approximation is the safe direction for a may-analysis consumer
+  ("some frozen def may reach this write").
+* Walrus (``:=``) bindings are ignored — the codebase style avoids them,
+  and missing a def only *widens* what the consumer flags, never hides
+  a real reaching def that an assignment created.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = [
+    "Block",
+    "ControlFlowGraph",
+    "ReachingDefinitions",
+    "bound_names",
+]
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _target_names(target: ast.AST) -> Iterator[str]:
+    """Plain names bound by an assignment target (tuples/starred unpacked)."""
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _target_names(element)
+    elif isinstance(target, ast.Starred):
+        yield from _target_names(target.value)
+    # Attribute / Subscript targets mutate an object, they bind no name.
+
+
+def bound_names(stmt: ast.AST) -> set[str]:
+    """Names (re)bound by *stmt*'s header — not by nested-body statements."""
+    names: set[str] = set()
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            names.update(_target_names(target))
+    elif isinstance(stmt, ast.AnnAssign):
+        if stmt.value is not None:
+            names.update(_target_names(stmt.target))
+    elif isinstance(stmt, ast.AugAssign):
+        names.update(_target_names(stmt.target))
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        names.update(_target_names(stmt.target))
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                names.update(_target_names(item.optional_vars))
+    elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+        for alias in stmt.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            if bound != "*":
+                names.add(bound)
+    elif isinstance(stmt, (*_FUNCTION_NODES, ast.ClassDef)):
+        names.add(stmt.name)
+    elif isinstance(stmt, ast.ExceptHandler):
+        if stmt.name:
+            names.add(stmt.name)
+    return names
+
+
+@dataclass
+class Block:
+    """One basic block: straight-line statements plus edge sets."""
+
+    index: int
+    stmts: list[ast.stmt] = field(default_factory=list)
+    succs: set[int] = field(default_factory=set)
+    preds: set[int] = field(default_factory=set)
+
+
+class ControlFlowGraph:
+    """Basic-block CFG for one function definition.
+
+    ``blocks[0]`` is the entry; :attr:`exit_index` is a distinguished
+    empty block every ``return``/falloff path reaches.  ``stmt_site``
+    maps each recorded statement (by identity) to its ``(block, index)``
+    slot so reaching-definitions lookups are O(block length).
+    """
+
+    def __init__(self, func: "ast.FunctionDef | ast.AsyncFunctionDef"):
+        self.func = func
+        self.blocks: list[Block] = []
+        self._loops: list[tuple[int, int]] = []  # (continue target, break target)
+        entry = self._new_block()
+        self.exit_index = self._new_block().index
+        self._current = entry.index
+        self._reachable = True
+        self._build(func.body)
+        self._edge(self._current, self.exit_index)
+        self.stmt_site: dict[int, tuple[int, int]] = {}
+        for block in self.blocks:
+            for position, stmt in enumerate(block.stmts):
+                self.stmt_site[id(stmt)] = (block.index, position)
+
+    # -- construction ------------------------------------------------------
+
+    def _new_block(self) -> Block:
+        block = Block(index=len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def _edge(self, src: int, dst: int) -> None:
+        if self._reachable or src != self._current:
+            self.blocks[src].succs.add(dst)
+            self.blocks[dst].preds.add(src)
+
+    def _start(self, block: Block) -> None:
+        self._current = block.index
+        self._reachable = True
+
+    def _emit(self, stmt: ast.stmt) -> None:
+        self.blocks[self._current].stmts.append(stmt)
+
+    def _build(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.If):
+                self._build_if(stmt)
+            elif isinstance(stmt, (ast.While,)):
+                self._build_while(stmt)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                self._build_for(stmt)
+            elif isinstance(stmt, (ast.Try, getattr(ast, "TryStar", ast.Try))):
+                self._build_try(stmt)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                # A with-block runs straight through; the header binds names.
+                self._emit(stmt)
+                self._build(stmt.body)
+            elif isinstance(stmt, ast.Match):
+                self._build_match(stmt)
+            elif isinstance(stmt, (ast.Return, ast.Raise)):
+                self._emit(stmt)
+                self._edge(self._current, self.exit_index)
+                self._start(self._new_block())
+                self._reachable = False
+            elif isinstance(stmt, ast.Break):
+                self._emit(stmt)
+                if self._loops:
+                    self._edge(self._current, self._loops[-1][1])
+                self._start(self._new_block())
+                self._reachable = False
+            elif isinstance(stmt, ast.Continue):
+                self._emit(stmt)
+                if self._loops:
+                    self._edge(self._current, self._loops[-1][0])
+                self._start(self._new_block())
+                self._reachable = False
+            else:
+                self._emit(stmt)
+
+    def _build_if(self, stmt: ast.If) -> None:
+        self._emit(stmt)
+        header = self._current
+        after = self._new_block()
+        then_block = self._new_block()
+        self._edge(header, then_block.index)
+        self._start(then_block)
+        self._build(stmt.body)
+        self._edge(self._current, after.index)
+        if stmt.orelse:
+            else_block = self._new_block()
+            self._edge(header, else_block.index)
+            self._start(else_block)
+            self._build(stmt.orelse)
+            self._edge(self._current, after.index)
+        else:
+            self._edge(header, after.index)
+        self._start(after)
+
+    def _build_while(self, stmt: ast.While) -> None:
+        header = self._new_block()
+        self._edge(self._current, header.index)
+        self._start(header)
+        self._emit(stmt)
+        after = self._new_block()
+        body = self._new_block()
+        self._edge(header.index, body.index)
+        self._loops.append((header.index, after.index))
+        self._start(body)
+        self._build(stmt.body)
+        self._edge(self._current, header.index)
+        self._loops.pop()
+        if stmt.orelse:
+            orelse = self._new_block()
+            self._edge(header.index, orelse.index)
+            self._start(orelse)
+            self._build(stmt.orelse)
+            self._edge(self._current, after.index)
+        else:
+            self._edge(header.index, after.index)
+        self._start(after)
+
+    def _build_for(self, stmt: "ast.For | ast.AsyncFor") -> None:
+        header = self._new_block()
+        self._edge(self._current, header.index)
+        self._start(header)
+        self._emit(stmt)  # the header binds the loop target
+        after = self._new_block()
+        body = self._new_block()
+        self._edge(header.index, body.index)
+        self._loops.append((header.index, after.index))
+        self._start(body)
+        self._build(stmt.body)
+        self._edge(self._current, header.index)
+        self._loops.pop()
+        if stmt.orelse:
+            orelse = self._new_block()
+            self._edge(header.index, orelse.index)
+            self._start(orelse)
+            self._build(stmt.orelse)
+            self._edge(self._current, after.index)
+        else:
+            self._edge(header.index, after.index)
+        self._start(after)
+
+    def _build_try(self, stmt: ast.AST) -> None:
+        before = self._current
+        body = self._new_block()
+        self._edge(before, body.index)
+        self._start(body)
+        first_body_block = len(self.blocks) - 1
+        self._build(stmt.body)
+        body_end = self._current
+        body_blocks = range(first_body_block, len(self.blocks))
+
+        after = self._new_block()
+        tails = []
+
+        if stmt.orelse:
+            orelse = self._new_block()
+            self._edge(body_end, orelse.index)
+            self._start(orelse)
+            self._build(stmt.orelse)
+            tails.append(self._current)
+        else:
+            tails.append(body_end)
+
+        for handler in stmt.handlers:
+            caught = self._new_block()
+            # Any statement of the protected body may raise into the handler.
+            for block_index in body_blocks:
+                self._edge(block_index, caught.index)
+            self._start(caught)
+            self._emit(handler)  # binds ``except ... as name``
+            self._build(handler.body)
+            tails.append(self._current)
+
+        if stmt.finalbody:
+            final = self._new_block()
+            for tail in tails:
+                self._edge(tail, final.index)
+            self._start(final)
+            self._build(stmt.finalbody)
+            self._edge(self._current, after.index)
+        else:
+            for tail in tails:
+                self._edge(tail, after.index)
+        self._start(after)
+
+    def _build_match(self, stmt: ast.Match) -> None:
+        self._emit(stmt)
+        header = self._current
+        after = self._new_block()
+        for case in stmt.cases:
+            arm = self._new_block()
+            self._edge(header, arm.index)
+            self._start(arm)
+            self._build(case.body)
+            self._edge(self._current, after.index)
+        self._edge(header, after.index)  # no case may match
+        self._start(after)
+
+
+class ReachingDefinitions:
+    """Forward may-analysis: which defs of each name can reach each point.
+
+    A *definition* is ``(name, site)`` where ``site`` is the statement
+    that bound the name, or the function node itself for parameters
+    (parameters are seeded at entry).  :meth:`reaching_at` answers the
+    query rules care about: the possible binding sites of every name
+    just *before* a given statement executes.
+    """
+
+    def __init__(self, cfg: ControlFlowGraph):
+        self.cfg = cfg
+        func = cfg.func
+        args = func.args
+        params = {
+            arg.arg
+            for arg in (
+                *args.posonlyargs, *args.args, *args.kwonlyargs,
+                *filter(None, (args.vararg, args.kwarg)),
+            )
+        }
+        entry_defs = frozenset((name, id(func)) for name in params)
+        self._site_nodes: dict[int, ast.AST] = {id(func): func}
+
+        gen: list[dict[str, int]] = []
+        for block in cfg.blocks:
+            block_gen: dict[str, int] = {}
+            for stmt in block.stmts:
+                self._site_nodes[id(stmt)] = stmt
+                for name in bound_names(stmt):
+                    block_gen[name] = id(stmt)
+            gen.append(block_gen)
+
+        n = len(cfg.blocks)
+        self._in: list[set[tuple[str, int]]] = [set() for _ in range(n)]
+        out: list[set[tuple[str, int]]] = [set() for _ in range(n)]
+        self._in[0] = set(entry_defs)
+        worklist = list(range(n))
+        while worklist:
+            index = worklist.pop(0)
+            incoming = set(entry_defs) if index == 0 else set()
+            for pred in cfg.blocks[index].preds:
+                incoming |= out[pred]
+            self._in[index] = incoming
+            killed = set(gen[index])
+            new_out = {d for d in incoming if d[0] not in killed}
+            new_out |= {(name, site) for name, site in gen[index].items()}
+            if new_out != out[index]:
+                out[index] = new_out
+                worklist.extend(
+                    s for s in cfg.blocks[index].succs if s not in worklist
+                )
+
+    def reaching_at(self, stmt: ast.stmt) -> dict[str, set[ast.AST]]:
+        """Binding sites per name that may reach the point just before *stmt*.
+
+        *stmt* must be a statement recorded in the CFG (use the enclosing
+        statement when querying about an expression).  Raises ``KeyError``
+        for statements outside this function.
+        """
+        block_index, position = self.cfg.stmt_site[id(stmt)]
+        live = dict(self._group(self._in[block_index]))
+        for earlier in self.cfg.blocks[block_index].stmts[:position]:
+            bound = bound_names(earlier)
+            for name in bound:
+                live[name] = {earlier}
+        return live
+
+    def _group(
+        self, defs: set[tuple[str, int]]
+    ) -> Iterator[tuple[str, set[ast.AST]]]:
+        grouped: dict[str, set[ast.AST]] = {}
+        for name, site in defs:
+            grouped.setdefault(name, set()).add(self._site_nodes[site])
+        yield from grouped.items()

@@ -1,0 +1,494 @@
+"""Interprocedural lock-order graph.
+
+RPR004 sees nested ``with lock:`` blocks inside one function of one
+file.  The deadlocks worth losing sleep over are the other kind: thread
+A holds ``ParseService._lock`` and calls into a metrics instrument that
+takes ``Histogram._lock``, while thread B holds the instrument lock and
+calls back into the service.  Neither function nests two ``with``
+statements; only the project-wide graph shows the cycle.
+
+This module builds that graph from the call graph:
+
+* **Lock identity** is class-qualified — ``repro.serve.service.
+  ParseService._lock`` — never name-matched (every class in this repo
+  calls its mutex ``_lock``; identifying them by name would weld the
+  whole project into one false cycle).  Identity is seeded from
+  ``self.x = threading.Lock()/RLock()/Semaphore()`` assignments;
+  ``threading.Condition(self._lock)`` *aliases* the underlying mutex
+  (``with self._work:`` acquires ``ParseService._lock``), and
+  ``asyncio`` primitives are excluded — the event-loop domain cannot
+  deadlock against thread mutexes through ``await``.  A name heuristic
+  (RPR004's ``lock``/``guard``/``mutex``/``cond``) covers locks whose
+  constructor the analysis cannot see, scoped to their class or module.
+* **Acquisition sites** come from ``with``-items and blocking
+  ``.acquire()`` calls; each records the locks *syntactically held*
+  around it.
+* **Edges** ``outer → inner`` arise from nested acquisitions and from
+  call sites executed while a lock is held: the callee's transitive
+  acquisitions (a call-graph fixpoint) all become inner locks.
+* ``LOCK_ORDER`` tuples are collected project-wide: entries are bare
+  attribute names (module-scoped, RPR004-compatible) or qualified
+  ``"Class.attr"`` strings, and declarations must agree with each other
+  and with the observed edges.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.flow.callgraph import (
+    CallGraph,
+    ClassInfo,
+    FunctionInfo,
+    _own_calls,
+    _own_nodes,
+    _terminal_name,
+)
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # imported lazily: lint/__init__ imports back into us
+    from repro.analysis.lint.framework import SourceModule
+
+__all__ = ["LockGraph", "LockOrderEdge", "LockOrderDeclaration"]
+
+_THREADING_LOCKS = frozenset({"Lock", "RLock", "Semaphore", "BoundedSemaphore"})
+_LOCKISH = ("lock", "guard", "mutex", "cond")
+
+
+def _is_lockish(name: str) -> bool:
+    lowered = name.lower()
+    return any(piece in lowered for piece in _LOCKISH)
+
+
+def _short(lock_id: str) -> str:
+    """Display form: the last two dotted components (``Class.attr``)."""
+    return ".".join(lock_id.rsplit(".", 2)[-2:])
+
+
+@dataclass(frozen=True)
+class LockOrderEdge:
+    """Witness that *inner* can be acquired while *outer* is held."""
+
+    outer: str
+    inner: str
+    module: SourceModule
+    node: ast.AST
+    #: Qualname of the callee the inner acquisition happens in, when the
+    #: edge is interprocedural (None for a syntactic nesting).
+    via: "str | None" = None
+
+    def describe(self) -> str:
+        site = f"{self.module.rel}:{getattr(self.node, 'lineno', '?')}"
+        hop = f"'{_short(self.outer)}' -> '{_short(self.inner)}' at {site}"
+        if self.via:
+            hop += f" (via {self.via})"
+        return hop
+
+
+@dataclass(frozen=True)
+class LockOrderDeclaration:
+    """One module-level ``LOCK_ORDER`` tuple, entries canonicalized."""
+
+    module: SourceModule
+    node: ast.AST
+    raw: tuple[str, ...]
+    resolved: tuple[str, ...]
+
+
+class LockGraph:
+    """Project-wide lock acquisition order, built over a call graph."""
+
+    def __init__(self, graph: CallGraph):
+        self.graph = graph
+        #: class qualname -> {attr: canonical attr} (Condition aliasing).
+        self._class_locks: dict[str, dict[str, str]] = {}
+        #: class qualname -> attrs holding asyncio primitives (excluded).
+        self._async_attrs: dict[str, set[str]] = {}
+        #: module name -> {global name} holding threading locks.
+        self._module_locks: dict[str, set[str]] = {}
+        #: function qualname -> {local name} assigned a lock constructor.
+        self._local_locks: dict[str, set[str]] = {}
+        #: function qualname -> lock ids it acquires directly.
+        self.own_acquires: dict[str, set[str]] = {}
+        #: function qualname -> lock ids acquired here or in callees.
+        self.reachable_acquires: dict[str, set[str]] = {}
+        self.edges: list[LockOrderEdge] = []
+        self.declarations: list[LockOrderDeclaration] = []
+
+        self._scan_lock_definitions()
+        self._scan_acquisitions()
+        self._propagate()
+        self._collect_declarations()
+
+    # -- lock identity -----------------------------------------------------
+
+    def _ctor_kind(self, module: SourceModule, expr: ast.AST) -> "str | None":
+        """'threading' / 'asyncio' / 'condition' when *expr* constructs a
+        synchronization primitive, else None."""
+        if not isinstance(expr, ast.Call):
+            return None
+        func = expr.func
+        terminal = _terminal_name(func)
+        if terminal not in _THREADING_LOCKS and terminal != "Condition":
+            return None
+        root = func
+        while isinstance(root, ast.Attribute):
+            root = root.value
+        origin = None
+        if isinstance(root, ast.Name):
+            if root.id in ("threading", "multiprocessing"):
+                origin = "threading"
+            elif root.id == "asyncio":
+                origin = "asyncio"
+            else:
+                info = self.graph._infos[module.rel]
+                imported = info.imports.get(root.id, "")
+                if imported.startswith("asyncio"):
+                    origin = "asyncio"
+                elif imported.startswith(("threading", "multiprocessing")):
+                    origin = "threading"
+        if origin == "asyncio":
+            return "asyncio"
+        if origin != "threading":
+            return None
+        return "condition" if terminal == "Condition" else "threading"
+
+    def _scan_lock_definitions(self) -> None:
+        for cls in self.graph.classes.values():
+            attrs: dict[str, str] = {}
+            async_attrs: set[str] = set()
+            aliases: dict[str, str] = {}
+            for method in cls.methods.values():
+                for node in ast.walk(method.node):
+                    if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+                        continue
+                    target = node.targets[0]
+                    if not (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        continue
+                    kind = self._ctor_kind(cls.module, node.value)
+                    if kind == "asyncio":
+                        async_attrs.add(target.attr)
+                    elif kind == "threading":
+                        attrs[target.attr] = target.attr
+                    elif kind == "condition":
+                        arg = node.value.args[0] if node.value.args else None
+                        if (
+                            isinstance(arg, ast.Attribute)
+                            and isinstance(arg.value, ast.Name)
+                            and arg.value.id == "self"
+                        ):
+                            aliases[target.attr] = arg.attr
+                        else:
+                            attrs[target.attr] = target.attr
+            for attr, underlying in aliases.items():
+                seen = {attr}
+                while underlying in aliases and underlying not in seen:
+                    seen.add(underlying)
+                    underlying = aliases[underlying]
+                attrs[attr] = attrs.get(underlying, underlying)
+            if attrs:
+                self._class_locks[cls.qualname] = attrs
+            if async_attrs:
+                self._async_attrs[cls.qualname] = async_attrs
+
+        for module in self.graph.project.modules:
+            info = self.graph._infos[module.rel]
+            globals_: set[str] = set()
+            for node in module.tree.body:
+                if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+                    continue
+                target = node.targets[0]
+                if isinstance(target, ast.Name) and self._ctor_kind(
+                    module, node.value
+                ) in ("threading", "condition"):
+                    globals_.add(target.id)
+            if globals_:
+                self._module_locks[info.name] = globals_
+
+    def _class_lock_id(self, cls: ClassInfo, attr: str) -> "str | None":
+        for klass in self.graph._mro(cls):
+            if attr in self._async_attrs.get(klass.qualname, ()):
+                return None
+            canonical = self._class_locks.get(klass.qualname, {}).get(attr)
+            if canonical is not None:
+                return f"{klass.qualname}.{canonical}"
+        if _is_lockish(attr):
+            return f"{cls.qualname}.{attr}"
+        return None
+
+    def lock_id(self, function: FunctionInfo, expr: ast.AST) -> "str | None":
+        """Canonical id of the lock *expr* denotes, or None."""
+        if (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Attribute)
+            and expr.func.attr == "acquire"
+        ):
+            return self.lock_id(function, expr.func.value)
+        if isinstance(expr, ast.Attribute):
+            owner = expr.value
+            if isinstance(owner, ast.Name) and owner.id in ("self", "cls"):
+                if function.cls is not None:
+                    return self._class_lock_id(function.cls, expr.attr)
+                return None
+            env = self.graph.local_types(function)
+            owner_type = self.graph._expr_type_shallow(function, env, owner)
+            if owner_type is not None:
+                cls = self.graph.classes.get(owner_type)
+                if cls is not None:
+                    return self._class_lock_id(cls, expr.attr)
+            return None
+        if isinstance(expr, ast.Name):
+            if expr.id in self._local_locks.get(function.qualname, ()):
+                return f"{function.qualname}.{expr.id}"
+            if expr.id in self._module_locks.get(function.module_name, ()):
+                return f"{function.module_name}.{expr.id}"
+            if _is_lockish(expr.id):
+                return f"{function.module_name}.{expr.id}"
+        return None
+
+    # -- acquisitions and edges --------------------------------------------
+
+    @staticmethod
+    def _nonblocking_acquire(call: ast.Call) -> bool:
+        if call.args and isinstance(call.args[0], ast.Constant):
+            if call.args[0].value in (False, 0):
+                return True
+        return any(
+            kw.arg == "blocking"
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value in (False, 0)
+            for kw in call.keywords
+        )
+
+    def _scan_local_locks(self, function: FunctionInfo) -> None:
+        locals_: set[str] = set()
+        for node in _own_nodes(function.node):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and self._ctor_kind(function.module, node.value)
+                in ("threading", "condition")
+            ):
+                locals_.add(node.targets[0].id)
+        if locals_:
+            self._local_locks[function.qualname] = locals_
+
+    def _held_around(self, function: FunctionInfo, node: ast.AST) -> list[str]:
+        """Locks held by enclosing ``with`` items, innermost last."""
+        held: list[str] = []
+        module = function.module
+        for ancestor in module.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                break
+            if isinstance(ancestor, ast.With):
+                for item in ancestor.items:
+                    lock = self.lock_id(function, item.context_expr)
+                    if lock is not None and lock not in held:
+                        held.append(lock)
+        return held
+
+    def _scan_acquisitions(self) -> None:
+        for function in self.graph.functions.values():
+            self._scan_local_locks(function)
+        for function in self.graph.functions.values():
+            acquired: set[str] = set()
+            for node in _own_nodes(function.node):
+                sites: list[tuple[str, ast.AST]] = []
+                if isinstance(node, ast.With):
+                    running: list[str] = []
+                    for item in node.items:
+                        lock = self.lock_id(function, item.context_expr)
+                        if lock is None:
+                            continue
+                        for outer in running:
+                            if outer != lock:
+                                self.edges.append(
+                                    LockOrderEdge(
+                                        outer=outer,
+                                        inner=lock,
+                                        module=function.module,
+                                        node=node,
+                                    )
+                                )
+                        running.append(lock)
+                        sites.append((lock, node))
+                elif (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "acquire"
+                    and not self._nonblocking_acquire(node)
+                    and not self._in_await(function.module, node)
+                ):
+                    lock = self.lock_id(function, node)
+                    if lock is not None:
+                        sites.append((lock, node))
+                for lock, site in sites:
+                    acquired.add(lock)
+                    for outer in self._held_around(function, site):
+                        if outer != lock:
+                            self.edges.append(
+                                LockOrderEdge(
+                                    outer=outer,
+                                    inner=lock,
+                                    module=function.module,
+                                    node=site,
+                                )
+                            )
+            self.own_acquires[function.qualname] = acquired
+
+    @staticmethod
+    def _in_await(module: SourceModule, node: ast.AST) -> bool:
+        return any(isinstance(a, ast.Await) for a in module.ancestors(node))
+
+    def _propagate(self) -> None:
+        reachable = {q: set(own) for q, own in self.own_acquires.items()}
+        changed = True
+        while changed:
+            changed = False
+            for qualname, edges in self.graph.edges.items():
+                bucket = reachable.setdefault(qualname, set())
+                before = len(bucket)
+                for edge in edges:
+                    bucket |= reachable.get(edge.callee, set())
+                if len(bucket) != before:
+                    changed = True
+        self.reachable_acquires = reachable
+
+        # Call sites executed under a held lock pull the callee's
+        # transitive acquisitions in as inner locks.
+        for function in self.graph.functions.values():
+            call_targets = {
+                id(edge.node): edge for edge in self.graph.edges.get(function.qualname, ())
+            }
+            for call in _own_calls(function.node):
+                edge = call_targets.get(id(call))
+                if edge is None:
+                    continue
+                held = self._held_around(function, call)
+                if not held:
+                    continue
+                inner_locks = reachable.get(edge.callee, set())
+                for outer in held:
+                    for inner in inner_locks:
+                        if inner != outer:
+                            self.edges.append(
+                                LockOrderEdge(
+                                    outer=outer,
+                                    inner=inner,
+                                    module=function.module,
+                                    node=call,
+                                    via=edge.callee,
+                                )
+                            )
+
+    # -- declarations ------------------------------------------------------
+
+    def _collect_declarations(self) -> None:
+        known_ids = {lock for edge in self.edges for lock in (edge.outer, edge.inner)}
+        for qualname, attrs in self._class_locks.items():
+            known_ids.update(f"{qualname}.{attr}" for attr in set(attrs.values()))
+        for module_name, names in self._module_locks.items():
+            known_ids.update(f"{module_name}.{name}" for name in names)
+
+        for module in self.graph.project.modules:
+            info = self.graph._infos[module.rel]
+            for node in module.tree.body:
+                if not (
+                    isinstance(node, ast.Assign)
+                    and any(
+                        isinstance(t, ast.Name) and t.id == "LOCK_ORDER"
+                        for t in node.targets
+                    )
+                    and isinstance(node.value, (ast.Tuple, ast.List))
+                ):
+                    continue
+                raw = tuple(
+                    element.value
+                    for element in node.value.elts
+                    if isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)
+                )
+                resolved = tuple(
+                    self._resolve_entry(info.name, entry, known_ids) for entry in raw
+                )
+                self.declarations.append(
+                    LockOrderDeclaration(
+                        module=module, node=node, raw=raw, resolved=resolved
+                    )
+                )
+
+    def _resolve_entry(
+        self, module_name: str, entry: str, known_ids: set[str]
+    ) -> str:
+        """Map a LOCK_ORDER entry to a canonical lock id.
+
+        ``"Class.attr"`` matches a project class of that name;
+        a bare name matches a unique lock in the declaring module;
+        unresolved entries stay module-scoped raw strings.
+        """
+        if "." in entry:
+            matches = sorted(i for i in known_ids if i.endswith(f".{entry}"))
+            if len(matches) == 1:
+                return matches[0]
+            return f"{module_name}.{entry}"
+        in_module = sorted(
+            i
+            for i in known_ids
+            if i.rsplit(".", 1)[-1] == entry and i.startswith(module_name + ".")
+        )
+        if len(in_module) == 1:
+            return in_module[0]
+        return f"{module_name}.{entry}"
+
+    # -- queries -----------------------------------------------------------
+
+    def unique_edges(self) -> list[LockOrderEdge]:
+        """Edges deduplicated on (outer, inner), first witness kept,
+        syntactic witnesses preferred over interprocedural ones."""
+        best: dict[tuple[str, str], LockOrderEdge] = {}
+        for edge in self.edges:
+            key = (edge.outer, edge.inner)
+            current = best.get(key)
+            if current is None or (current.via and not edge.via):
+                best[key] = edge
+        return [best[key] for key in sorted(best)]
+
+    def cycles(self) -> list[list[LockOrderEdge]]:
+        """Every elementary lock-order cycle, as its witness-edge list."""
+        edges = self.unique_edges()
+        adjacency: dict[str, dict[str, LockOrderEdge]] = {}
+        for edge in edges:
+            adjacency.setdefault(edge.outer, {})[edge.inner] = edge
+
+        cycles: list[list[LockOrderEdge]] = []
+        seen_keys: set[frozenset[str]] = set()
+        for start in sorted(adjacency):
+            stack = [(start, [])]
+            while stack:
+                node, path = stack.pop()
+                for nxt, edge in sorted(adjacency.get(node, {}).items()):
+                    if nxt == start and path:
+                        cycle = [*path, edge]
+                        key = frozenset(e.outer for e in cycle)
+                        if key not in seen_keys:
+                            seen_keys.add(key)
+                            cycles.append(cycle)
+                    elif all(nxt != e.outer for e in path) and nxt >= start:
+                        stack.append((nxt, [*path, edge]))
+        return cycles
+
+    def declared_before(self) -> dict[tuple[str, str], LockOrderDeclaration]:
+        """(x, y) -> declaration stating x must be acquired before y."""
+        order: dict[tuple[str, str], LockOrderDeclaration] = {}
+        for declaration in self.declarations:
+            entries = declaration.resolved
+            for i, first in enumerate(entries):
+                for second in entries[i + 1 :]:
+                    order.setdefault((first, second), declaration)
+        return order

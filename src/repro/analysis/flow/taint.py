@@ -1,0 +1,267 @@
+"""The shared "derived from" engine behind every taint rule.
+
+RPR003 (shared template accessors), RPR010 (attached segments), RPR011
+(extend predecessors) and RPR016 (interprocedural frozen refs) all ask
+the same question — *is this name derived from a protected source?* —
+but until this module each rule carried its own near-copy of the
+propagation loop.  One engine, one definition:
+
+* **Sources** are call results (``vector_masks(...)``,
+  ``attach_template(...)``), attribute reads (``.base_bits``), function
+  parameters (RPR011), or — for the interprocedural rule — specific
+  call *nodes* a caller has resolved to frozen-returning functions.
+* **Propagation** comes in two strengths.  *Mention* mode (RPR003/
+  RPR010/RPR016) taints an assignment target when the value mentions a
+  source or tainted name anywhere — except as the object of an
+  attribute read (``entry.nbytes``, ``.copy()`` yield scalars or fresh
+  arrays, not the protected buffer).  *Alias* mode (RPR011) is
+  stricter: only bare Name/Attribute/Subscript chains and the
+  view-preserving numpy calls keep taint; a general call result
+  (``template.bind(...)``) is fresh state.
+* **Shedding**: in alias mode a name rebound to untainted fresh state
+  drops its taint (``prev = None`` shadows the parameter).  Mention
+  mode keeps it — those rules are deliberately may-analyses.
+
+Two propagation passes reach one level of indirection through loop
+targets and re-assignments, which is what the codebase's idioms need;
+rules that want real flow sensitivity layer
+:class:`~repro.analysis.flow.cfg.ReachingDefinitions` on top (RPR016
+does, to let a rebind kill a stale frozen def).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["TaintSpec", "TaintResult", "taint_names", "iter_mutations"]
+
+#: ndarray methods that mutate their receiver in place.
+INPLACE_METHODS = frozenset({"fill", "sort", "partition", "put", "resize", "setflags"})
+
+#: Calls whose result aliases their input's buffer (alias mode only).
+VIEWISH_CALLS = frozenset({"view", "asarray", "ascontiguousarray", "reshape", "ravel"})
+
+
+@dataclass(frozen=True)
+class TaintSpec:
+    """What counts as a source and how taint travels."""
+
+    source_calls: frozenset[str] = frozenset()
+    source_attrs: frozenset[str] = frozenset()
+    #: Specific call nodes (by identity) known to return tainted values —
+    #: the interprocedural rule resolves these through the call graph.
+    source_nodes: frozenset[int] = frozenset()
+    seed_params: bool = False
+    #: "mention" (RPR003/RPR010-style) or "alias" (RPR011-style).
+    mode: str = "mention"
+    shed_on_rebind: bool = False
+    #: Whether iterating a tainted value taints the loop target.  RPR011
+    #: keeps this off: its contract reasons about alias chains only.
+    loop_targets: bool = True
+    passes: int = 2
+
+
+@dataclass
+class TaintResult:
+    """Tainted names plus, per name, the assignments that tainted it."""
+
+    names: set[str] = field(default_factory=set)
+    binding_sites: dict[str, set[ast.AST]] = field(default_factory=dict)
+
+    def bind(self, name: str, site: "ast.AST | None") -> None:
+        self.names.add(name)
+        if site is not None:
+            self.binding_sites.setdefault(name, set()).add(site)
+
+
+def _terminal_name(node: ast.AST) -> "str | None":
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _target_names(target: ast.AST) -> Iterator[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _target_names(element)
+    elif isinstance(target, ast.Starred):
+        yield from _target_names(target.value)
+
+
+def _param_names(func: "ast.FunctionDef | ast.AsyncFunctionDef") -> set[str]:
+    args = func.args
+    return {
+        arg.arg
+        for arg in (
+            *args.posonlyargs, *args.args, *args.kwonlyargs,
+            *filter(None, (args.vararg, args.kwarg)),
+        )
+    }
+
+
+def _mentions_source(expr: ast.AST, tainted: set[str], spec: TaintSpec) -> bool:
+    """Mention-mode hit test, with the parent-Attribute exclusion."""
+    parents: dict[ast.AST, ast.AST] = {}
+    for parent in ast.walk(expr):
+        for child in ast.iter_child_nodes(parent):
+            parents[child] = parent
+    for node in ast.walk(expr):
+        hit = (
+            (
+                isinstance(node, ast.Call)
+                and (
+                    _terminal_name(node.func) in spec.source_calls
+                    or id(node) in spec.source_nodes
+                )
+            )
+            or (isinstance(node, ast.Attribute) and node.attr in spec.source_attrs)
+            or (isinstance(node, ast.Name) and node.id in tainted)
+        )
+        if hit and not isinstance(parents.get(node), ast.Attribute):
+            return True
+    return False
+
+
+def _aliases_tainted(expr: ast.AST, tainted: set[str], spec: TaintSpec) -> bool:
+    """Alias-mode hit test: bare chains and view-preserving calls only."""
+    node = expr
+    while True:
+        if isinstance(node, (ast.Attribute, ast.Subscript)):
+            node = node.value
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in VIEWISH_CALLS
+        ):
+            node = node.func.value
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in VIEWISH_CALLS
+            and node.args
+        ):
+            node = node.args[0]
+        else:
+            break
+    return isinstance(node, ast.Name) and node.id in tainted
+
+
+def taint_names(
+    own: list[ast.AST],
+    spec: TaintSpec,
+    func: "ast.FunctionDef | ast.AsyncFunctionDef | None" = None,
+) -> TaintResult:
+    """Propagate taint over a function's own statements.
+
+    *own* is the function body walked without nested defs (the rules'
+    ``_own_nodes`` discipline); *func* is required when
+    ``spec.seed_params`` is set.
+    """
+    result = TaintResult()
+    if spec.seed_params:
+        if func is None:
+            raise ValueError("seed_params requires the function node")
+        result.names.update(_param_names(func))
+
+    hits = _mentions_source if spec.mode == "mention" else _aliases_tainted
+
+    rebound: set[str] = set()
+    for _ in range(spec.passes):
+        for node in own:
+            if isinstance(node, ast.Assign):
+                names = [n for t in node.targets for n in _target_names(t)]
+                if hits(node.value, result.names, spec):
+                    for name in names:
+                        result.bind(name, node)
+                elif spec.shed_on_rebind:
+                    rebound.update(n for n in names if n in result.names)
+            elif (
+                spec.loop_targets
+                and isinstance(node, (ast.For, ast.AsyncFor))
+                and hits(node.iter, result.names, spec)
+            ):
+                for name in _target_names(node.target):
+                    result.bind(name, node)
+    result.names -= rebound
+    for name in rebound:
+        result.binding_sites.pop(name, None)
+    return result
+
+
+def iter_mutations(
+    own: list[ast.AST],
+    tainted: set[str],
+    *,
+    deep_roots: bool = True,
+    attr_targets: bool = False,
+    tainted_self_attrs: frozenset[str] = frozenset(),
+) -> Iterator[tuple[ast.AST, str]]:
+    """In-place writes landing in tainted storage: ``(node, kind)`` pairs.
+
+    ``deep_roots`` walks ``entry[0].base_bits[i]`` down to ``entry``
+    (RPR010/RPR011/RPR016); off, only the immediate name is checked
+    (RPR003's historical shallow behaviour).  ``attr_targets`` also
+    counts plain attribute stores as mutation (RPR010 — a store through
+    an attached object lands in the mapped segment; everywhere else a
+    plain attribute rebind is construction, not mutation).
+    ``tainted_self_attrs`` extends the root test to ``self.<attr>``
+    chains whose attribute the class-level analysis marked frozen.
+    """
+
+    def root_tainted(node: ast.AST) -> bool:
+        if not deep_roots:
+            return isinstance(node, ast.Name) and node.id in tainted
+        previous = None
+        while isinstance(node, (ast.Attribute, ast.Subscript)):
+            previous = node
+            node = node.value
+        if isinstance(node, ast.Name) and node.id in tainted:
+            return True
+        return (
+            isinstance(node, ast.Name)
+            and node.id == "self"
+            and isinstance(previous, ast.Attribute)
+            and previous.attr in tainted_self_attrs
+        )
+
+    def shallow_subscript_tainted(node: ast.AST) -> bool:
+        return isinstance(node, ast.Subscript) and root_tainted(node.value)
+
+    for node in own:
+        if isinstance(node, ast.AugAssign):
+            target_hit = (
+                root_tainted(node.target)
+                if deep_roots
+                else root_tainted(node.target) or shallow_subscript_tainted(node.target)
+            )
+            if target_hit:
+                yield node, "augmented assignment"
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                hit = (
+                    isinstance(target, (ast.Subscript, ast.Attribute))
+                    if attr_targets
+                    else isinstance(target, ast.Subscript)
+                ) and root_tainted(target if deep_roots else target.value)
+                if hit:
+                    yield node, "item assignment"
+                    break
+        elif isinstance(node, ast.Call):
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in INPLACE_METHODS
+                and root_tainted(node.func.value)
+            ):
+                yield node, f".{node.func.attr}()"
+            for keyword in node.keywords:
+                if keyword.arg == "out" and any(
+                    isinstance(n, ast.Name) and n.id in tainted
+                    for n in ast.walk(keyword.value)
+                ):
+                    yield node, "out= argument"

@@ -10,16 +10,22 @@ order.  This package machine-checks those invariants as AST lint rules
 matrix entries are only ever cleared") is an invariant of the
 *algorithm*, not of any one run.
 
+The catalogue spans two tiers: per-module rules (``RPR001..RPR013``,
+:mod:`repro.analysis.lint.rules`) and whole-project rules
+(``RPR014..RPR016``, :mod:`repro.analysis.lint.rules_flow`) built on the
+call graph / CFG / taint layer in :mod:`repro.analysis.flow`.
+
 Usage::
 
     repro-lint src                      # or: python -m repro.analysis src
-    repro-lint src --format=json
+    repro-lint src --format=json        # or --format=sarif for CI upload
     repro-lint src --select RPR002,RPR008
+    repro-lint src --baseline lint-baseline.json   # fail on NEW findings
+    repro-lint src --changed-only       # report only git-changed files
 
 Suppression: append ``# repro-lint: ignore[RPR001]`` (comma-separated
 codes) to the offending line, or ``# repro-lint: skip-file`` near the
-top of a file.  See :mod:`repro.analysis.lint.rules` for the rule
-catalogue.
+top of a file.  Pragmas naming unknown rule codes raise a warning.
 """
 
 from repro.analysis.lint.framework import (
@@ -33,6 +39,7 @@ from repro.analysis.lint.framework import (
     lint_source,
 )
 from repro.analysis.lint import rules as _rules  # registers the built-in rules
+from repro.analysis.lint import rules_flow as _rules_flow  # whole-project rules
 
 __all__ = [
     "Finding",

@@ -1,0 +1,121 @@
+"""Baselines and change-scoped runs for ``repro-lint``.
+
+Adopting a new rule on an old tree means a wall of pre-existing
+findings drowning out the one a change just introduced.  Two standard
+escape hatches, both implemented here:
+
+* **Baseline files** (``--baseline lint-baseline.json``, written with
+  ``--write-baseline``): a recorded multiset of findings keyed by
+  ``(code, path, message)`` — deliberately *not* line/column, which
+  drift with every unrelated edit.  A run against a baseline fails only
+  on findings not covered by the recorded counts; fixing a finding
+  never breaks the build (a stale surplus entry is simply unused).
+* **Change scoping** (``--changed-only``): the *whole* project is still
+  loaded and analysed — cross-module rules are meaningless on a file
+  subset — but only findings located in files touched per git
+  (``git diff HEAD`` plus untracked files) are reported.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from collections import Counter
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.lint.framework import Finding
+
+__all__ = [
+    "GitUnavailable",
+    "baseline_key",
+    "changed_files",
+    "load_baseline",
+    "subtract_baseline",
+    "write_baseline",
+]
+
+_BASELINE_VERSION = 1
+
+
+class GitUnavailable(RuntimeError):
+    """``--changed-only`` was asked for outside a usable git checkout."""
+
+
+def baseline_key(finding: Finding) -> tuple[str, str, str]:
+    """The identity a baseline matches on: line/col-free on purpose."""
+    return (finding.code, finding.path, finding.message)
+
+
+def write_baseline(findings: Iterable[Finding], path: "Path | str") -> int:
+    """Record *findings* as a baseline file; returns the entry count."""
+    counts = Counter(baseline_key(f) for f in findings)
+    entries = [
+        {"code": code, "path": rel, "message": message, "count": count}
+        for (code, rel, message), count in sorted(counts.items())
+    ]
+    payload = {"version": _BASELINE_VERSION, "entries": entries}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(entries)
+
+
+def load_baseline(path: "Path | str") -> Counter:
+    """The recorded multiset: ``(code, path, message) -> count``."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(payload, dict) or payload.get("version") != _BASELINE_VERSION:
+        raise ValueError(f"{path}: not a repro-lint baseline (version mismatch)")
+    counts: Counter = Counter()
+    for entry in payload.get("entries", ()):
+        key = (entry["code"], entry["path"], entry["message"])
+        counts[key] += int(entry.get("count", 1))
+    return counts
+
+
+def subtract_baseline(findings: list[Finding], baseline: Counter) -> list[Finding]:
+    """Findings not covered by the baseline's recorded counts.
+
+    Multiset semantics: a baseline entry with count 2 absorbs the first
+    two identical findings and the third one through are new.
+    """
+    remaining = Counter(baseline)
+    fresh: list[Finding] = []
+    for finding in findings:
+        key = baseline_key(finding)
+        if remaining[key] > 0:
+            remaining[key] -= 1
+        else:
+            fresh.append(finding)
+    return fresh
+
+
+def _git_lines(args: list[str], cwd: "Path | None") -> list[str]:
+    try:
+        proc = subprocess.run(
+            ["git", *args],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=30,
+        )
+    except (OSError, subprocess.SubprocessError) as error:
+        raise GitUnavailable(f"git {args[0]} failed: {error}") from error
+    return [line for line in proc.stdout.splitlines() if line.strip()]
+
+
+def changed_files(cwd: "Path | None" = None) -> set[Path]:
+    """Absolute paths of files changed vs HEAD, plus untracked files."""
+    toplevel_lines = _git_lines(["rev-parse", "--show-toplevel"], cwd)
+    if not toplevel_lines:
+        raise GitUnavailable("git rev-parse --show-toplevel printed nothing")
+    toplevel = Path(toplevel_lines[0])
+    names = _git_lines(["diff", "--name-only", "HEAD"], cwd)
+    names += _git_lines(["ls-files", "--others", "--exclude-standard"], cwd)
+    return {(toplevel / name).resolve() for name in names}
+
+
+def restrict_to_changed(
+    findings: list[Finding], changed: set[Path]
+) -> list[Finding]:
+    """Findings whose file is in *changed* (paths resolved before compare)."""
+    return [f for f in findings if Path(f.path).resolve() in changed]

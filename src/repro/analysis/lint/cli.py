@@ -10,7 +10,17 @@ import json
 import sys
 from typing import Sequence
 
+import repro
+from repro.analysis.lint.baseline import (
+    GitUnavailable,
+    changed_files,
+    load_baseline,
+    restrict_to_changed,
+    subtract_baseline,
+    write_baseline,
+)
 from repro.analysis.lint.framework import all_rules, lint_paths
+from repro.analysis.lint.sarif import to_sarif
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -26,7 +36,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
     )
@@ -34,6 +44,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--select",
         default=None,
         help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="fail only on findings not recorded in FILE "
+        "(see --write-baseline)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record the current findings into the --baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help="report only findings in files changed per git "
+        "(diff vs HEAD plus untracked); the whole tree is still analysed",
     )
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalogue and exit"
@@ -49,6 +77,10 @@ def main(argv: "Sequence[str] | None" = None, out=None) -> int:
         for rule in all_rules():
             print(f"{rule.code}  {rule.name}: {rule.description}", file=out)
         return 0
+
+    if args.write_baseline and not args.baseline:
+        print("error: --write-baseline requires --baseline FILE", file=sys.stderr)
+        return 2
 
     select = None
     if args.select:
@@ -69,6 +101,34 @@ def main(argv: "Sequence[str] | None" = None, out=None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
+    if args.changed_only:
+        try:
+            changed = changed_files()
+        except GitUnavailable as error:
+            print(f"error: --changed-only needs git: {error}", file=sys.stderr)
+            return 2
+        findings = restrict_to_changed(findings, changed)
+
+    if args.write_baseline:
+        entries = write_baseline(findings, args.baseline)
+        print(
+            f"wrote {entries} baseline entr{'y' if entries == 1 else 'ies'} "
+            f"({len(findings)} findings) to {args.baseline}",
+            file=out,
+        )
+        return 0
+
+    absorbed = 0
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError, KeyError, json.JSONDecodeError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        fresh = subtract_baseline(findings, baseline)
+        absorbed = len(findings) - len(fresh)
+        findings = fresh
+
     if args.format == "json":
         counts: dict[str, int] = {}
         for finding in findings:
@@ -82,15 +142,20 @@ def main(argv: "Sequence[str] | None" = None, out=None) -> int:
             ],
         }
         print(json.dumps(payload, indent=2), file=out)
+    elif args.format == "sarif":
+        document = to_sarif(findings, all_rules(), version=repro.__version__)
+        print(json.dumps(document, indent=2), file=out)
     else:
         for finding in findings:
             print(finding.render(), file=out)
         noun = "finding" if len(findings) == 1 else "findings"
-        print(
+        summary = (
             f"{len(findings)} {noun} "
-            f"({len(all_rules())} rules over {', '.join(args.paths)})",
-            file=out,
+            f"({len(all_rules())} rules over {', '.join(args.paths)})"
         )
+        if absorbed:
+            summary += f"; {absorbed} absorbed by baseline {args.baseline}"
+        print(summary, file=out)
     return 1 if findings else 0
 
 

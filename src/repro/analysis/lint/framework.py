@@ -23,6 +23,7 @@ from __future__ import annotations
 import abc
 import ast
 import re
+import warnings
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Iterable, Iterator
@@ -197,12 +198,33 @@ def load_project(paths: Iterable["Path | str"]) -> Project:
     return Project(modules)
 
 
+def warn_unknown_suppressions(project: Project) -> None:
+    """Warn about ``ignore[...]`` pragmas naming no registered rule.
+
+    A suppression with a typo (``RPR0003``) silently suppresses nothing
+    while looking like it does; surfacing it as a warning keeps the
+    pragma inventory honest without inventing a rule code for it.
+    """
+    known = {rule.code for rule in all_rules()}
+    for module in project.modules:
+        for lineno in sorted(module.suppressions):
+            unknown = module.suppressions[lineno] - known
+            if unknown:
+                warnings.warn(
+                    f"{module.rel}:{lineno}: repro-lint suppression names "
+                    f"unknown rule code(s) {', '.join(sorted(unknown))}; "
+                    "the pragma has no effect",
+                    stacklevel=2,
+                )
+
+
 def lint_project(
     project: Project, *, select: "Iterable[str] | None" = None
 ) -> list[Finding]:
     """Run the (selected) rules over *project*; suppressions applied."""
     selected = set(select) if select is not None else None
     rules = [r for r in all_rules() if selected is None or r.code in selected]
+    warn_unknown_suppressions(project)
     findings: list[Finding] = []
     for rule in rules:
         for module in project.modules:

@@ -42,6 +42,14 @@ RPR013    kernel-bit-arith        word-level bit arithmetic (``np.bitwise_and`` 
                                   the kernel API
 ========  ======================  ==================================================
 
+The whole-project rules (RPR014 cross-module-lock-cycle, RPR015
+blocking-in-async, RPR016 escaping-frozen-ref) live in
+:mod:`repro.analysis.lint.rules_flow` — they run over the call-graph /
+CFG layer in :mod:`repro.analysis.flow` rather than one module at a
+time.  The taint rules below (RPR003/RPR010/RPR011) share that layer's
+:mod:`~repro.analysis.flow.taint` engine, so every rule agrees on one
+definition of "derived from".
+
 Rules are registered by importing this module (the package ``__init__``
 does so); fixture tests in ``tests/test_lint.py`` exercise each rule
 with one triggering and one passing snippet.
@@ -52,6 +60,7 @@ from __future__ import annotations
 import ast
 from typing import Iterable, Iterator
 
+from repro.analysis.flow.taint import TaintSpec, iter_mutations, taint_names
 from repro.analysis.lint.framework import (
     Finding,
     LintRule,
@@ -293,6 +302,14 @@ class InplaceOnShared(LintRule):
     name = "inplace-on-shared"
     description = "in-place numpy mutation of a shared template accessor result"
 
+    #: Shared taint engine configuration: accessor-call results and the
+    #: base attributes are sources; mention-mode propagation with the
+    #: parent-Attribute exclusion (``.nbytes``, ``.copy()`` yield fresh
+    #: values, not the shared buffer).
+    _SPEC = TaintSpec(
+        source_calls=_SHARED_ACCESSORS, source_attrs=_SHARED_ATTRIBUTES
+    )
+
     def check_module(self, module: SourceModule) -> Iterable[Finding]:
         for node in ast.walk(module.tree):
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
@@ -302,39 +319,13 @@ class InplaceOnShared(LintRule):
         self, module: SourceModule, func: ast.AST
     ) -> Iterator[Finding]:
         own = list(_own_nodes(func))
-        tainted = self._tainted_names(own)
+        tainted = taint_names(own, self._SPEC).names
         if not tainted:
             return
-
-        def is_tainted(node: ast.AST) -> bool:
-            return isinstance(node, ast.Name) and node.id in tainted
-
-        for node in own:
-            if isinstance(node, ast.AugAssign) and (
-                is_tainted(node.target)
-                or (
-                    isinstance(node.target, ast.Subscript)
-                    and is_tainted(node.target.value)
-                )
-            ):
-                yield self._report(module, node)
-            elif isinstance(node, ast.Assign) and any(
-                isinstance(t, ast.Subscript) and is_tainted(t.value)
-                for t in node.targets
-            ):
-                yield self._report(module, node)
-            elif isinstance(node, ast.Call):
-                if (
-                    isinstance(node.func, ast.Attribute)
-                    and node.func.attr in _INPLACE_METHODS
-                    and is_tainted(node.func.value)
-                ):
-                    yield self._report(module, node)
-                for keyword in node.keywords:
-                    if keyword.arg == "out" and any(
-                        is_tainted(n) for n in ast.walk(keyword.value)
-                    ):
-                        yield self._report(module, node)
+        # Shallow roots are this rule's historical contract: deep chains
+        # through attached objects are RPR010's domain.
+        for node, _kind in iter_mutations(own, tainted, deep_roots=False):
+            yield self._report(module, node)
 
     def _report(self, module: SourceModule, node: ast.AST) -> Finding:
         return self.finding(
@@ -345,52 +336,6 @@ class InplaceOnShared(LintRule):
             "copy it first — these arrays are shared across every network "
             "of the shape",
         )
-
-    @staticmethod
-    def _tainted_names(own: list[ast.AST]) -> set[str]:
-        """Names bound (directly or via loops/subscripts) to shared arrays."""
-
-        def mentions_source(expr: ast.AST, tainted: set[str]) -> bool:
-            # Attribute reads *on* a shared array (``.nbytes``, ``.shape``,
-            # ``.copy()``) yield scalars or fresh arrays, not the shared
-            # buffer — note each mention's parent to exclude them.
-            parents: dict[ast.AST, ast.AST] = {}
-            for parent in ast.walk(expr):
-                for child in ast.iter_child_nodes(parent):
-                    parents[child] = parent
-            for node in ast.walk(expr):
-                hit = (
-                    isinstance(node, ast.Call)
-                    and _terminal_name(node.func) in _SHARED_ACCESSORS
-                ) or (
-                    isinstance(node, ast.Attribute) and node.attr in _SHARED_ATTRIBUTES
-                ) or (isinstance(node, ast.Name) and node.id in tainted)
-                if hit and not isinstance(parents.get(node), ast.Attribute):
-                    return True
-            return False
-
-        def target_names(target: ast.AST) -> Iterator[str]:
-            if isinstance(target, ast.Name):
-                yield target.id
-            elif isinstance(target, (ast.Tuple, ast.List)):
-                for element in target.elts:
-                    yield from target_names(element)
-            elif isinstance(target, ast.Starred):
-                yield from target_names(target.value)
-
-        tainted: set[str] = set()
-        # Two passes reach one level of propagation through loop targets
-        # and re-assignments (enough for the codebase's idioms).
-        for _ in range(2):
-            for node in own:
-                if isinstance(node, ast.Assign) and mentions_source(node.value, tainted):
-                    for target in node.targets:
-                        tainted.update(target_names(target))
-                elif isinstance(node, (ast.For, ast.AsyncFor)) and mentions_source(
-                    node.iter, tainted
-                ):
-                    tainted.update(target_names(node.target))
-        return tainted
 
 
 @register_rule
@@ -774,7 +719,8 @@ class WriteThroughAttached(LintRule):
     name = "write-through-attached"
     description = "write through an array attached from SharedTemplateStore"
 
-    _SOURCES = frozenset({"attach", "attach_template"})
+    #: Same mention-mode engine as RPR003, sourced at attach results.
+    _SPEC = TaintSpec(source_calls=frozenset({"attach", "attach_template"}))
 
     def check_module(self, module: SourceModule) -> Iterable[Finding]:
         for node in ast.walk(module.tree):
@@ -785,38 +731,17 @@ class WriteThroughAttached(LintRule):
         self, module: SourceModule, func: ast.AST
     ) -> Iterator[Finding]:
         own = list(_own_nodes(func))
-        tainted = self._tainted_names(own)
+        tainted = taint_names(own, self._SPEC).names
         if not tainted:
             return
-
-        def root_tainted(node: ast.AST) -> bool:
-            # ``entry[0].base_bits[i] = x`` roots in ``entry``: the write
-            # lands in the attached segment no matter how deep the chain.
-            while isinstance(node, (ast.Attribute, ast.Subscript)):
-                node = node.value
-            return isinstance(node, ast.Name) and node.id in tainted
-
-        for node in own:
-            if isinstance(node, ast.AugAssign) and root_tainted(node.target):
-                yield self._report(module, node)
-            elif isinstance(node, ast.Assign) and any(
-                isinstance(t, (ast.Subscript, ast.Attribute)) and root_tainted(t)
-                for t in node.targets
-            ):
-                yield self._report(module, node)
-            elif isinstance(node, ast.Call):
-                if (
-                    isinstance(node.func, ast.Attribute)
-                    and node.func.attr in _INPLACE_METHODS
-                    and root_tainted(node.func.value)
-                ):
-                    yield self._report(module, node)
-                for keyword in node.keywords:
-                    if keyword.arg == "out" and any(
-                        isinstance(n, ast.Name) and n.id in tainted
-                        for n in ast.walk(keyword.value)
-                    ):
-                        yield self._report(module, node)
+        # Deep roots: ``entry[0].base_bits[i] = x`` roots in ``entry`` —
+        # the write lands in the attached segment no matter how deep the
+        # chain — and a plain attribute store through an attached object
+        # also lands in the mapped segment (attr_targets).
+        for node, _kind in iter_mutations(
+            own, tainted, deep_roots=True, attr_targets=True
+        ):
+            yield self._report(module, node)
 
     def _report(self, module: SourceModule, node: ast.AST) -> Finding:
         return self.finding(
@@ -826,47 +751,6 @@ class WriteThroughAttached(LintRule):
             "segment; attached template state is shared read-only across "
             "every worker process — copy it before mutating",
         )
-
-    def _tainted_names(self, own: list[ast.AST]) -> set[str]:
-        """Names bound (directly or via subscripts/tuples) to attach results."""
-
-        def mentions_source(expr: ast.AST, tainted: set[str]) -> bool:
-            # Same parent-exclusion discipline as RPR003: attribute reads
-            # *on* a tainted value (``entry[0].nbytes``, ``.copy()``)
-            # yield scalars or fresh arrays, not the mapped buffer.
-            parents: dict[ast.AST, ast.AST] = {}
-            for parent in ast.walk(expr):
-                for child in ast.iter_child_nodes(parent):
-                    parents[child] = parent
-            for node in ast.walk(expr):
-                hit = (
-                    isinstance(node, ast.Call)
-                    and _terminal_name(node.func) in self._SOURCES
-                ) or (isinstance(node, ast.Name) and node.id in tainted)
-                if hit and not isinstance(parents.get(node), ast.Attribute):
-                    return True
-            return False
-
-        def target_names(target: ast.AST) -> Iterator[str]:
-            if isinstance(target, ast.Name):
-                yield target.id
-            elif isinstance(target, (ast.Tuple, ast.List)):
-                for element in target.elts:
-                    yield from target_names(element)
-            elif isinstance(target, ast.Starred):
-                yield from target_names(target.value)
-
-        tainted: set[str] = set()
-        for _ in range(2):
-            for node in own:
-                if isinstance(node, ast.Assign) and mentions_source(node.value, tainted):
-                    for target in node.targets:
-                        tainted.update(target_names(target))
-                elif isinstance(node, (ast.For, ast.AsyncFor)) and mentions_source(
-                    node.iter, tainted
-                ):
-                    tainted.update(target_names(node.target))
-        return tainted
 
 
 @register_rule
@@ -893,8 +777,15 @@ class ExtendMustNotThaw(LintRule):
     name = "extend-must-not-thaw"
     description = "in-place write to a predecessor's arrays inside an extend* method"
 
-    #: Calls whose result aliases their input's buffer (taint passes through).
-    _VIEWISH = frozenset({"view", "asarray", "ascontiguousarray", "reshape", "ravel"})
+    #: Alias-mode engine: parameters seed the taint, and unlike RPR003/
+    #: RPR010 it does *not* flow through general call results —
+    #: ``network = template.bind(sent)`` binds fresh state a grower may
+    #: mutate.  Only bare alias chains and the view-preserving numpy
+    #: calls keep taint, and a name rebound to fresh state sheds it
+    #: (parameters shadowed by e.g. ``prev = None``).
+    _SPEC = TaintSpec(
+        seed_params=True, mode="alias", shed_on_rebind=True, loop_targets=False
+    )
 
     def check_module(self, module: SourceModule) -> Iterable[Finding]:
         for node in ast.walk(module.tree):
@@ -907,34 +798,9 @@ class ExtendMustNotThaw(LintRule):
         self, module: SourceModule, func: "ast.FunctionDef | ast.AsyncFunctionDef"
     ) -> Iterator[Finding]:
         own = list(_own_nodes(func))
-        tainted = self._tainted_names(func, own)
-
-        def root_tainted(node: ast.AST) -> bool:
-            while isinstance(node, (ast.Attribute, ast.Subscript)):
-                node = node.value
-            return isinstance(node, ast.Name) and node.id in tainted
-
-        for node in own:
-            if isinstance(node, ast.AugAssign) and root_tainted(node.target):
-                yield self._report(module, node, func.name)
-            elif isinstance(node, ast.Assign) and any(
-                isinstance(t, ast.Subscript) and root_tainted(t)
-                for t in node.targets
-            ):
-                yield self._report(module, node, func.name)
-            elif isinstance(node, ast.Call):
-                if (
-                    isinstance(node.func, ast.Attribute)
-                    and node.func.attr in _INPLACE_METHODS
-                    and root_tainted(node.func.value)
-                ):
-                    yield self._report(module, node, func.name)
-                for keyword in node.keywords:
-                    if keyword.arg == "out" and any(
-                        isinstance(n, ast.Name) and n.id in tainted
-                        for n in ast.walk(keyword.value)
-                    ):
-                        yield self._report(module, node, func.name)
+        tainted = taint_names(own, self._SPEC, func=func).names
+        for node, _kind in iter_mutations(own, tainted, deep_roots=True):
+            yield self._report(module, node, func.name)
 
     def _report(self, module: SourceModule, node: ast.AST, func_name: str) -> Finding:
         return self.finding(
@@ -945,73 +811,6 @@ class ExtendMustNotThaw(LintRule):
             "fresh array (np.zeros + fancy-index assignment) instead of thawing "
             "the input",
         )
-
-    def _tainted_names(
-        self,
-        func: "ast.FunctionDef | ast.AsyncFunctionDef",
-        own: list[ast.AST],
-    ) -> set[str]:
-        """Parameter names plus aliases reached through chains and views.
-
-        Unlike RPR003/RPR010, taint does *not* propagate through general
-        call results: ``network = template.bind(sent)`` binds fresh
-        state a grower may mutate.  Only bare alias chains
-        (Name/Attribute/Subscript compositions over a tainted root) and
-        the view-preserving numpy calls in ``_VIEWISH`` keep the taint.
-        """
-        args = func.args
-        tainted = {
-            arg.arg
-            for arg in (
-                *args.posonlyargs, *args.args, *args.kwonlyargs,
-                *filter(None, (args.vararg, args.kwarg)),
-            )
-        }
-
-        def aliases_tainted(expr: ast.AST) -> bool:
-            node = expr
-            while True:
-                if isinstance(node, (ast.Attribute, ast.Subscript)):
-                    node = node.value
-                elif (
-                    isinstance(node, ast.Call)
-                    and isinstance(node.func, ast.Attribute)
-                    and node.func.attr in self._VIEWISH
-                ):
-                    node = node.func.value
-                elif (
-                    isinstance(node, ast.Call)
-                    and isinstance(node.func, ast.Name)
-                    and node.func.id in self._VIEWISH
-                    and node.args
-                ):
-                    node = node.args[0]
-                else:
-                    break
-            return isinstance(node, ast.Name) and node.id in tainted
-
-        def target_names(target: ast.AST) -> Iterator[str]:
-            if isinstance(target, ast.Name):
-                yield target.id
-            elif isinstance(target, (ast.Tuple, ast.List)):
-                for element in target.elts:
-                    yield from target_names(element)
-            elif isinstance(target, ast.Starred):
-                yield from target_names(target.value)
-
-        rebound: set[str] = set()
-        for _ in range(2):
-            for node in own:
-                if isinstance(node, ast.Assign):
-                    names = [n for t in node.targets for n in target_names(t)]
-                    if aliases_tainted(node.value):
-                        tainted.update(names)
-                    else:
-                        # A name rebound to fresh state sheds its taint
-                        # (parameters shadowed by e.g. ``prev = None``).
-                        rebound.update(n for n in names if n in tainted)
-        tainted -= rebound
-        return tainted
 
 
 @register_rule

@@ -1,0 +1,373 @@
+"""Whole-project rules (``RPR014``..``RPR016``) over the flow layer.
+
+These rules need the cross-module structure that
+:mod:`repro.analysis.flow` builds — a call graph, lock identities, and
+interprocedural taint — so they live apart from the per-module
+catalogue in :mod:`~repro.analysis.lint.rules`:
+
+========  ========================  ================================================
+code      name                      invariant
+========  ========================  ================================================
+RPR014    cross-module-lock-cycle   the project-wide lock-order graph is acyclic,
+                                    and every ``LOCK_ORDER`` declaration agrees
+                                    with the others and with observed acquisitions
+RPR015    blocking-in-async         no blocking primitive (``time.sleep``, socket
+                                    I/O, lock ``acquire``, file I/O, ...) reachable
+                                    from a ``repro.cluster`` coroutine outside an
+                                    executor or an ``await``-ed primitive
+RPR016    escaping-frozen-ref       a reference derived from frozen template /
+                                    attached-segment state that escapes through a
+                                    return value or a ``self`` attribute is never
+                                    mutated by its consumers
+========  ========================  ================================================
+
+The expensive structure is built once per :class:`Project` (all three
+rules share one :class:`~repro.analysis.flow.callgraph.CallGraph` via
+:func:`flow_graph`), so adding these rules costs one project scan, not
+three.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.flow.blocking import BlockingAnalysis
+from repro.analysis.flow.callgraph import CallGraph, FunctionInfo, _own_nodes
+from repro.analysis.flow.cfg import ControlFlowGraph, ReachingDefinitions
+from repro.analysis.flow.locks import LockGraph, _short
+from repro.analysis.flow.taint import TaintResult, TaintSpec, _mentions_source, iter_mutations, taint_names
+from repro.analysis.lint.framework import (
+    Finding,
+    LintRule,
+    Project,
+    register_rule,
+)
+from repro.analysis.lint.rules import _SHARED_ACCESSORS, _SHARED_ATTRIBUTES
+
+__all__ = ["flow_graph", "lock_graph"]
+
+
+def flow_graph(project: Project) -> CallGraph:
+    """The project's call graph, built once and cached on the project."""
+    graph = getattr(project, "_flow_callgraph", None)
+    if graph is None:
+        graph = CallGraph(project)
+        project._flow_callgraph = graph
+    return graph
+
+
+def lock_graph(project: Project) -> LockGraph:
+    graph = getattr(project, "_flow_lockgraph", None)
+    if graph is None:
+        graph = LockGraph(flow_graph(project))
+        project._flow_lockgraph = graph
+    return graph
+
+
+def _qual_short(qualname: str) -> str:
+    return ".".join(qualname.split(".")[-2:])
+
+
+@register_rule
+class CrossModuleLockCycle(LintRule):
+    """RPR014: the project-wide lock-order graph must be acyclic.
+
+    RPR004 checks nested ``with`` blocks inside one function;  this rule
+    follows acquisitions *through calls* — holding
+    ``ParseService._lock`` while calling a metrics method that takes
+    ``Histogram._lock`` is an edge, and any cycle among such edges is a
+    latent deadlock no single file shows.  ``LOCK_ORDER`` graduates from
+    a per-module escape hatch to a project-level declaration: every
+    declaration must agree with every other and with the edges the code
+    actually exhibits."""
+
+    code = "RPR014"
+    name = "cross-module-lock-cycle"
+    description = "cycle or declaration conflict in the project-wide lock order"
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        locks = lock_graph(project)
+
+        for cycle in locks.cycles():
+            chain = " -> ".join(
+                [_short(edge.outer) for edge in cycle] + [_short(cycle[0].outer)]
+            )
+            hops = "; ".join(edge.describe() for edge in cycle)
+            witness = cycle[0]
+            yield self.finding(
+                witness.module,
+                witness.node,
+                f"lock-order cycle {chain} across the project ({hops}); "
+                "two threads taking these locks in different orders deadlock — "
+                "pick one global order and restructure the offending path",
+            )
+
+        declared = locks.declared_before()
+        reported: set[frozenset[str]] = set()
+        for (first, second), declaration in sorted(
+            declared.items(), key=lambda item: (item[1].module.rel, item[0])
+        ):
+            reverse = declared.get((second, first))
+            pair = frozenset((first, second))
+            if reverse is None or pair in reported or first == second:
+                continue
+            reported.add(pair)
+            yield self.finding(
+                declaration.module,
+                declaration.node,
+                f"LOCK_ORDER declarations disagree: this module declares "
+                f"'{_short(first)}' before '{_short(second)}' but "
+                f"{reverse.module.rel} declares the opposite; one global "
+                "order must hold everywhere",
+            )
+
+        for edge in locks.unique_edges():
+            if (edge.inner, edge.outer) in declared:
+                declaration = declared[(edge.inner, edge.outer)]
+                yield self.finding(
+                    edge.module,
+                    edge.node,
+                    f"'{_short(edge.inner)}' is acquired while "
+                    f"'{_short(edge.outer)}' is held"
+                    + (f" (via {_qual_short(edge.via)})" if edge.via else "")
+                    + f", but {declaration.module.rel} declares LOCK_ORDER "
+                    f"'{_short(edge.inner)}' before '{_short(edge.outer)}'; "
+                    "the code contradicts the declared global order",
+                )
+
+
+@register_rule
+class BlockingInAsync(LintRule):
+    """RPR015: nothing reachable from a ``repro.cluster`` coroutine may
+    block the event-loop thread.  A shard's loop serves every
+    connection; one ``time.sleep``/``sock.recv``/lock ``acquire``/file
+    write in any transitively-called sync helper freezes heartbeats and
+    every in-flight parse at once.  Blocking work belongs behind
+    ``loop.run_in_executor`` (whose lambdas the call graph deliberately
+    ignores) or an ``await``-able asyncio primitive."""
+
+    code = "RPR015"
+    name = "blocking-in-async"
+    description = "blocking call reachable from a repro.cluster coroutine"
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        graph = flow_graph(project)
+        analysis = BlockingAnalysis(graph)
+        for site, coroutine, path in analysis.findings():
+            function = graph.functions[site.function]
+            if len(path) == 1:
+                where = f"in coroutine '{_qual_short(coroutine)}'"
+            else:
+                rendered = " -> ".join(_qual_short(q) for q in path)
+                where = (
+                    f"reachable from coroutine '{_qual_short(coroutine)}' "
+                    f"({rendered})"
+                )
+            yield self.finding(
+                function.module,
+                site.node,
+                f"blocking call ({site.reason}) {where}; the cluster event "
+                "loop serves every connection from one thread — await an "
+                "asyncio primitive or move this into loop.run_in_executor",
+            )
+
+
+@register_rule
+class EscapingFrozenRef(LintRule):
+    """RPR016: the frozen-template taint rules (RPR003/RPR010) stop at
+    function boundaries, so a helper that *returns* a frozen-derived
+    array — or parks one on ``self`` — launders the taint and its
+    callers mutate shared state without a finding.  This rule closes the
+    hole interprocedurally: a fixpoint over the call graph marks every
+    function whose return value (and every ``self`` attribute whose
+    stored value) derives from frozen template/attached state, then
+    flags the mutation sites in their consumers.  Reaching definitions
+    keep it honest: a name rebound to fresh state between the frozen
+    call and the write is not flagged."""
+
+    code = "RPR016"
+    name = "escaping-frozen-ref"
+    description = "caller mutates a frozen reference escaping through a return/attribute"
+
+    _SOURCE_CALLS = frozenset(_SHARED_ACCESSORS | {"attach", "attach_template"})
+    _SOURCE_ATTRS = frozenset(_SHARED_ATTRIBUTES)
+    _MAX_ROUNDS = 32
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        graph = flow_graph(project)
+        own_map = {
+            qualname: list(_own_nodes(function.node))
+            for qualname, function in graph.functions.items()
+        }
+        frozen_returners: set[str] = set()
+        frozen_attrs: dict[str, set[str]] = {}
+
+        def spec_for(qualname: str, interprocedural: bool) -> TaintSpec:
+            function = graph.functions[qualname]
+            source_attrs = set(self._SOURCE_ATTRS)
+            source_nodes: frozenset[int] = frozenset()
+            if interprocedural:
+                if function.cls is not None:
+                    source_attrs |= frozen_attrs.get(function.cls.qualname, set())
+                source_nodes = frozenset(
+                    id(edge.node)
+                    for edge in graph.edges.get(qualname, ())
+                    if edge.callee in frozen_returners
+                )
+            return TaintSpec(
+                source_calls=self._SOURCE_CALLS,
+                source_attrs=frozenset(source_attrs),
+                source_nodes=source_nodes,
+            )
+
+        for _ in range(self._MAX_ROUNDS):
+            changed = False
+            for qualname, function in graph.functions.items():
+                spec = spec_for(qualname, interprocedural=True)
+                result = taint_names(own_map[qualname], spec)
+                if self._returns_tainted(own_map[qualname], result, spec):
+                    if qualname not in frozen_returners:
+                        frozen_returners.add(qualname)
+                        changed = True
+                if function.cls is not None:
+                    for attr in self._frozen_attr_stores(
+                        own_map[qualname], result, spec
+                    ):
+                        bucket = frozen_attrs.setdefault(function.cls.qualname, set())
+                        if attr not in bucket:
+                            bucket.add(attr)
+                            changed = True
+            if not changed:
+                break
+
+        for qualname, function in graph.functions.items():
+            yield from self._check_function(
+                graph, function, own_map[qualname], frozen_returners, frozen_attrs,
+                spec_for,
+            )
+
+    @staticmethod
+    def _returns_tainted(
+        own: list[ast.AST], result: TaintResult, spec: TaintSpec
+    ) -> bool:
+        return any(
+            isinstance(node, ast.Return)
+            and node.value is not None
+            and _mentions_source(node.value, result.names, spec)
+            for node in own
+        )
+
+    @staticmethod
+    def _frozen_attr_stores(
+        own: list[ast.AST], result: TaintResult, spec: TaintSpec
+    ) -> Iterator[str]:
+        for node in own:
+            if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+                continue
+            target = node.targets[0]
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and _mentions_source(node.value, result.names, spec)
+            ):
+                yield target.attr
+
+    def _check_function(
+        self,
+        graph: CallGraph,
+        function: FunctionInfo,
+        own: list[ast.AST],
+        frozen_returners: set[str],
+        frozen_attrs: dict[str, set[str]],
+        spec_for,
+    ) -> Iterator[Finding]:
+        full_spec = spec_for(function.qualname, True)
+        if not (
+            full_spec.source_nodes
+            or (
+                function.cls is not None
+                and frozen_attrs.get(function.cls.qualname)
+            )
+        ):
+            return  # nothing interprocedural feeds this function
+        local = taint_names(own, spec_for(function.qualname, False))
+        full = taint_names(own, full_spec)
+        escaped = full.names - local.names
+        class_attrs = (
+            frozenset(frozen_attrs.get(function.cls.qualname, set()))
+            if function.cls is not None
+            else frozenset()
+        )
+        if not escaped and not class_attrs:
+            return
+
+        callees = sorted(
+            {
+                _qual_short(edge.callee)
+                for edge in graph.edges.get(function.qualname, ())
+                if edge.callee in frozen_returners
+            }
+        )
+        provenance = (
+            f"returned by {', '.join(callees)}" if callees else "stored on self"
+        )
+
+        analysis: "ReachingDefinitions | None" = None
+        for node, kind in iter_mutations(
+            own, escaped, tainted_self_attrs=class_attrs
+        ):
+            root = self._root_name(node)
+            if root is not None and root in escaped:
+                if analysis is None:
+                    analysis = ReachingDefinitions(ControlFlowGraph(function.node))
+                if not self._frozen_def_reaches(
+                    function, analysis, full, root, node
+                ):
+                    continue
+            yield self.finding(
+                function.module,
+                node,
+                f"in-place write ({kind}) to a frozen template/attached "
+                f"reference that escaped its owner ({provenance}); the array "
+                "is shared beyond this function — copy it before mutating",
+            )
+
+    @staticmethod
+    def _root_name(node: ast.AST) -> "str | None":
+        if isinstance(node, ast.AugAssign):
+            node = node.target
+        elif isinstance(node, ast.Assign):
+            node = node.targets[0]
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            node = node.func.value
+        while isinstance(node, (ast.Attribute, ast.Subscript)):
+            node = node.value
+        return node.id if isinstance(node, ast.Name) else None
+
+    def _frozen_def_reaches(
+        self,
+        function: FunctionInfo,
+        analysis: ReachingDefinitions,
+        taint: TaintResult,
+        name: str,
+        node: ast.AST,
+    ) -> bool:
+        """Does a frozen-binding def of *name* reach the mutation *node*?
+
+        Conservative on lookup failure (statement outside the CFG — e.g.
+        inside a lambda): the finding stands."""
+        stmt: "ast.AST | None" = node
+        while stmt is not None and id(stmt) not in analysis.cfg.stmt_site:
+            stmt = function.module.parents.get(stmt)
+        if stmt is None:
+            return True
+        reaching = analysis.reaching_at(stmt).get(name)
+        if reaching is None:
+            return True
+        binding_sites = taint.binding_sites.get(name)
+        if not binding_sites:
+            return True
+        reaching_ids = {id(site) for site in reaching}
+        return any(id(site) in reaching_ids for site in binding_sites)

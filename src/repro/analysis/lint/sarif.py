@@ -1,0 +1,84 @@
+"""SARIF 2.1.0 serialization for ``repro-lint`` findings.
+
+SARIF (Static Analysis Results Interchange Format) is what code-hosting
+CI surfaces understand natively — emitting it lets the lint run feed
+GitHub code scanning or any SARIF viewer without a bespoke adapter.
+The document shape here is the minimal conforming core: one run, the
+tool driver with its rule catalogue, and one ``result`` per finding
+with a physical location.  ``repro-lint src --format sarif > lint.sarif``
+is the whole integration.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.lint.framework import Finding, LintRule
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _rule_descriptor(rule: LintRule) -> dict:
+    return {
+        "id": rule.code,
+        "name": rule.name,
+        "shortDescription": {"text": rule.description or rule.name},
+    }
+
+
+def _result(finding: Finding, rule_index: dict[str, int]) -> dict:
+    result = {
+        "ruleId": finding.code,
+        "level": "warning",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col,
+                    },
+                }
+            }
+        ],
+    }
+    if finding.code in rule_index:
+        result["ruleIndex"] = rule_index[finding.code]
+    return result
+
+
+def to_sarif(
+    findings: Iterable[Finding],
+    rules: Iterable[LintRule],
+    *,
+    version: str = "0",
+) -> dict:
+    """Findings + the rule catalogue as one SARIF 2.1.0 document."""
+    catalogue = list(rules)
+    rule_index = {rule.code: i for i, rule in enumerate(catalogue)}
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://example.invalid/repro-lint",
+                        "version": version,
+                        "rules": [_rule_descriptor(rule) for rule in catalogue],
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": [_result(f, rule_index) for f in findings],
+            }
+        ],
+    }

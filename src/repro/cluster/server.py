@@ -98,7 +98,9 @@ class ShardLog:
         line = " ".join(parts)
         with self._lock:
             if self._file is not None:
-                self._file.write(line + "\n")
+                # Line-buffered append to a local file — the logging-module
+                # precedent; pushing it off-loop would reorder shard log lines.
+                self._file.write(line + "\n")  # repro-lint: ignore[RPR015]
 
     def close(self) -> None:
         with self._lock:
@@ -205,10 +207,16 @@ class ParseServer:
                        workers=self._service_kwargs["workers"],
                        workers_mode=self._service_kwargs["workers_mode"])
         if self._port_file is not None:
-            self._port_file.parent.mkdir(parents=True, exist_ok=True)
-            tmp = self._port_file.with_suffix(self._port_file.suffix + ".tmp")
-            tmp.write_text(f"{self.address}\n")
-            tmp.replace(self._port_file)  # atomic: readers never see a partial write
+            # Disk I/O off the event loop: a slow or network-mounted run
+            # directory must not stall connection handling at startup.
+            await self._loop.run_in_executor(None, self._publish_port_file)
+
+    def _publish_port_file(self) -> None:
+        """Write ``host:port`` to the port file (runs in an executor)."""
+        self._port_file.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self._port_file.with_suffix(self._port_file.suffix + ".tmp")
+        tmp.write_text(f"{self.address}\n")
+        tmp.replace(self._port_file)  # atomic: readers never see a partial write
 
     async def _shutdown_async(self) -> None:
         if self._server is not None:

@@ -65,6 +65,12 @@ from repro.serve.errors import DeadlineExceeded, ServiceOverloaded, ServiceUnava
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.worker import Worker
 
+#: Project-wide lock acquisition order (checked by repro-lint RPR014):
+#: the service mutex is always taken before any metrics-instrument lock —
+#: instruments never call back into the service, so the reverse edge
+#: cannot exist and the hierarchy stays acyclic.
+LOCK_ORDER = ("ParseService._lock", "Counter._lock", "Gauge._lock", "Histogram._lock")
+
 #: Sentinel distinguishing "not passed" from an explicit None.
 _UNSET = object()
 
@@ -394,7 +400,10 @@ class ParseService:
                         f"{reason}; retry later, raise the bound, or use admission='block'"
                     )
                 while self._admission_reason(request) and self._state == "running":
-                    self._space.wait()
+                    # Only reachable under admission="block"; cluster shards
+                    # pin admission="reject" (see ParseServer.__init__), so
+                    # no event-loop thread can park here.
+                    self._space.wait()  # repro-lint: ignore[RPR015]
                 if self._state != "running":
                     self.metrics.rejected.inc()
                     raise ServiceUnavailable(f"service is {self._state}, not accepting requests")

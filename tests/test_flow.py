@@ -1,0 +1,522 @@
+"""The flow layer: CFG/reaching-definitions, call graph, locks, blocking.
+
+These are the builders behind the whole-project rules (RPR014..RPR016);
+each gets direct structural tests here, separate from the rule-level
+fixtures in ``test_lint.py`` — including the acceptance scenarios the
+ISSUE names: a seeded known-cycle lock graph and a known-blocking
+cluster coroutine.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.flow import (
+    BlockingAnalysis,
+    CallGraph,
+    ControlFlowGraph,
+    LockGraph,
+    ReachingDefinitions,
+    module_name_for,
+)
+from repro.analysis.flow.blocking import blocking_sites
+from repro.analysis.lint import Project, SourceModule
+
+
+def project(*files: tuple[str, str]) -> Project:
+    return Project([SourceModule(Path(rel), source) for rel, source in files])
+
+
+def graph_of(*files: tuple[str, str]) -> CallGraph:
+    return CallGraph(project(*files))
+
+
+def first_function(source: str) -> ast.FunctionDef:
+    node = ast.parse(source).body[0]
+    assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return node
+
+
+def stmt_with_call(func: ast.AST, name: str) -> ast.stmt:
+    """The statement containing the call ``name(...)``."""
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Expr)
+            and isinstance(node.value, ast.Call)
+            and isinstance(node.value.func, ast.Name)
+            and node.value.func.id == name
+        ):
+            return node
+    raise AssertionError(f"no call to {name}() in fixture")
+
+
+class TestModuleNames:
+    def test_repo_layout_paths(self):
+        assert module_name_for("src/repro/serve/service.py") == "repro.serve.service"
+        assert module_name_for("src/repro/serve/__init__.py") == "repro.serve"
+
+    def test_bare_fixture_path(self):
+        assert module_name_for("fixture.py") == "fixture"
+
+
+class TestControlFlowGraph:
+    def test_linear_body_is_one_block(self):
+        func = first_function("def f():\n    a = 1\n    b = 2\n    use(a, b)\n")
+        cfg = ControlFlowGraph(func)
+        entry = cfg.blocks[0]
+        assert len(entry.stmts) == 3
+        assert cfg.exit_index in entry.succs
+
+    def test_if_branches_and_join(self):
+        func = first_function(
+            "def f(c):\n"
+            "    if c:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        a = 2\n"
+            "    use(a)\n"
+        )
+        cfg = ControlFlowGraph(func)
+        header_block, _ = cfg.stmt_site[id(func.body[0])]
+        join_block, _ = cfg.stmt_site[id(stmt_with_call(func, "use"))]
+        assert len(cfg.blocks[header_block].succs) == 2
+        assert len(cfg.blocks[join_block].preds) == 2
+
+    def test_while_has_back_edge(self):
+        func = first_function(
+            "def f(c):\n"
+            "    while c:\n"
+            "        step()\n"
+            "    done()\n"
+        )
+        cfg = ControlFlowGraph(func)
+        header_block, _ = cfg.stmt_site[id(func.body[0])]
+        body_block, _ = cfg.stmt_site[id(stmt_with_call(func, "step"))]
+        assert header_block in cfg.blocks[body_block].succs
+
+    def test_return_edges_to_exit(self):
+        func = first_function(
+            "def f(c):\n"
+            "    if c:\n"
+            "        return 1\n"
+            "    return 2\n"
+        )
+        cfg = ControlFlowGraph(func)
+        for stmt in ast.walk(func):
+            if isinstance(stmt, ast.Return):
+                block, _ = cfg.stmt_site[id(stmt)]
+                assert cfg.exit_index in cfg.blocks[block].succs
+
+    def test_every_statement_is_recorded(self):
+        func = first_function(
+            "def f(items):\n"
+            "    total = 0\n"
+            "    for item in items:\n"
+            "        total += item\n"
+            "    try:\n"
+            "        emit(total)\n"
+            "    except ValueError:\n"
+            "        total = -1\n"
+            "    return total\n"
+        )
+        cfg = ControlFlowGraph(func)
+        assert id(func.body[0]) in cfg.stmt_site
+        assert id(func.body[1]) in cfg.stmt_site  # the for header
+        assert id(func.body[3]) in cfg.stmt_site  # the return
+
+
+class TestReachingDefinitions:
+    def _reaching(self, source: str, at_call: str) -> dict:
+        func = first_function(source)
+        analysis = ReachingDefinitions(ControlFlowGraph(func))
+        return analysis.reaching_at(stmt_with_call(func, at_call))
+
+    def test_straight_line_kill(self):
+        live = self._reaching(
+            "def f():\n    x = 1\n    x = 2\n    use(x)\n", "use"
+        )
+        assert len(live["x"]) == 1
+        (site,) = live["x"]
+        assert isinstance(site, ast.Assign)
+        assert site.value.value == 2
+
+    def test_branch_merge_keeps_both(self):
+        live = self._reaching(
+            "def f(c):\n"
+            "    if c:\n"
+            "        x = 1\n"
+            "    else:\n"
+            "        x = 2\n"
+            "    use(x)\n",
+            "use",
+        )
+        assert len(live["x"]) == 2
+
+    def test_loop_def_flows_around_back_edge(self):
+        live = self._reaching(
+            "def f(items):\n"
+            "    x = 0\n"
+            "    for item in items:\n"
+            "        use(x)\n"
+            "        x = item\n"
+            "    done(x)\n",
+            "use",
+        )
+        # Both the initial binding and the previous iteration's reach here.
+        assert len(live["x"]) == 2
+
+    def test_parameters_seed_the_entry(self):
+        func = first_function("def f(a, *rest, key=None):\n    use(a)\n")
+        analysis = ReachingDefinitions(ControlFlowGraph(func))
+        live = analysis.reaching_at(stmt_with_call(func, "use"))
+        assert live["a"] == {func}
+        assert live["rest"] == {func}
+        assert live["key"] == {func}
+
+    def test_try_body_def_reaches_handler(self):
+        live = self._reaching(
+            "def f(c):\n"
+            "    try:\n"
+            "        x = risky()\n"
+            "        if c:\n"
+            "            x = refine(x)\n"
+            "    except ValueError:\n"
+            "        use(x)\n"
+            "    return x\n",
+            "use",
+        )
+        # Any block of the protected body may raise into the handler, so
+        # defs from both branches of the body must be visible there.
+        assert len(live["x"]) == 2
+
+
+CALLER = (
+    "src/repro/pipeline/caller.py",
+    "from repro.pipeline.helper import helper\n"
+    "def top():\n"
+    "    return helper()\n",
+)
+HELPER = (
+    "src/repro/pipeline/helper.py",
+    "def helper():\n    return 1\n",
+)
+
+
+class TestCallGraph:
+    def test_direct_import_edge(self):
+        graph = graph_of(CALLER, HELPER)
+        edges = graph.edges["repro.pipeline.caller.top"]
+        assert [e.callee for e in edges] == ["repro.pipeline.helper.helper"]
+
+    def test_reexport_through_package_init(self):
+        graph = graph_of(
+            ("src/repro/pkg/__init__.py", "from repro.pkg.impl import helper\n"),
+            ("src/repro/pkg/impl.py", "def helper():\n    return 1\n"),
+            (
+                "src/repro/use.py",
+                "from repro.pkg import helper\n"
+                "def top():\n"
+                "    return helper()\n",
+            ),
+        )
+        edges = graph.edges["repro.use.top"]
+        assert [e.callee for e in edges] == ["repro.pkg.impl.helper"]
+
+    def test_self_attribute_typed_by_constructor_assignment(self):
+        graph = graph_of(
+            (
+                "src/repro/serve/w.py",
+                "class Worker:\n"
+                "    def run(self):\n"
+                "        return 1\n",
+            ),
+            (
+                "src/repro/serve/s.py",
+                "from repro.serve.w import Worker\n"
+                "class Service:\n"
+                "    def __init__(self):\n"
+                "        self.worker = Worker()\n"
+                "    def go(self):\n"
+                "        return self.worker.run()\n",
+            ),
+        )
+        edges = graph.edges["repro.serve.s.Service.go"]
+        assert [e.callee for e in edges] == ["repro.serve.w.Worker.run"]
+
+    def test_unresolved_attribute_is_not_name_matched(self):
+        # `writer.write` must NOT weld onto ShardLog.write just because
+        # the method name matches — it stays unresolved.
+        graph = graph_of(
+            (
+                "src/repro/cluster/log.py",
+                "class ShardLog:\n"
+                "    def write(self, line):\n"
+                "        pass\n",
+            ),
+            (
+                "src/repro/cluster/use.py",
+                "def send(writer, line):\n"
+                "    writer.write(line)\n",
+            ),
+        )
+        assert graph.edges["repro.cluster.use.send"] == []
+        unresolved = graph.unresolved["repro.cluster.use.send"]
+        assert len(unresolved) == 1
+
+    def test_lambda_body_attributed_to_enclosing_function(self):
+        graph = graph_of(
+            (
+                "src/repro/serve/s.py",
+                "def helper():\n"
+                "    return 1\n"
+                "def top(register):\n"
+                "    register(lambda: helper())\n",
+            ),
+        )
+        callees = [e.callee for e in graph.edges["repro.serve.s.top"]]
+        assert "repro.serve.s.helper" in callees
+
+    def test_lambda_passed_to_executor_contributes_no_edges(self):
+        graph = graph_of(
+            (
+                "src/repro/serve/s.py",
+                "def helper():\n"
+                "    return 1\n"
+                "async def top(loop):\n"
+                "    await loop.run_in_executor(None, lambda: helper())\n",
+            ),
+        )
+        callees = [e.callee for e in graph.edges["repro.serve.s.top"]]
+        assert "repro.serve.s.helper" not in callees
+
+    def test_transitive_callees(self):
+        graph = graph_of(
+            CALLER,
+            (
+                "src/repro/pipeline/helper.py",
+                "def helper():\n"
+                "    return deeper()\n"
+                "def deeper():\n"
+                "    return 1\n",
+            ),
+        )
+        assert graph.transitive_callees("repro.pipeline.caller.top") == {
+            "repro.pipeline.helper.helper",
+            "repro.pipeline.helper.deeper",
+        }
+
+
+CYCLE_A = (
+    "src/repro/serve/a.py",
+    "import threading\n"
+    "from repro.serve.b import B\n"
+    "class A:\n"
+    "    def __init__(self):\n"
+    "        self._lock = threading.Lock()\n"
+    "        self.b = B()\n"
+    "    def outer(self):\n"
+    "        with self._lock:\n"
+    "            self.b.inner()\n"
+    "    def poke(self):\n"
+    "        with self._lock:\n"
+    "            pass\n",
+)
+CYCLE_B = (
+    "src/repro/serve/b.py",
+    "import threading\n"
+    "from repro.serve.a import A\n"
+    "class B:\n"
+    "    def __init__(self):\n"
+    "        self._lock = threading.Lock()\n"
+    "    def inner(self):\n"
+    "        with self._lock:\n"
+    "            pass\n"
+    "    def back(self, a: A):\n"
+    "        with self._lock:\n"
+    "            a.poke()\n",
+)
+
+
+class TestLockGraph:
+    def test_seeded_cross_module_cycle_is_found(self):
+        locks = LockGraph(graph_of(CYCLE_A, CYCLE_B))
+        cycles = locks.cycles()
+        assert len(cycles) == 1
+        nodes = {edge.outer for edge in cycles[0]}
+        assert nodes == {
+            "repro.serve.a.A._lock",
+            "repro.serve.b.B._lock",
+        }
+        # Both hops are interprocedural: each names the callee it rides.
+        assert all(edge.via for edge in cycles[0])
+
+    def test_one_directional_nesting_is_no_cycle(self):
+        locks = LockGraph(graph_of(CYCLE_A))  # only A -> B's module absent
+        assert locks.cycles() == []
+
+    def test_condition_aliases_its_mutex(self):
+        locks = LockGraph(
+            graph_of(
+                (
+                    "src/repro/serve/s.py",
+                    "import threading\n"
+                    "class S:\n"
+                    "    def __init__(self):\n"
+                    "        self._lock = threading.Lock()\n"
+                    "        self._work = threading.Condition(self._lock)\n"
+                    "    def one(self):\n"
+                    "        with self._lock:\n"
+                    "            pass\n"
+                    "    def two(self):\n"
+                    "        with self._work:\n"
+                    "            pass\n",
+                )
+            )
+        )
+        lock_id = "repro.serve.s.S._lock"
+        assert locks.own_acquires["repro.serve.s.S.one"] == {lock_id}
+        assert locks.own_acquires["repro.serve.s.S.two"] == {lock_id}
+
+    def test_asyncio_locks_are_excluded(self):
+        locks = LockGraph(
+            graph_of(
+                (
+                    "src/repro/cluster/s.py",
+                    "import asyncio\n"
+                    "class S:\n"
+                    "    def __init__(self):\n"
+                    "        self._lock = asyncio.Lock()\n"
+                    "    def grab(self):\n"
+                    "        with self._lock:\n"
+                    "            pass\n",
+                )
+            )
+        )
+        assert locks.own_acquires["repro.cluster.s.S.grab"] == set()
+
+    def test_lock_order_declaration_resolves_qualified_entries(self):
+        locks = LockGraph(
+            graph_of(
+                (
+                    "src/repro/serve/s.py",
+                    "import threading\n"
+                    "LOCK_ORDER = ('S._lock', 'T._lock')\n"
+                    "class S:\n"
+                    "    def __init__(self):\n"
+                    "        self._lock = threading.Lock()\n"
+                    "class T:\n"
+                    "    def __init__(self):\n"
+                    "        self._lock = threading.Lock()\n",
+                )
+            )
+        )
+        (declaration,) = locks.declarations
+        assert declaration.resolved == (
+            "repro.serve.s.S._lock",
+            "repro.serve.s.T._lock",
+        )
+        before = locks.declared_before()
+        assert ("repro.serve.s.S._lock", "repro.serve.s.T._lock") in before
+
+
+PUMP_BLOCKING = (
+    "src/repro/cluster/pump.py",
+    "import time\n"
+    "async def pump():\n"
+    "    step()\n"
+    "def step():\n"
+    "    time.sleep(0.1)\n",
+)
+
+
+class TestBlocking:
+    def test_known_blocking_coroutine_with_witness_path(self):
+        graph = graph_of(PUMP_BLOCKING)
+        findings = BlockingAnalysis(graph).findings()
+        assert len(findings) == 1
+        site, coroutine, path = findings[0]
+        assert site.reason == "time.sleep()"
+        assert coroutine == "repro.cluster.pump.pump"
+        assert path == ("repro.cluster.pump.pump", "repro.cluster.pump.step")
+
+    def test_executor_wrapped_work_is_clean(self):
+        graph = graph_of(
+            (
+                "src/repro/cluster/pump.py",
+                "import asyncio\n"
+                "import time\n"
+                "async def pump():\n"
+                "    loop = asyncio.get_running_loop()\n"
+                "    await loop.run_in_executor(None, lambda: time.sleep(0.1))\n",
+            )
+        )
+        assert BlockingAnalysis(graph).findings() == []
+
+    def test_awaited_acquire_is_the_asyncio_primitive(self):
+        graph = graph_of(
+            (
+                "src/repro/cluster/pump.py",
+                "async def pump(lock):\n"
+                "    await lock.acquire()\n",
+            )
+        )
+        assert BlockingAnalysis(graph).findings() == []
+
+    def test_non_cluster_coroutines_are_out_of_scope(self):
+        graph = graph_of(
+            (
+                "src/repro/serve/pump.py",
+                "import time\n"
+                "async def pump():\n"
+                "    time.sleep(0.1)\n",
+            )
+        )
+        assert BlockingAnalysis(graph).findings() == []
+
+    def test_str_join_shape_is_not_thread_join(self):
+        graph = graph_of(
+            (
+                "src/repro/cluster/fmt.py",
+                "def render(parts, thread):\n"
+                "    text = ' '.join(parts)\n"
+                "    thread.join()\n"
+                "    return text\n",
+            )
+        )
+        function = graph.functions["repro.cluster.fmt.render"]
+        sites = blocking_sites(graph, function)
+        assert [s.reason for s in sites] == ["thread .join()"]
+
+    def test_file_methods_need_an_open_typed_receiver(self):
+        graph = graph_of(
+            (
+                "src/repro/cluster/log.py",
+                "def log(path, line, sink):\n"
+                "    handle = open(path, 'a')\n"
+                "    handle.write(line)\n"
+                "    sink.write(line)\n",
+            )
+        )
+        function = graph.functions["repro.cluster.log.log"]
+        reasons = sorted(s.reason for s in blocking_sites(graph, function))
+        # open() itself blocks, the handle write blocks; the untyped
+        # sink.write is unknown and deliberately not guessed at.
+        assert reasons == ["file I/O (.write() on an open() handle)", "open()"]
+
+    def test_resolved_project_calls_are_not_primitives(self):
+        graph = graph_of(
+            (
+                "src/repro/cluster/srv.py",
+                "class Conn:\n"
+                "    def send(self, data):\n"
+                "        return len(data)\n"
+                "class Server:\n"
+                "    def __init__(self):\n"
+                "        self.conn = Conn()\n"
+                "    async def push(self, data):\n"
+                "        self.conn.send(data)\n",
+            )
+        )
+        function = graph.functions["repro.cluster.srv.Server.push"]
+        assert blocking_sites(graph, function) == []

@@ -10,6 +10,8 @@ from __future__ import annotations
 import io
 import json
 import re
+import shutil
+import subprocess
 from pathlib import Path
 
 import pytest
@@ -602,6 +604,263 @@ class TestKernelBitArithRPR013:
         assert lint_source(source, path=self.OUTSIDE, select={"RPR013"}) == []
 
 
+def cluster_fixture(body: str) -> list:
+    """Lint *body* as a ``repro.cluster`` module (RPR015's scope)."""
+    return lint_source(body, path="src/repro/cluster/pump.py", select={"RPR015"})
+
+
+class TestCrossModuleLockCycleRPR014:
+    CYCLE_A = (
+        "src/repro/serve/a.py",
+        "import threading\n"
+        "from repro.serve.b import B\n"
+        "class A:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self.b = B()\n"
+        "    def outer(self):\n"
+        "        with self._lock:\n"
+        "            self.b.inner()\n"
+        "    def poke(self):\n"
+        "        with self._lock:\n"
+        "            pass\n",
+    )
+    CYCLE_B = (
+        "src/repro/serve/b.py",
+        "import threading\n"
+        "from repro.serve.a import A\n"
+        "class B:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "    def inner(self):\n"
+        "        with self._lock:\n"
+        "            pass\n"
+        "    def back(self, a: A):\n"
+        "        with self._lock:\n"
+        "            a.poke()\n",
+    )
+
+    @staticmethod
+    def _project(*files):
+        return Project([SourceModule(Path(rel), source) for rel, source in files])
+
+    def test_trigger_interprocedural_cycle(self):
+        findings = lint_project(
+            self._project(self.CYCLE_A, self.CYCLE_B), select={"RPR014"}
+        )
+        assert codes(findings) == ["RPR014"]
+        message = findings[0].message
+        assert "lock-order cycle" in message
+        assert "A._lock" in message and "B._lock" in message
+
+    def test_pass_one_directional_hierarchy(self):
+        findings = lint_project(self._project(self.CYCLE_A), select={"RPR014"})
+        assert findings == []
+
+    def test_trigger_conflicting_declarations(self):
+        one = (
+            "src/repro/serve/m1.py",
+            "import threading\n"
+            "alpha_lock = threading.Lock()\n"
+            "beta_lock = threading.Lock()\n"
+            "LOCK_ORDER = ('alpha_lock', 'beta_lock')\n",
+        )
+        # The second module declares the same two locks in reverse.
+        two = (
+            "src/repro/serve/m2.py",
+            "LOCK_ORDER = ('m1.beta_lock', 'm1.alpha_lock')\n",
+        )
+        findings = lint_project(self._project(one, two), select={"RPR014"})
+        assert codes(findings) == ["RPR014"]
+        assert "declarations disagree" in findings[0].message
+
+    def test_trigger_code_contradicts_declaration(self):
+        module = (
+            "src/repro/serve/m.py",
+            "import threading\n"
+            "alpha_lock = threading.Lock()\n"
+            "beta_lock = threading.Lock()\n"
+            "LOCK_ORDER = ('beta_lock', 'alpha_lock')\n"
+            "def nest():\n"
+            "    with alpha_lock:\n"
+            "        with beta_lock:\n"
+            "            pass\n",
+        )
+        findings = lint_project(self._project(module), select={"RPR014"})
+        assert codes(findings) == ["RPR014"]
+        assert "contradicts the declared global order" in findings[0].message
+
+    def test_pass_code_matching_declaration(self):
+        module = (
+            "src/repro/serve/m.py",
+            "import threading\n"
+            "alpha_lock = threading.Lock()\n"
+            "beta_lock = threading.Lock()\n"
+            "LOCK_ORDER = ('alpha_lock', 'beta_lock')\n"
+            "def nest():\n"
+            "    with alpha_lock:\n"
+            "        with beta_lock:\n"
+            "            pass\n",
+        )
+        assert lint_project(self._project(module), select={"RPR014"}) == []
+
+
+class TestBlockingInAsyncRPR015:
+    def test_trigger_sleep_behind_a_helper(self):
+        findings = cluster_fixture(
+            "import time\n"
+            "async def pump():\n"
+            "    step()\n"
+            "def step():\n"
+            "    time.sleep(0.1)\n"
+        )
+        assert codes(findings) == ["RPR015"]
+        message = findings[0].message
+        assert "time.sleep" in message and "pump" in message
+
+    def test_trigger_unresolved_socket_recv(self):
+        findings = cluster_fixture(
+            "async def pump(sock):\n"
+            "    data = sock.recv(4)\n"
+            "    return data\n"
+        )
+        assert codes(findings) == ["RPR015"]
+        assert "socket I/O" in findings[0].message
+
+    def test_pass_executor_wrapped_work(self):
+        findings = cluster_fixture(
+            "import asyncio\n"
+            "import time\n"
+            "async def pump():\n"
+            "    loop = asyncio.get_running_loop()\n"
+            "    await loop.run_in_executor(None, lambda: time.sleep(0.1))\n"
+        )
+        assert findings == []
+
+    def test_pass_awaited_primitive(self):
+        findings = cluster_fixture(
+            "async def pump(lock):\n"
+            "    await lock.acquire()\n"
+        )
+        assert findings == []
+
+    def test_pass_outside_the_cluster_package(self):
+        findings = lint_source(
+            "import time\nasync def pump():\n    time.sleep(0.1)\n",
+            path="src/repro/serve/pump.py",
+            select={"RPR015"},
+        )
+        assert findings == []
+
+
+class TestEscapingFrozenRefRPR016:
+    def test_trigger_mutation_of_returned_frozen_ref(self):
+        source = (
+            "def get_masks(template, compiled):\n"
+            "    masks = template.vector_masks(compiled)\n"
+            "    return masks\n"
+            "def consumer(template, compiled, other):\n"
+            "    m = get_masks(template, compiled)\n"
+            "    m &= other\n"
+        )
+        findings = lint_source(source, select={"RPR016"})
+        assert codes(findings) == ["RPR016"]
+        assert "escaped its owner" in findings[0].message
+        assert "get_masks" in findings[0].message
+
+    def test_trigger_mutation_of_frozen_self_attribute(self):
+        source = (
+            "class Holder:\n"
+            "    def __init__(self, template):\n"
+            "        self.masks = template.base_matrix\n"
+            "    def clobber(self):\n"
+            "        self.masks[0] = 0\n"
+        )
+        findings = lint_source(source, select={"RPR016"})
+        assert codes(findings) == ["RPR016"]
+        assert "stored on self" in findings[0].message
+
+    def test_pass_rebind_kills_the_frozen_def(self):
+        source = (
+            "import numpy as np\n"
+            "def fresh(template, compiled):\n"
+            "    return template.vector_masks(compiled)\n"
+            "def consumer(template, compiled):\n"
+            "    m = fresh(template, compiled)\n"
+            "    m = np.zeros(4)\n"
+            "    m[0] = 1\n"
+        )
+        assert lint_source(source, select={"RPR016"}) == []
+
+    def test_pass_copy_breaks_the_escape(self):
+        source = (
+            "def get_masks(template, compiled):\n"
+            "    return template.vector_masks(compiled)\n"
+            "def consumer(template, compiled, other):\n"
+            "    m = get_masks(template, compiled).copy()\n"
+            "    m &= other\n"
+        )
+        assert lint_source(source, select={"RPR016"}) == []
+
+    def test_pass_reads_of_escaped_refs(self):
+        source = (
+            "def get_masks(template, compiled):\n"
+            "    return template.vector_masks(compiled)\n"
+            "def consumer(template, compiled):\n"
+            "    m = get_masks(template, compiled)\n"
+            "    return m.sum()\n"
+        )
+        assert lint_source(source, select={"RPR016"}) == []
+
+
+class TestSuppressionEdgeCases:
+    # One line tripping two rules: an extend method aliasing a shared
+    # attribute, then mutating through the alias (RPR003 + RPR011).
+    TWO_RULE_LINE = (
+        "def extend(self, category_set):\n"
+        "    masks = self.base_matrix\n"
+        "    masks &= 0{pragma}\n"
+    )
+
+    def test_one_pragma_silences_multiple_codes(self):
+        source = self.TWO_RULE_LINE.format(
+            pragma="  # repro-lint: ignore[RPR003,RPR011]"
+        )
+        assert lint_source(source, select={"RPR003", "RPR011"}) == []
+
+    def test_unlisted_code_still_fires(self):
+        source = self.TWO_RULE_LINE.format(pragma="  # repro-lint: ignore[RPR003]")
+        assert codes(lint_source(source, select={"RPR003", "RPR011"})) == ["RPR011"]
+
+    def test_both_codes_fire_without_pragma(self):
+        source = self.TWO_RULE_LINE.format(pragma="")
+        assert codes(lint_source(source, select={"RPR003", "RPR011"})) == [
+            "RPR003",
+            "RPR011",
+        ]
+
+    def test_skip_file_makes_the_cli_exit_zero(self, tmp_path):
+        bad = tmp_path / "skipped.py"
+        bad.write_text(
+            "# repro-lint: skip-file\n"
+            "def f(net):\n"
+            "    net.alive[0] = False\n"
+        )
+        out = io.StringIO()
+        assert lint_main([str(bad)], out=out) == 0
+        assert "0 findings" in out.getvalue()
+
+    def test_unknown_suppression_code_warns(self):
+        source = "x = 1  # repro-lint: ignore[RPR999]\n"
+        with pytest.warns(UserWarning, match=r"unknown rule code\(s\) RPR999"):
+            lint_source(source)
+
+    def test_known_suppression_codes_do_not_warn(self, recwarn):
+        source = "def f(net):\n    net.alive[0] = False  # repro-lint: ignore[RPR001]\n"
+        lint_source(source)
+        assert not [w for w in recwarn if "unknown rule code" in str(w.message)]
+
+
 class TestRepoIsClean:
     def test_src_tree_lints_clean(self):
         findings = lint_paths([REPO_SRC])
@@ -651,3 +910,138 @@ class TestCli:
         bad = tmp_path / "broken.py"
         bad.write_text("def f(:\n")
         assert lint_main([str(bad)], out=io.StringIO()) == 2
+
+
+BAD_WARN = "import warnings\ndef f():\n    warnings.warn('x')\n"
+
+
+class TestCliBaseline:
+    def test_write_baseline_requires_the_file_argument(self):
+        assert lint_main(["--write-baseline"], out=io.StringIO()) == 2
+
+    def test_baseline_absorbs_recorded_findings(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD_WARN)
+        baseline = tmp_path / "baseline.json"
+
+        out = io.StringIO()
+        assert (
+            lint_main(
+                [str(bad), "--baseline", str(baseline), "--write-baseline"], out=out
+            )
+            == 0
+        )
+        assert baseline.exists()
+
+        out = io.StringIO()
+        assert lint_main([str(bad), "--baseline", str(baseline)], out=out) == 0
+        assert "absorbed by baseline" in out.getvalue()
+
+    def test_new_findings_still_fail_against_a_baseline(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD_WARN)
+        baseline = tmp_path / "baseline.json"
+        lint_main(
+            [str(bad), "--baseline", str(baseline), "--write-baseline"],
+            out=io.StringIO(),
+        )
+
+        bad.write_text(BAD_WARN + "def g():\n    warnings.warn('y')\n")
+        out = io.StringIO()
+        assert lint_main([str(bad), "--baseline", str(baseline)], out=out) == 1
+        # Only the new finding is reported; the recorded one is absorbed.
+        assert out.getvalue().count("RPR005") == 1
+        assert "warnings.warn" not in out.getvalue() or "1 finding " in out.getvalue()
+
+    def test_fixing_a_finding_never_breaks_the_build(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD_WARN)
+        baseline = tmp_path / "baseline.json"
+        lint_main(
+            [str(bad), "--baseline", str(baseline), "--write-baseline"],
+            out=io.StringIO(),
+        )
+        bad.write_text("def f():\n    return 1\n")  # the finding is fixed
+        assert (
+            lint_main([str(bad), "--baseline", str(baseline)], out=io.StringIO()) == 0
+        )
+
+    def test_garbage_baseline_exits_two(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD_WARN)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("{\"version\": 99}")
+        assert (
+            lint_main([str(bad), "--baseline", str(baseline)], out=io.StringIO()) == 2
+        )
+
+
+class TestCliSarif:
+    def test_sarif_document_shape(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD_WARN)
+        out = io.StringIO()
+        assert lint_main([str(bad), "--format=sarif"], out=out) == 1
+        document = json.loads(out.getvalue())
+        assert document["version"] == "2.1.0"
+        run = document["runs"][0]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        assert {rule["id"] for rule in driver["rules"]} == {
+            rule.code for rule in all_rules()
+        }
+        (result,) = run["results"]
+        assert result["ruleId"] == "RPR005"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("bad.py")
+        assert location["region"]["startLine"] == 3
+
+    def test_clean_tree_sarif_has_no_results(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("def f():\n    return 1\n")
+        out = io.StringIO()
+        assert lint_main([str(clean), "--format=sarif"], out=out) == 0
+        document = json.loads(out.getvalue())
+        assert document["runs"][0]["results"] == []
+
+
+class TestCliChangedOnly:
+    @pytest.fixture()
+    def git_repo(self, tmp_path, monkeypatch):
+        if shutil.which("git") is None:
+            pytest.skip("git not available")
+        monkeypatch.chdir(tmp_path)
+        env = {"GIT_AUTHOR_NAME": "t", "GIT_AUTHOR_EMAIL": "t@t",
+               "GIT_COMMITTER_NAME": "t", "GIT_COMMITTER_EMAIL": "t@t"}
+        for key, value in env.items():
+            monkeypatch.setenv(key, value)
+        subprocess.run(["git", "init", "-q"], check=True)
+        return tmp_path
+
+    def test_untracked_file_is_reported(self, git_repo):
+        (git_repo / "seed.py").write_text("def f():\n    return 1\n")
+        subprocess.run(["git", "add", "seed.py"], check=True)
+        subprocess.run(["git", "commit", "-qm", "seed"], check=True)
+        bad = git_repo / "bad.py"
+        bad.write_text(BAD_WARN)
+        out = io.StringIO()
+        assert lint_main([str(git_repo), "--changed-only"], out=out) == 1
+        assert "RPR005" in out.getvalue()
+
+    def test_committed_findings_are_filtered_out(self, git_repo):
+        bad = git_repo / "bad.py"
+        bad.write_text(BAD_WARN)
+        subprocess.run(["git", "add", "bad.py"], check=True)
+        subprocess.run(["git", "commit", "-qm", "seed"], check=True)
+        # Unchanged vs HEAD: the finding exists but is out of scope.
+        assert lint_main([str(git_repo)], out=io.StringIO()) == 1
+        assert lint_main([str(git_repo), "--changed-only"], out=io.StringIO()) == 0
+
+    def test_outside_a_repo_exits_two(self, tmp_path, monkeypatch):
+        if shutil.which("git") is None:
+            pytest.skip("git not available")
+        monkeypatch.chdir(tmp_path)
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD_WARN)
+        monkeypatch.setenv("GIT_CEILING_DIRECTORIES", str(tmp_path.parent))
+        assert lint_main([str(bad), "--changed-only"], out=io.StringIO()) == 2
