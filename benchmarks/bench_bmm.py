@@ -4,11 +4,13 @@ Thin harness over :mod:`repro.kernels.bench` (the logic lives in the
 package so ``repro bench-bmm`` shares it):
 
 * microbench — the four-Russians packed product vs the bit-plane
-  ``bool @ bool`` product vs the O(m·k·n) broadcast oracle, per
-  operand shape, each agreeing bit for bit before any clock starts;
+  ``bool @ bool`` product vs the O(m·k·n) broadcast oracle — plus the
+  compiled ``native`` kernel and the autotuned ``auto`` dispatcher when
+  a C toolchain is present — per operand shape, each agreeing bit for
+  bit before any clock starts;
 * end-to-end — the same sentence through a CDG ``ParserSession`` on
-  the ``packed`` and ``numpy`` kernel backends (identical settled
-  networks), and through packed CYK vs the set-based chart oracle
+  every available kernel backend (identical settled networks), and
+  through CYK on each backend vs the set-based chart oracle
   (identical charts and operation counts).
 
 Run standalone to (re)generate the committed record::

@@ -78,7 +78,7 @@ from repro.serve import (
     ServiceUnavailable,
 )
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 # Opt-in runtime invariant checking (REPRO_SANITIZE=1); see
 # repro.analysis.sanitizer.  A no-op unless the variable is set.

@@ -26,6 +26,10 @@ Commands:
 ``bench-bmm``
     Run the identity-gated kernel benchmark (BMM microbench + both
     parsers on the shared kernel core) and write ``BENCH_bmm.json``.
+``calibrate``
+    Race the available kernel backends over representative operand
+    sizes and persist the winning dispatch table, so the first real
+    parse under ``backend="auto"`` starts pre-tuned.
 
 ``--engine`` values are validated against the live registry (not a
 frozen argparse choice list), so engines registered at runtime work and
@@ -380,6 +384,7 @@ def _cmd_cluster_shard(args: argparse.Namespace, out) -> int:
         shard_id=args.shard_id,
         workers=args.workers,
         workers_mode=args.workers_mode,
+        kernel_backend=args.kernel_backend,
         max_batch_size=args.max_batch_size,
         max_linger=args.max_linger,
         log_path=args.log,
@@ -399,6 +404,7 @@ def _cmd_cluster_up(args: argparse.Namespace, out) -> int:
         engine=args.engine,
         workers=args.workers,
         workers_mode=args.workers_mode,
+        kernel_backend=args.kernel_backend,
         run_dir=args.run_dir,
     )
     with launcher:
@@ -442,6 +448,24 @@ def _cmd_bench_bmm(args: argparse.Namespace, out) -> int:
     print_report(record, out)
     print(f"record written to {args.out}", file=out)
     return 0 if record["bit_identity"]["ok"] else 1
+
+
+def _cmd_calibrate(args: argparse.Namespace, out) -> int:
+    from repro.kernels.autotune import AutoBackend, cache_path
+
+    if args.force:
+        cache_path().unlink(missing_ok=True)
+    auto = AutoBackend()
+    known = auto.dispatch_snapshot() or {}
+    if known:
+        print(f"loaded {len(known)} persisted decision(s) from {cache_path()}", file=out)
+    table = auto.warm(quick=args.quick)
+    print(f"ran {auto.calibrations} calibration race(s)", file=out)
+    print("dispatch table (kernel:size-bucket -> backend):", file=out)
+    for key, winner in table.items():
+        print(f"  {key:>20} -> {winner}", file=out)
+    print(f"persisted to {cache_path()}", file=out)
+    return 0
 
 
 def _cmd_explain(args: argparse.Namespace, out) -> int:
@@ -572,6 +596,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_shard.add_argument("--shard-id", type=int, default=0)
     p_shard.add_argument("--workers", "-w", type=int, default=1)
     p_shard.add_argument("--workers-mode", choices=("thread", "process"), default="thread")
+    p_shard.add_argument("--kernel-backend", default=None, help=backend_help)
     p_shard.add_argument("--max-batch-size", type=int, default=16)
     p_shard.add_argument("--max-linger", type=float, default=0.002,
                          help="dynamic batcher max linger (seconds)")
@@ -589,6 +614,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_up.add_argument("--workers", "-w", type=int, default=1,
                       help="service workers per shard")
     p_up.add_argument("--workers-mode", choices=("thread", "process"), default="thread")
+    p_up.add_argument("--kernel-backend", default=None, help=backend_help)
     p_up.add_argument("--run-dir", default=None,
                       help="directory for port files and shard logs")
     p_up.set_defaults(func=_cmd_cluster_up)
@@ -621,6 +647,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_bmm.add_argument("--out", default="BENCH_bmm.json",
                        help="where to write the JSON record")
     p_bmm.set_defaults(func=_cmd_bench_bmm)
+
+    p_cal = sub.add_parser(
+        "calibrate",
+        help="race kernel backends over representative sizes and persist "
+        "the winning dispatch table for backend='auto'",
+    )
+    p_cal.add_argument("--quick", action="store_true",
+                       help="small size grid (CI smoke)")
+    p_cal.add_argument("--force", action="store_true",
+                       help="discard the persisted table and re-race everything")
+    p_cal.set_defaults(func=_cmd_calibrate)
 
     p_explain = sub.add_parser(
         "explain", help="trace a parse and show what each constraint eliminated"

@@ -15,10 +15,18 @@ shared kernel core instead of three disconnected inner loops:
   fallback.
 * :mod:`repro.kernels.backend` — the kernel-backend registry (mirrors
   :mod:`repro.engines.registry`): ``packed`` (default), ``numpy``
-  (bit-plane matmul oracle) and a ``cupy`` scaffold that falls back
-  cleanly when CuPy is absent.  Selected via the
+  (bit-plane matmul oracle), ``native`` (compiled C via ctypes),
+  ``auto`` (profile-guided dispatch between the others) and a ``cupy``
+  scaffold — every optional backend falls back cleanly to ``packed``
+  when its substrate is absent.  Selected via the
   ``REPRO_KERNEL_BACKEND`` environment variable or the ``backend=``
-  argument of :class:`repro.pipeline.session.ParserSession`.
+  argument of :class:`repro.pipeline.session.ParserSession`; one
+  resolution rule (explicit > environment > default) lives in
+  :func:`repro.kernels.backend.resolve_backend_name`.
+* :mod:`repro.kernels.native` — the C source + on-demand ``cc`` build
+  behind the ``native`` backend.
+* :mod:`repro.kernels.autotune` — the calibration races and persisted
+  dispatch table behind the ``auto`` backend (``repro calibrate``).
 
 Layering: ``kernels`` sits *below* :mod:`repro.network.bitset` — the
 layout layer packs/unpacks and delegates its word-level work here —
@@ -32,7 +40,10 @@ from repro.kernels.backend import (
     available_backends,
     create_backend,
     default_backend,
+    probe_backend,
     register_backend,
+    reset_backend_cache,
+    resolve_backend_name,
 )
 from repro.kernels.bitops import WORD_BITS, WORD_BYTES, WORD_DTYPE
 from repro.kernels.bmm import bmm_four_russians, bmm_planes, bmm_reference
@@ -43,7 +54,10 @@ __all__ = [
     "available_backends",
     "create_backend",
     "default_backend",
+    "probe_backend",
     "register_backend",
+    "reset_backend_cache",
+    "resolve_backend_name",
     "WORD_BITS",
     "WORD_BYTES",
     "WORD_DTYPE",

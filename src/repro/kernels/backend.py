@@ -9,8 +9,14 @@ unavailable* backend (e.g. ``cupy`` without CuPy installed) raises
 :func:`create_backend` warns and falls back to the default ``packed``
 backend instead of failing the parse.
 
-Selection order: an explicit ``backend=`` argument, else the
-``REPRO_KERNEL_BACKEND`` environment variable, else ``"packed"``.
+Resolution order — one rule, shared by every entry point
+(:func:`resolve_backend_name` implements it; :func:`create_backend`
+and :func:`default_backend` both call it): an explicit ``backend=``
+argument wins, else the ``REPRO_KERNEL_BACKEND`` environment variable,
+else the ``"packed"`` default.  Resolution is memoized per resolved
+name (including the warn-once fallback instance for unavailable
+backends), so repeated resolution — one per network bind on the hot
+path — is a dict hit.
 
 A backend provides the Boolean-linear-algebra surface both parsers run
 on:
@@ -82,6 +88,13 @@ class KernelBackend:
     def count_ones(self, words: np.ndarray) -> int:
         """Total population count of a packed array."""
         return bitops.count_ones(words)
+
+    def dispatch_snapshot(self) -> "dict[str, str] | None":
+        """The per-(kernel, size-bucket) dispatch table, for backends
+        that route between implementations (the ``auto`` backend);
+        None for single-implementation backends.  Sessions surface a
+        non-None snapshot as ``stats.extra["kernel_dispatch"]``."""
+        return None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<KernelBackend {self.name!r}>"
@@ -188,6 +201,21 @@ def _cupy_factory() -> KernelBackend:
         raise KernelBackendUnavailable("cupy is not installed") from None
 
 
+def _native_factory() -> KernelBackend:
+    # Deferred import: constructing the backend compiles the C library
+    # on first use, and hosts without a toolchain must still import
+    # this module cheaply.
+    from repro.kernels.native import NativeBackend
+
+    return NativeBackend()
+
+
+def _auto_factory() -> KernelBackend:
+    from repro.kernels.autotune import AutoBackend
+
+    return AutoBackend()
+
+
 # -- registry ----------------------------------------------------------------
 
 BackendFactory = Callable[[], KernelBackend]
@@ -202,28 +230,65 @@ def register_backend(name: str, factory: BackendFactory) -> None:
     _INSTANCES.pop(name, None)
 
 
+def reset_backend_cache(name: "str | None" = None) -> None:
+    """Drop memoized backend instances (one name, or all).
+
+    Resolution caches aggressively — including the warn-once fallback
+    instance for unavailable backends — so tests that change the
+    environment (compiler overrides, autotune cache paths) reset here
+    to re-run factories.
+    """
+    if name is None:
+        _INSTANCES.clear()
+    else:
+        _INSTANCES.pop(name, None)
+
+
 def available_backends() -> tuple[str, ...]:
-    """Registered kernel-backend names, sorted."""
+    """Registered kernel-backend names, as a deterministic sorted tuple.
+
+    Deterministic because the CLI embeds it in ``--kernel-backend``
+    help text and validation messages; registration order must not
+    leak into user-facing strings.
+    """
     _ensure_builtin()
     return tuple(sorted(_REGISTRY))
 
 
+def resolve_backend_name(backend: "str | None" = None) -> str:
+    """The one resolution rule: explicit arg > ``REPRO_KERNEL_BACKEND``
+    environment variable > the ``packed`` default.
+
+    Every resolution path (:func:`create_backend`,
+    :func:`default_backend`, the CLI, child-process initializers) goes
+    through this function, so "which backend would run?" has exactly
+    one answer per process state.
+    """
+    return backend or os.environ.get(ENV_VAR) or DEFAULT_BACKEND
+
+
 def create_backend(backend: "str | KernelBackend | None" = None) -> KernelBackend:
-    """Resolve *backend*: instance passes through, name is built, None
-    consults ``REPRO_KERNEL_BACKEND`` and defaults to ``packed``.
+    """Resolve *backend*: instance passes through, a name is resolved
+    via :func:`resolve_backend_name` and built (memoized per name).
 
     Raises:
         ReproError: for a name that is not registered at all.
 
     A registered backend whose factory raises
     :class:`KernelBackendUnavailable` falls back to the default backend
-    with a ``RuntimeWarning`` — requesting an optional accelerator must
-    degrade, not fail.
+    with a single ``RuntimeWarning`` per process — requesting an
+    optional accelerator must degrade, not fail.  The fallback instance
+    is memoized under the requested name, so the warning fires once and
+    later resolutions are silent dict hits
+    (:func:`reset_backend_cache` re-arms the factory).
     """
     if isinstance(backend, KernelBackend):
         return backend
     _ensure_builtin()
-    requested = backend or os.environ.get(ENV_VAR) or DEFAULT_BACKEND
+    requested = resolve_backend_name(backend)
+    instance = _INSTANCES.get(requested)
+    if instance is not None:
+        return instance
     try:
         factory = _REGISTRY[requested]
     except KeyError:
@@ -232,7 +297,7 @@ def create_backend(backend: "str | KernelBackend | None" = None) -> KernelBacken
             f"{', '.join(available_backends())}"
         ) from None
     try:
-        return factory()
+        instance = factory()
     except KernelBackendUnavailable as exc:
         if requested == DEFAULT_BACKEND:
             raise
@@ -242,23 +307,44 @@ def create_backend(backend: "str | KernelBackend | None" = None) -> KernelBacken
             RuntimeWarning,
             stacklevel=2,
         )
-        return _REGISTRY[DEFAULT_BACKEND]()
+        instance = create_backend(DEFAULT_BACKEND)
+    _INSTANCES[requested] = instance
+    return instance
+
+
+def probe_backend(name: str) -> "KernelBackend | None":
+    """*name*'s backend instance, or None when it cannot run here.
+
+    Unlike :func:`create_backend` this neither warns nor falls back —
+    it is the autotuner's candidate-enumeration primitive ("which
+    backends could race?"), where an unavailable backend is an expected
+    non-event rather than a degraded selection.  Successful probes
+    share the resolution memo.
+    """
+    _ensure_builtin()
+    instance = _INSTANCES.get(name)
+    if instance is not None:
+        return instance
+    factory = _REGISTRY.get(name)
+    if factory is None:
+        return None
+    try:
+        instance = factory()
+    except KernelBackendUnavailable:
+        return None
+    _INSTANCES[name] = instance
+    return instance
 
 
 def default_backend() -> KernelBackend:
-    """The memoized backend for callers with no explicit selection.
+    """The backend for callers with no explicit selection.
 
-    Used by networks built outside a :class:`ParserSession`; respects
-    ``REPRO_KERNEL_BACKEND`` at each call (instances are cached per
-    name, so repeated resolution is a dict hit).
+    Used by networks built outside a :class:`ParserSession`.  Same
+    resolution rule and same per-name memo as :func:`create_backend`
+    (this *is* ``create_backend(None)``, kept as a named entry point
+    because the hot path reads better at call sites).
     """
-    _ensure_builtin()
-    name = os.environ.get(ENV_VAR) or DEFAULT_BACKEND
-    instance = _INSTANCES.get(name)
-    if instance is None:
-        instance = create_backend(name)
-        _INSTANCES[name] = instance
-    return instance
+    return create_backend(None)
 
 
 def _ensure_builtin() -> None:
@@ -268,3 +354,5 @@ def _ensure_builtin() -> None:
     _REGISTRY.setdefault("packed", PackedBackend)
     _REGISTRY.setdefault("numpy", PlanesBackend)
     _REGISTRY.setdefault("cupy", _cupy_factory)
+    _REGISTRY.setdefault("native", _native_factory)
+    _REGISTRY.setdefault("auto", _auto_factory)

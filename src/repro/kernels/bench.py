@@ -17,10 +17,17 @@ The kernel extraction's claims, in falsifiability order:
   and no timing section is trusted (the standalone runner exits 1).
 
 * **Kernel throughput** (host-relative): per matrix size, best-of
-  wall-clock of the three BMM implementations.  The broadcast oracle
+  wall-clock of the BMM implementations — four-Russians, bit-plane
+  ``bool @ bool``, the compiled ``native`` backend (when the host can
+  build it) and the profile-guided ``auto`` dispatcher (timed *after*
+  its calibration race, so the row shows steady-state dispatch, and
+  gated on bit-identity like everything else).  The size grid brackets
+  the packed/planes crossover on purpose.  The broadcast oracle
   materializes an m·k·n intermediate, so full runs cap its size and
   the record says so (``naive_capped_at``) instead of silently
-  claiming coverage.
+  claiming coverage.  The record embeds the autotuner's dispatch table
+  (``kernel_dispatch``) so the routing behind the ``auto`` rows is
+  inspectable.
 
 * **End-to-end** (host-relative): the same sentence through a CDG
   :class:`~repro.pipeline.session.ParserSession` per kernel backend,
@@ -48,12 +55,22 @@ import numpy as np
 
 from repro.analysis.host import host_metadata
 from repro.kernels import bitops
+from repro.kernels.backend import probe_backend
 from repro.kernels.bmm import bmm_four_russians, bmm_planes, bmm_reference
 
 #: Microbench operand shapes (m, k, n).  Deliberately not all square
-#: and not all word-aligned: the padding discipline is part of what is
-#: being timed.
-SIZES = ((64, 64, 64), (128, 128, 128), (250, 250, 250), (512, 512, 512))
+#: and not all word-aligned (the padding discipline is part of what is
+#: being timed), and dense enough around 128-384 to bracket the
+#: packed/planes/native crossover points the autotuner dispatches on.
+SIZES = (
+    (64, 64, 64),
+    (96, 96, 96),
+    (128, 128, 128),
+    (192, 192, 192),
+    (250, 250, 250),
+    (384, 384, 384),
+    (512, 512, 512),
+)
 QUICK_SIZES = ((64, 64, 64), (130, 130, 130))
 
 #: Largest dimension product the broadcast oracle is timed at (its
@@ -77,6 +94,8 @@ def _micro_identity_and_timing(sizes, repeats: int) -> tuple[bool, list[dict]]:
     rows = []
     ok = True
     rng = np.random.default_rng(8)
+    native = probe_backend("native")
+    auto = probe_backend("auto")
     for m, k, n in sizes:
         a_plane = rng.random((m, k)) < 0.3
         b_plane = rng.random((k, n)) < 0.3
@@ -89,10 +108,8 @@ def _micro_identity_and_timing(sizes, repeats: int) -> tuple[bool, list[dict]]:
             np.array_equal(bitops.unpack_bits(four, n), expected)
             and np.array_equal(four, planes)
         )
-        ok = ok and identical
         row = {
             "shape": [m, k, n],
-            "identical": identical,
             "four_russians_ms": round(
                 _best_of(lambda: bmm_four_russians(a_bits, b_bits), repeats) * 1e3, 4
             ),
@@ -100,12 +117,38 @@ def _micro_identity_and_timing(sizes, repeats: int) -> tuple[bool, list[dict]]:
                 _best_of(lambda: bmm_planes(a_bits, b_bits), repeats) * 1e3, 4
             ),
         }
+        if native is not None:
+            identical = identical and bool(
+                np.array_equal(native.bmm(a_bits, b_bits), four)
+            )
+            row["native_ms"] = round(
+                _best_of(lambda: native.bmm(a_bits, b_bits), repeats) * 1e3, 4
+            )
+        if auto is not None:
+            # The first call calibrates this size bucket; the timed
+            # runs after it measure steady-state dispatch.
+            identical = identical and bool(np.array_equal(auto.bmm(a_bits, b_bits), four))
+            row["auto_ms"] = round(
+                _best_of(lambda: auto.bmm(a_bits, b_bits), repeats) * 1e3, 4
+            )
+        row["identical"] = identical
+        ok = ok and identical
         if m * k * n <= NAIVE_CAP:
             row["naive_ms"] = round(
                 _best_of(lambda: bmm_reference(a_plane, b_plane), repeats) * 1e3, 4
             )
         rows.append(row)
     return ok, rows
+
+
+def _session_backends() -> tuple[str, ...]:
+    """Backends the end-to-end tables time: statics that can run here,
+    then ``auto`` (which exists on every host — its floor is packed)."""
+    names = ["packed", "numpy"]
+    if probe_backend("native") is not None:
+        names.append("native")
+    names.append("auto")
+    return tuple(names)
 
 
 def _cdg_end_to_end(n_words: int, repeats: int, batch: int) -> tuple[bool, dict]:
@@ -117,24 +160,29 @@ def _cdg_end_to_end(n_words: int, repeats: int, batch: int) -> tuple[bool, dict]
     words = sentence_of_length(n_words)
     results = {}
     timings = {}
-    for backend in ("packed", "numpy"):
+    backends = _session_backends()
+    for backend in backends:
         session = ParserSession(grammar, engine="vector", backend=backend)
-        result = session.parse(words)  # warm the template cache
+        result = session.parse(words)  # warm the template cache (and autotuner)
         timings[backend] = round(
             _best_of(lambda: [session.parse(words) for _ in range(batch)], repeats)
             / batch * 1e3,
             4,
         )
         results[backend] = result
-    a, b = results["packed"], results["numpy"]
-    identical = bool(
-        a.locally_consistent == b.locally_consistent
-        and np.array_equal(a.network.alive_bits, b.network.alive_bits)
-        and np.array_equal(a.network.matrix_bits, b.network.matrix_bits)
+    reference = results["packed"]
+    identical = all(
+        bool(
+            other.locally_consistent == reference.locally_consistent
+            and np.array_equal(other.network.alive_bits, reference.network.alive_bits)
+            and np.array_equal(other.network.matrix_bits, reference.network.matrix_bits)
+        )
+        for other in results.values()
     )
     return identical, {
         "sentence_words": n_words,
         "engine": "vector",
+        "backends": list(backends),
         "identical": identical,
         "latency_ms": timings,
     }
@@ -149,7 +197,8 @@ def _cfg_end_to_end(n_words: int, repeats: int) -> tuple[bool, dict]:
     oracle = cyk_parse_sets(cnf, words)
     identical = True
     timings = {}
-    for backend in ("packed", "numpy"):
+    backends = _session_backends()
+    for backend in backends:
         packed = cyk_parse(cnf, words, backend=backend)
         identical = identical and bool(
             packed.accepted == oracle.accepted
@@ -165,6 +214,7 @@ def _cfg_end_to_end(n_words: int, repeats: int) -> tuple[bool, dict]:
     return identical, {
         "sentence_words": n_words,
         "accepted": oracle.accepted,
+        "backends": list(backends),
         "identical": identical,
         "latency_ms": timings,
     }
@@ -177,10 +227,13 @@ def run_bench(*, quick: bool = False, out_path: "Path | str | None" = None) -> d
     micro_ok, micro = _micro_identity_and_timing(sizes, repeats)
     cdg_ok, cdg = _cdg_end_to_end(7 if quick else 10, repeats, batch=4)
     cfg_ok, cfg = _cfg_end_to_end(8 if quick else 12, repeats)
+    auto = probe_backend("auto")
     record = {
         "bench": "bmm",
         "quick": quick,
         "host": host_metadata(),
+        "backends": list(_session_backends()),
+        "kernel_dispatch": auto.dispatch_snapshot() if auto is not None else None,
         "bit_identity": {
             "ok": micro_ok and cdg_ok and cfg_ok,
             "micro": micro_ok,
@@ -205,21 +258,32 @@ def print_report(record: dict, out) -> None:
     """Render *record* as the terminal tables the harness snapshots."""
     from repro.analysis import format_table
 
+    has_native = any("native_ms" in row for row in record["micro"])
+    has_auto = any("auto_ms" in row for row in record["micro"])
+    headers = ["shape", "identical", "four-Russians ms", "bool@bool ms"]
+    if has_native:
+        headers.append("native ms")
+    if has_auto:
+        headers.append("auto ms")
+    headers.append("naive ms")
     rows = []
     for row in record["micro"]:
         m, k, n = row["shape"]
-        rows.append(
-            [
-                f"{m}x{k}x{n}",
-                "yes" if row["identical"] else "NO",
-                row["four_russians_ms"],
-                row["planes_ms"],
-                row.get("naive_ms", "capped"),
-            ]
-        )
+        line = [
+            f"{m}x{k}x{n}",
+            "yes" if row["identical"] else "NO",
+            row["four_russians_ms"],
+            row["planes_ms"],
+        ]
+        if has_native:
+            line.append(row.get("native_ms", "-"))
+        if has_auto:
+            line.append(row.get("auto_ms", "-"))
+        line.append(row.get("naive_ms", "capped"))
+        rows.append(line)
     print(
         format_table(
-            ["shape", "identical", "four-Russians ms", "bool@bool ms", "naive ms"],
+            headers,
             rows,
             title=f"BMM microbench ({record['host']['cpu_count']} CPU host)",
         ),
@@ -227,22 +291,22 @@ def print_report(record: dict, out) -> None:
     )
     cdg = record["end_to_end"]["cdg"]
     cfg = record["end_to_end"]["cfg"]
+    backends = record.get("backends") or ["packed", "numpy"]
+    parser_headers = ["parser", "identical", *[f"{b} ms" for b in backends], "oracle ms"]
     print(
         format_table(
-            ["parser", "identical", "packed ms", "numpy ms", "oracle ms"],
+            parser_headers,
             [
                 [
                     f"CDG n={cdg['sentence_words']} ({cdg['engine']})",
                     "yes" if cdg["identical"] else "NO",
-                    cdg["latency_ms"]["packed"],
-                    cdg["latency_ms"]["numpy"],
+                    *[cdg["latency_ms"].get(b, "-") for b in backends],
                     "-",
                 ],
                 [
                     f"CFG/CYK n={cfg['sentence_words']}",
                     "yes" if cfg["identical"] else "NO",
-                    cfg["latency_ms"]["packed"],
-                    cfg["latency_ms"]["numpy"],
+                    *[cfg["latency_ms"].get(b, "-") for b in backends],
                     cfg["latency_ms"]["sets-oracle"],
                 ],
             ],
@@ -250,4 +314,8 @@ def print_report(record: dict, out) -> None:
         ),
         file=out,
     )
+    dispatch = record.get("kernel_dispatch")
+    if dispatch:
+        routed = ", ".join(f"{key}->{winner}" for key, winner in dispatch.items())
+        print(f"auto dispatch: {routed}", file=out)
     print(record["notes"], file=out)

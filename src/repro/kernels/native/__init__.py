@@ -1,0 +1,31 @@
+"""Native compiled kernel backend: C word-level primitives via ctypes.
+
+* :mod:`repro.kernels.native.build` — on-demand ``cc -O3 -shared``
+  compile of the packaged ``kernels.c`` into the repro cache, loaded
+  through ctypes; raises
+  :class:`~repro.kernels.backend.KernelBackendUnavailable` on hosts
+  without a toolchain.
+* :mod:`repro.kernels.native.backend` — :class:`NativeBackend`, the
+  registry provider (``backend="native"``), with dtype/contiguity
+  validation at every foreign-function boundary (lint rule RPR017).
+"""
+
+from repro.kernels.native.backend import NativeBackend
+from repro.kernels.native.build import (
+    ENV_CACHE,
+    ENV_CC,
+    SOURCE_PATH,
+    build_library,
+    find_compiler,
+    load_library,
+)
+
+__all__ = [
+    "NativeBackend",
+    "ENV_CACHE",
+    "ENV_CC",
+    "SOURCE_PATH",
+    "build_library",
+    "find_compiler",
+    "load_library",
+]

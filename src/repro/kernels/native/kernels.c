@@ -1,0 +1,131 @@
+/* Native word-level kernels for the repro parser family.
+ *
+ * Compiled on demand by repro.kernels.native.build (cc -O3 -shared
+ * -fPIC) and called through ctypes.  The contract mirrors
+ * repro.kernels.bitops exactly:
+ *
+ *   - words are little-endian uint64 bit-planes; bit i of a packed row
+ *     lives in byte i >> 3 at in-byte position i & 7.  x86-64 and
+ *     aarch64 are little-endian, so a uint64 load sees the same bit
+ *     order numpy's '<u8' view does; the Python wrapper refuses to
+ *     load this library on a big-endian host.
+ *   - padding / slack bits are zero on every input, and every routine
+ *     here preserves that invariant (AND against zero stays zero, the
+ *     four-Russians tables OR rows whose padding is already clear), so
+ *     popcount deltas are exact.
+ *   - 2-D inputs are dense row-major: row i of an (m, w) operand
+ *     starts at element i * w.
+ *
+ * Nothing here allocates: callers pass every output and scratch
+ * buffer, so the Python wrapper stays in charge of lifetimes and the
+ * hot loops stay malloc-free.
+ */
+
+#include <stdint.h>
+#include <stddef.h>
+#include <string.h>
+
+/* C = A o B in the Boolean semiring, blocked "Four Russians".
+ *
+ * a: (m, a_words) packed rows of A; bit k of row i is A[i, k].
+ * b: (k_rows, n_words) packed rows of B; bit j of row k is B[k, j].
+ * out: (m, n_words), zeroed here.
+ * table: (256, n_words) scratch for the per-block subset-OR tables.
+ *
+ * B's rows are taken 8 at a time; each block expands into a 256-entry
+ * table of row ORs built in one DP pass (table[s] = table[s without
+ * its lowest bit] | B[block row of that bit]), and every byte of A
+ * then gathers its table entry — 8 rows of work per byte lookup.
+ */
+void repro_bmm(const uint64_t *a, size_t m, size_t a_words,
+               const uint64_t *b, size_t k_rows, size_t n_words,
+               uint64_t *out, uint64_t *table)
+{
+    memset(out, 0, m * n_words * sizeof(uint64_t));
+    const uint8_t *a8 = (const uint8_t *)a;
+    size_t row_bytes = a_words * 8;
+    size_t n_blocks = (k_rows + 7) / 8;
+    for (size_t t = 0; t < n_blocks; ++t) {
+        size_t rows_in_block = k_rows - 8 * t;
+        if (rows_in_block > 8)
+            rows_in_block = 8;
+        memset(table, 0, 256 * n_words * sizeof(uint64_t));
+        for (size_t s = 1; s < 256; ++s) {
+            size_t r = (size_t)__builtin_ctzll((unsigned long long)s);
+            const uint64_t *base = table + (s & (s - 1)) * n_words;
+            uint64_t *dst = table + s * n_words;
+            if (r < rows_in_block) {
+                const uint64_t *brow = b + (8 * t + r) * n_words;
+                for (size_t j = 0; j < n_words; ++j)
+                    dst[j] = base[j] | brow[j];
+            } else {
+                /* Bits beyond the block's rows never appear in A's
+                 * bytes (padding invariant); keep the entry coherent
+                 * anyway. */
+                memcpy(dst, base, n_words * sizeof(uint64_t));
+            }
+        }
+        for (size_t i = 0; i < m; ++i) {
+            uint8_t byte = a8[i * row_bytes + t];
+            if (!byte)
+                continue;
+            const uint64_t *src = table + (size_t)byte * n_words;
+            uint64_t *orow = out + i * n_words;
+            for (size_t j = 0; j < n_words; ++j)
+                orow[j] |= src[j];
+        }
+    }
+}
+
+/* The consistency sweep's OR-reduction: out[i, s] = 1 iff row i of
+ * (matrix AND alive) keeps a set bit inside byte segment s.
+ *
+ * Segments are byte-aligned half-open ranges [seg_starts[s],
+ * seg_starts[s + 1]) over each packed row's byte view, the last one
+ * running to row_bytes = n_words * 8 — exactly the ranges
+ * bitops.or_segments reduces over.
+ */
+void repro_support_any(const uint64_t *matrix, size_t rows, size_t n_words,
+                       const uint64_t *alive,
+                       const int64_t *seg_starts, size_t n_segs,
+                       uint8_t *out)
+{
+    const uint8_t *alive8 = (const uint8_t *)alive;
+    size_t row_bytes = n_words * 8;
+    for (size_t i = 0; i < rows; ++i) {
+        const uint8_t *mrow = (const uint8_t *)(matrix + i * n_words);
+        uint8_t *orow = out + i * n_segs;
+        for (size_t s = 0; s < n_segs; ++s) {
+            size_t start = (size_t)seg_starts[s];
+            size_t end = (s + 1 < n_segs) ? (size_t)seg_starts[s + 1] : row_bytes;
+            uint8_t acc = 0;
+            for (size_t p = start; p < end; ++p)
+                acc |= mrow[p] & alive8[p];
+            orow[s] = acc != 0;
+        }
+    }
+}
+
+/* AND mask into target in place; return the number of bits cleared.
+ * Exact popcount arithmetic: both sides keep their padding zero. */
+uint64_t repro_and_accumulate(uint64_t *target, const uint64_t *mask, size_t n)
+{
+    uint64_t cleared = 0;
+    for (size_t i = 0; i < n; ++i) {
+        uint64_t before = target[i];
+        uint64_t after = before & mask[i];
+        target[i] = after;
+        cleared += (uint64_t)__builtin_popcountll(before)
+                 - (uint64_t)__builtin_popcountll(after);
+    }
+    return cleared;
+}
+
+/* Total population count of a packed word array. */
+uint64_t repro_count_ones(const uint64_t *words, size_t n)
+{
+    uint64_t total = 0;
+    for (size_t i = 0; i < n; ++i)
+        total += (uint64_t)__builtin_popcountll(words[i]);
+    return total;
+}

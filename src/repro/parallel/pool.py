@@ -126,6 +126,14 @@ def _parse_chunk(
         stats.engine = engine.name
         stats.extra.setdefault("network_bytes", network.state_nbytes())
         stats.extra["worker_pid"] = os.getpid()
+        # Report the backend the *worker* resolved (post-fallback), so
+        # the parent can verify its selection actually crossed the
+        # process boundary — or see what it degraded to.
+        kernels = network.kernels()
+        stats.extra.setdefault("kernel_backend", kernels.name)
+        dispatch = kernels.dispatch_snapshot()
+        if dispatch is not None:
+            stats.extra.setdefault("kernel_dispatch", dispatch)
         results.append(
             WireResult(
                 alive_bits=network.alive_bits,

@@ -188,6 +188,9 @@ class ParserSession:
             stats.extra.setdefault("network_bytes", network.state_nbytes())
             stats.extra["template_cache_bytes"] = self.cached_bytes()
             stats.extra.setdefault("kernel_backend", self.kernel_backend.name)
+            dispatch = self.kernel_backend.dispatch_snapshot()
+            if dispatch is not None:
+                stats.extra.setdefault("kernel_dispatch", dispatch)
             return ParseResult(
                 network=network,
                 locally_consistent=network.all_domains_nonempty(),

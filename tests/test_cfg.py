@@ -113,7 +113,10 @@ class TestCYK:
         cnf = to_cnf(balanced_brackets_cfg())
         assert cyk_parse(cnf, []).accepted
 
-    def test_records_kernel_backend(self):
+    def test_records_kernel_backend(self, monkeypatch):
+        from repro.kernels.backend import ENV_VAR
+
+        monkeypatch.delenv(ENV_VAR, raising=False)
         cnf = to_cnf(anbn_cfg())
         assert cyk_parse(cnf, ["a", "b"]).kernel_backend == "packed"
         assert cyk_parse(cnf, ["a", "b"], backend="numpy").kernel_backend == "numpy"

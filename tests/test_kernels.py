@@ -17,6 +17,9 @@ Three layers:
 
 from __future__ import annotations
 
+import json
+import warnings
+
 import numpy as np
 import pytest
 
@@ -34,9 +37,14 @@ from repro.kernels.backend import (
     available_backends,
     create_backend,
     default_backend,
+    probe_backend,
     register_backend,
+    reset_backend_cache,
+    resolve_backend_name,
 )
 from repro.kernels.bmm import bmm_four_russians, bmm_planes, bmm_reference
+from repro.kernels import autotune
+from repro.kernels.native import build as native_build
 from repro.network import bitset
 from repro.network.bitset import BitLayout
 from repro.pipeline.session import ParserSession
@@ -166,9 +174,16 @@ class TestBackendRegistry:
     def test_unavailable_backend_falls_back_with_warning(self):
         # CuPy is not installed in this environment, so the scaffold
         # exercises the real fallback path.
+        reset_backend_cache("cupy")
         with pytest.warns(RuntimeWarning, match="falling back"):
             backend = create_backend("cupy")
         assert backend.name == DEFAULT_BACKEND
+        # The fallback instance is memoized under the requested name:
+        # exactly one warning per process, later calls are silent.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert create_backend("cupy") is backend
+        reset_backend_cache("cupy")
 
     def test_registered_unavailable_backend_falls_back(self):
         def factory() -> KernelBackend:
@@ -184,6 +199,40 @@ class TestBackendRegistry:
 
             backend_mod._REGISTRY.pop("always-unavailable", None)
             backend_mod._INSTANCES.pop("always-unavailable", None)
+
+    def test_resolution_order_explicit_env_default(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "numpy")
+        assert resolve_backend_name("packed") == "packed"  # explicit wins
+        assert resolve_backend_name(None) == "numpy"  # then env
+        monkeypatch.delenv(ENV_VAR)
+        assert resolve_backend_name(None) == DEFAULT_BACKEND  # then default
+
+    def test_create_and_default_share_one_resolution(self, monkeypatch):
+        # Regression: create_backend re-read the environment while
+        # default_backend memoized, so the two could answer differently
+        # in one process.  Both now go through resolve_backend_name and
+        # the same per-name instance memo.
+        monkeypatch.setenv(ENV_VAR, "numpy")
+        assert create_backend(None) is default_backend()
+        assert default_backend().name == "numpy"
+        monkeypatch.delenv(ENV_VAR)
+        assert create_backend(None) is default_backend()
+        assert default_backend().name == DEFAULT_BACKEND
+
+    def test_available_backends_deterministic_sorted(self):
+        names = available_backends()
+        assert names == tuple(sorted(names))
+        assert names == available_backends()
+        assert "native" in names
+        assert "auto" in names
+
+    def test_probe_returns_none_without_fallback(self):
+        reset_backend_cache("cupy")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert probe_backend("cupy") is None
+            assert probe_backend("no-such-backend") is None
+        assert probe_backend(DEFAULT_BACKEND) is not None
 
     def test_support_any_backends_agree(self):
         role_slices = (slice(0, 5), slice(5, 17), slice(17, 90))
@@ -292,3 +341,231 @@ class TestSessionBackendIdentity:
         result = session.parse(["the", "program", "runs"])
         assert result.stats.extra["kernel_backend"] == "numpy"
         assert isinstance(session.kernel_backend, PlanesBackend)
+
+
+# ---------------------------------------------------------------------------
+# native compiled backend
+
+requires_compiler = pytest.mark.skipif(
+    native_build.find_compiler() is None,
+    reason="no C compiler on this host (native backend falls back)",
+)
+
+
+@pytest.fixture
+def no_toolchain(monkeypatch, tmp_path):
+    """Simulate a compiler-less host: bogus CC, empty build cache.
+
+    Both knobs matter — a previously built .so in the real cache would
+    load fine without any compiler, hiding the path under test.
+    """
+    monkeypatch.setenv(native_build.ENV_CC, str(tmp_path / "no-such-cc"))
+    monkeypatch.setenv(native_build.ENV_CACHE, str(tmp_path / "native-cache"))
+    reset_backend_cache()
+    yield
+    reset_backend_cache()
+
+
+@requires_compiler
+class TestNativeBackend:
+    @pytest.mark.parametrize("shape", BMM_SHAPES, ids=str)
+    def test_bmm_matches_reference(self, shape):
+        m, k, n = shape
+        rng = np.random.default_rng(m * 1000 + k * 10 + n)
+        a_plane = random_bools(rng, (m, k))
+        b_plane = random_bools(rng, (k, n))
+        a_bits = bitops.pack_bits(a_plane)
+        b_bits = bitops.pack_bits(b_plane)
+        native = create_backend("native")
+        out = native.bmm(a_bits, b_bits)
+        np.testing.assert_array_equal(out, bmm_four_russians(a_bits, b_bits))
+        expected = bmm_reference(a_plane, b_plane)
+        np.testing.assert_array_equal(bitops.unpack_bits(out, n), expected)
+        # Product padding must stay clear or downstream popcounts drift.
+        assert bitops.count_ones(out) == int(expected.sum())
+
+    def test_support_any_matches_packed(self):
+        role_slices = (slice(0, 5), slice(5, 17), slice(17, 90))
+        layout = BitLayout(role_slices)
+        rng = np.random.default_rng(23)
+        matrix = bitset.pack_rows(random_bools(rng, (layout.nv, layout.nv)), layout)
+        alive = bitset.pack_rows(random_bools(rng, layout.nv), layout)
+        native = create_backend("native")
+        expected = PackedBackend().support_any(matrix, alive, layout.seg_byte_starts)
+        got = native.support_any(matrix, alive, layout.seg_byte_starts)
+        assert got.dtype == np.dtype(bool)
+        np.testing.assert_array_equal(got, expected)
+
+    def test_and_accumulate_matches_packed(self):
+        rng = np.random.default_rng(31)
+        target_bools = random_bools(rng, (37, 130))
+        mask_bools = random_bools(rng, (37, 130))
+        a = bitops.pack_bits(target_bools)
+        b = a.copy()
+        mask = bitops.pack_bits(mask_bools)
+        native = create_backend("native")
+        delta_packed = PackedBackend().and_accumulate(a, mask)
+        delta_native = native.and_accumulate(b, mask)
+        assert delta_native == delta_packed
+        np.testing.assert_array_equal(a, b)
+        assert native.count_ones(b) == bitops.count_ones(a)
+
+    def test_in_place_target_must_be_writable_words(self):
+        native = create_backend("native")
+        mask = np.zeros((2, 2), dtype=bitops.WORD_DTYPE)
+        with pytest.raises(ReproError, match="'<u8'"):
+            native.and_accumulate(np.zeros((2, 2), dtype=np.uint32), mask)
+        frozen = np.zeros((2, 2), dtype=bitops.WORD_DTYPE)
+        frozen.setflags(write=False)
+        with pytest.raises(ReproError, match="writable"):
+            native.and_accumulate(frozen, mask)
+
+    def test_session_parse_bit_identical_to_packed(self):
+        grammar = program_grammar()
+        words = ["the", "program", "runs"]
+        ref = ParserSession(grammar, backend="packed").parse(words)
+        got = ParserSession(grammar, backend="native").parse(words)
+        assert got.stats.extra["kernel_backend"] == "native"
+        assert got.locally_consistent == ref.locally_consistent
+        np.testing.assert_array_equal(got.network.alive_bits, ref.network.alive_bits)
+        np.testing.assert_array_equal(got.network.matrix_bits, ref.network.matrix_bits)
+
+
+class TestNativeFallback:
+    def test_no_compiler_degrades_to_packed_with_one_warning(self, no_toolchain):
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            backend = create_backend("native")
+        assert backend.name == DEFAULT_BACKEND
+        # Warn once per process: the fallback instance is memoized.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert create_backend("native") is backend
+
+    def test_no_compiler_session_still_parses(self, no_toolchain):
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            session = ParserSession(program_grammar(), backend="native")
+        result = session.parse(["the", "program", "runs"])
+        assert result.locally_consistent
+        assert result.stats.extra["kernel_backend"] == DEFAULT_BACKEND
+
+    def test_find_compiler_env_override_must_exist(self, no_toolchain):
+        assert native_build.find_compiler() is None
+
+
+# ---------------------------------------------------------------------------
+# profile-guided auto backend
+
+
+@pytest.fixture
+def fresh_auto(monkeypatch, tmp_path):
+    """An AutoBackend with its persisted table isolated to tmp_path."""
+    monkeypatch.setenv(autotune.ENV_CACHE, str(tmp_path / "autotune.json"))
+    reset_backend_cache("auto")
+    yield autotune.AutoBackend()
+    reset_backend_cache("auto")
+
+
+class TestAutoBackend:
+    def test_bmm_identity_and_single_calibration_per_bucket(self, fresh_auto):
+        rng = np.random.default_rng(5)
+        a = bitops.pack_bits(random_bools(rng, (100, 100)))
+        b = bitops.pack_bits(random_bools(rng, (100, 130)))
+        expected = bmm_four_russians(a, b)
+        np.testing.assert_array_equal(fresh_auto.bmm(a, b), expected)
+        assert fresh_auto.calibrations == 1
+        np.testing.assert_array_equal(fresh_auto.bmm(a, b), expected)
+        assert fresh_auto.calibrations == 1  # same bucket: dispatch, no re-race
+
+    def test_empty_operands_skip_calibration(self, fresh_auto):
+        a = bitops.pack_bits(np.zeros((0, 5), dtype=bool))
+        b = bitops.pack_bits(np.zeros((5, 3), dtype=bool))
+        out = fresh_auto.bmm(a, b)
+        assert out.shape == (0, 1)
+        assert fresh_auto.calibrations == 0
+
+    def test_and_accumulate_race_preserves_in_place_contract(self, fresh_auto):
+        rng = np.random.default_rng(13)
+        target = bitops.pack_bits(random_bools(rng, (20, 100)))
+        mask = bitops.pack_bits(random_bools(rng, (20, 100)))
+        reference = target.copy()
+        delta_ref = PackedBackend().and_accumulate(reference, mask)
+        delta = fresh_auto.and_accumulate(target, mask)
+        assert delta == delta_ref
+        np.testing.assert_array_equal(target, reference)
+
+    def test_dispatch_table_round_trips_through_cache_file(self, fresh_auto):
+        rng = np.random.default_rng(3)
+        a = bitops.pack_bits(random_bools(rng, (64, 64)))
+        b = bitops.pack_bits(random_bools(rng, (64, 64)))
+        fresh_auto.bmm(a, b)
+        fresh_auto.count_ones(a)
+        assert fresh_auto.calibrations == 2
+        table = fresh_auto.dispatch_snapshot()
+        record = json.loads(autotune.cache_path().read_text())
+        assert record["version"] == autotune.CACHE_VERSION
+        assert record["host"] == autotune.host_fingerprint()
+        assert record["table"] == table
+        # A second "process" (fresh instance, same cache file) loads
+        # the table and never re-races.
+        second = autotune.AutoBackend()
+        assert second.dispatch_snapshot() == table
+        np.testing.assert_array_equal(second.bmm(a, b), fresh_auto.bmm(a, b))
+        assert second.calibrations == 0
+
+    def test_foreign_host_table_is_ignored(self, fresh_auto, monkeypatch, tmp_path):
+        path = tmp_path / "foreign.json"
+        path.write_text(json.dumps({
+            "version": autotune.CACHE_VERSION,
+            "host": {"platform": "elsewhere", "machine": "pdp11", "cpu_count": 1},
+            "table": {"bmm:20": "numpy"},
+        }))
+        monkeypatch.setenv(autotune.ENV_CACHE, str(path))
+        assert autotune.AutoBackend().dispatch_snapshot() == {}
+
+    def test_disagreeing_candidate_is_excluded(self, fresh_auto):
+        class LyingBackend(KernelBackend):
+            name = "lying"
+
+            def bmm(self, a_bits, b_bits):
+                out = PackedBackend().bmm(a_bits, b_bits)
+                out[...] = 0  # fast and wrong
+                return out
+
+        register_backend("lying", LyingBackend)
+        try:
+            rng = np.random.default_rng(17)
+            a = bitops.pack_bits(random_bools(rng, (80, 80)))
+            b = bitops.pack_bits(random_bools(rng, (80, 80)))
+            expected = bmm_four_russians(a, b)
+            with pytest.warns(RuntimeWarning, match="lying.*disagreed"):
+                out = fresh_auto.bmm(a, b)
+            np.testing.assert_array_equal(out, expected)
+            table = fresh_auto.dispatch_snapshot()
+            assert all(winner != "lying" for winner in table.values())
+            # Excluded for good: later buckets never race it again.
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                big_a = bitops.pack_bits(random_bools(rng, (160, 160)))
+                big_b = bitops.pack_bits(random_bools(rng, (160, 160)))
+                np.testing.assert_array_equal(
+                    fresh_auto.bmm(big_a, big_b), bmm_four_russians(big_a, big_b)
+                )
+        finally:
+            from repro.kernels import backend as backend_mod
+
+            backend_mod._REGISTRY.pop("lying", None)
+            backend_mod._INSTANCES.pop("lying", None)
+
+    def test_session_surfaces_dispatch_table(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(autotune.ENV_CACHE, str(tmp_path / "autotune.json"))
+        reset_backend_cache("auto")
+        try:
+            session = ParserSession(program_grammar(), backend="auto")
+            result = session.parse(["the", "program", "runs"])
+            assert result.stats.extra["kernel_backend"] == "auto"
+            dispatch = result.stats.extra["kernel_dispatch"]
+            assert isinstance(dispatch, dict)
+            known = set(available_backends())
+            assert all(winner in known for winner in dispatch.values())
+        finally:
+            reset_backend_cache("auto")
